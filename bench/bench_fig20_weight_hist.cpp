@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 20 reproduction: histogram of absolute weight lattice values
+ * for three sub-models of a trained multi-resolution model, next to a
+ * plain 5-bit UQ projection.
+ *
+ * Expected shape: the aggressive sub-model concentrates on powers of
+ * two (and ~50% zeros) — logarithmic-quantization-like — while the
+ * largest sub-model approaches the 5-bit UQ histogram.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fake_quant.hpp"
+#include "core/uniform_quant.hpp"
+#include "models/classifiers.hpp"
+#include "nn/conv.hpp"
+
+namespace {
+
+using namespace mrq;
+
+/** Histogram of |lattice value| over all conv weights of a model. */
+std::map<std::int64_t, std::size_t>
+latticeHistogram(Sequential& model, const SubModelConfig& cfg)
+{
+    std::map<std::int64_t, std::size_t> hist;
+    for (Parameter* p : model.parameters()) {
+        if (p->name != "conv.weight" && p->name != "linear.weight")
+            continue;
+        const float clip = std::max(p->value.maxAbs(), 1e-3f);
+        Tensor q = fakeQuantWeights(p->value, clip, cfg);
+        UniformQuantizer uq;
+        uq.bits = cfg.bits;
+        uq.clip = clip;
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const std::int64_t level = std::llabs(
+                static_cast<std::int64_t>(std::lround(q[i] / uq.scale())));
+            ++hist[level];
+        }
+    }
+    return hist;
+}
+
+double
+fractionAt(const std::map<std::int64_t, std::size_t>& hist,
+           bool (*pred)(std::int64_t))
+{
+    std::size_t hits = 0, total = 0;
+    for (const auto& [level, count] : hist) {
+        total += count;
+        if (pred(level))
+            hits += count;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+bool
+isZero(std::int64_t v)
+{
+    return v == 0;
+}
+
+bool
+isPowerOfTwoOrZero(std::int64_t v)
+{
+    return v == 0 || (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 20",
+                  "weight-value histograms across sub-models");
+
+    SynthImages data = bench::standardImages(11);
+    Rng rng(2);
+    auto model = buildResNetTiny(rng, data.numClasses());
+    const SubModelLadder ladder = bench::figure19Ladder();
+    PipelineOptions opts = bench::standardOptions(13);
+    std::printf("training the multi-resolution model...\n\n");
+    runClassifierMultiRes(*model, data, ladder, opts);
+
+    // Three sub-models + plain UQ, as in the paper's panel.
+    SubModelConfig uq5;
+    uq5.mode = QuantMode::Uq;
+    uq5.bits = 5;
+    struct Row
+    {
+        const char* label;
+        SubModelConfig cfg;
+    };
+    const Row rows[] = {
+        {"(a8, b2)  aggressive", ladder[0]},
+        {"(a14, b2) middle", ladder[3]},
+        {"(a20, b3) largest", ladder.back()},
+        {"5-bit UQ  reference", uq5},
+    };
+
+    std::printf("%-22s %-8s %-12s %s\n", "sub-model", "zeros",
+                "pow2-or-0", "top lattice levels (level:count)");
+    for (const Row& r : rows) {
+        const auto hist = latticeHistogram(*model, r.cfg);
+        std::printf("%-22s %-8.2f %-12.2f ", r.label,
+                    fractionAt(hist, isZero),
+                    fractionAt(hist, isPowerOfTwoOrZero));
+        // Show the five most populated nonzero levels.
+        std::vector<std::pair<std::size_t, std::int64_t>> top;
+        for (const auto& [level, count] : hist)
+            if (level != 0)
+                top.push_back({count, level});
+        std::sort(top.rbegin(), top.rend());
+        for (std::size_t i = 0; i < top.size() && i < 5; ++i)
+            std::printf("%lld:%zu ",
+                        static_cast<long long>(top[i].second),
+                        top[i].first);
+        std::printf("\n");
+    }
+
+    const auto aggressive = latticeHistogram(*model, ladder[0]);
+    const auto largest = latticeHistogram(*model, ladder.back());
+    std::printf("\n");
+    bench::row("aggressive zeros fraction", fractionAt(aggressive, isZero),
+               "~0.5 (paper: almost 50% zeros at (8,2))");
+    bench::row("aggressive pow2-or-0 fraction",
+               fractionAt(aggressive, isPowerOfTwoOrZero),
+               "close to 1 (log-quantization-like)");
+    bench::row("largest pow2-or-0 fraction",
+               fractionAt(largest, isPowerOfTwoOrZero),
+               "clearly below aggressive (5-bit-UQ-like spread)");
+    return 0;
+}

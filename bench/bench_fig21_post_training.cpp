@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 21 reproduction: multi-resolution training (Algorithm 1)
+ * vs post-training term quantization for the ResNet-18 and ResNet-50
+ * stand-ins.
+ *
+ * Expected shape: multi-resolution training wins at every setting,
+ * with the gap widening at aggressive budgets.
+ *
+ * Runtime: ~4 training runs, several minutes on one core.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "models/classifiers.hpp"
+
+namespace {
+
+using namespace mrq;
+
+void
+runArch(const char* arch, const SynthImages& data,
+        const SubModelLadder& ladder, const PipelineOptions& opts)
+{
+    Rng rng_a(1);
+    auto model_mr = buildClassifier(arch, rng_a, data.numClasses());
+    std::printf("[%s] multi-resolution training...\n", arch);
+    const auto mr = runClassifierMultiRes(*model_mr, data, ladder, opts);
+
+    Rng rng_b(1);
+    auto model_pt = buildClassifier(arch, rng_b, data.numClasses());
+    std::printf("[%s] post-training TQ (fp training only)...\n", arch);
+    const auto pt =
+        runClassifierPostTraining(*model_pt, data, ladder, opts);
+
+    std::printf("\n%-8s %-18s %-12s %-14s %s\n", "config",
+                "term-pairs/sample", "multi-res", "post-training",
+                "advantage");
+    std::size_t wins = 0;
+    double aggressive_gap = 0.0, largest_gap = 0.0;
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        const double gap =
+            mr.subModels[i].metric - pt.subModels[i].metric;
+        wins += gap >= -1e-9;
+        if (i == 0)
+            aggressive_gap = gap;
+        if (i + 1 == ladder.size())
+            largest_gap = gap;
+        std::printf("%-8s %-18zu %-12.1f %-14.1f %+.1f pp\n",
+                    ladder[i].name().c_str(), mr.subModels[i].termPairs,
+                    100.0 * mr.subModels[i].metric,
+                    100.0 * pt.subModels[i].metric, 100.0 * gap);
+    }
+    std::printf("\n");
+    bench::row("settings where multi-res wins",
+               static_cast<double>(wins),
+               "all settings (paper Fig. 21)");
+    bench::row("advantage at most aggressive (pp)",
+               100.0 * aggressive_gap,
+               "largest gap at aggressive budgets");
+    bench::row("advantage at largest budget (pp)", 100.0 * largest_gap,
+               "small (post-training is near-lossless there)");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 21",
+                  "multi-resolution training vs post-training TQ");
+    SynthImages data = bench::standardImages(17);
+    const SubModelLadder ladder = bench::figure19Ladder();
+    const PipelineOptions opts = bench::standardOptions(19);
+
+    runArch("resnet-tiny", data, ladder, opts);
+    runArch("resnet-mid", data, ladder, opts);
+    return 0;
+}

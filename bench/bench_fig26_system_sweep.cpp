@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 26 reproduction: mMAC system latency and energy efficiency
+ * across term-pair budgets gamma = 16..60 for the five evaluated
+ * networks, normalized to gamma = 16 (as in the paper's plot).
+ *
+ * Uses the analytic performance model (validated cycle-for-cycle
+ * against the functional systolic simulator in tests/hw) at the
+ * paper's deployment point: 128x128 array, 150 MHz, g = 16.
+ *
+ * Expected shape: moving gamma 60 -> 16 cuts latency ~3.1x and
+ * raises energy efficiency ~3.25x on average.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hw/perf_model.hpp"
+
+int
+main()
+{
+    using namespace mrq;
+    bench::header("Figure 26", "system latency/energy across gamma");
+
+    const SystolicArrayConfig array{128, 128, 150.0};
+    const PackedTermFormat fmt;
+    const SystemEnergyModel energy;
+
+    struct Budget
+    {
+        std::size_t alpha, beta;
+    };
+    // The Fig. 19/22 budget ladder: gamma 16, 24, 28, 42, 48, 60.
+    const Budget budgets[] = {{8, 2},  {12, 2}, {14, 2},
+                              {14, 3}, {16, 3}, {20, 3}};
+    const char* nets[] = {"resnet18", "resnet50", "mobilenet-v2", "lstm",
+                          "yolo-v5s"};
+
+    double lat_ratio_sum = 0.0, eff_ratio_sum = 0.0;
+    for (const char* net : nets) {
+        const auto layers = referenceNetwork(net);
+        std::printf("\n-- %s --\n", net);
+        std::printf("%-8s %-7s %-12s %-14s %-12s %s\n", "config",
+                    "gamma", "latency(ms)", "samples/J", "lat(norm)",
+                    "eff(norm)");
+        NetworkPerf base{};
+        for (const Budget& b : budgets) {
+            SubModelConfig cfg;
+            cfg.mode = QuantMode::Tq;
+            cfg.bits = 5;
+            cfg.groupSize = 16;
+            cfg.alpha = b.alpha;
+            cfg.beta = b.beta;
+            const NetworkPerf perf =
+                networkPerformance(layers, cfg, array, fmt, energy);
+            if (b.alpha == 8)
+                base = perf;
+            std::printf("%-8s %-7zu %-12.3f %-14.1f %-12.2f %.2f\n",
+                        cfg.name().c_str(), cfg.gamma(), perf.latencyMs,
+                        perf.samplesPerJoule,
+                        perf.latencyMs / base.latencyMs,
+                        perf.samplesPerJoule / base.samplesPerJoule);
+            if (b.alpha == 20) {
+                lat_ratio_sum += perf.latencyMs / base.latencyMs;
+                eff_ratio_sum +=
+                    base.samplesPerJoule / perf.samplesPerJoule;
+            }
+        }
+    }
+
+    const double n_nets = 5.0;
+    std::printf("\n");
+    bench::row("latency(gamma=60)/latency(gamma=16), mean",
+               lat_ratio_sum / n_nets, "~3.1x (paper average)");
+    bench::row("eff(gamma=16)/eff(gamma=60), mean",
+               eff_ratio_sum / n_nets, "~3.25x (paper average)");
+    return 0;
+}

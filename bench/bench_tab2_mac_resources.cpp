@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 2 reproduction: FPGA resource consumption of the three MAC
+ * designs (LUTs / FFs).  The counts are the paper's measured
+ * synthesis results, carried in the cost model as calibration
+ * constants; this bench prints the table plus the derived ratios the
+ * paper quotes in Sec. 7.1 (mMAC needs 2.8x fewer LUTs and 1.8x
+ * fewer FFs than pMAC).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hw/cost_model.hpp"
+
+int
+main()
+{
+    using namespace mrq;
+    bench::header("Table 2", "FPGA resource consumption of MAC designs");
+
+    const MacDesign designs[] = {MacDesign::PMac, MacDesign::BMac,
+                                 MacDesign::Mmac};
+    std::printf("%-8s %-6s %s\n", "", "LUT", "FF");
+    for (MacDesign d : designs) {
+        const MacResources r = macResources(d);
+        std::printf("%-8s %-6zu %zu\n", macDesignName(d).c_str(), r.luts,
+                    r.ffs);
+    }
+
+    const MacResources p = macResources(MacDesign::PMac);
+    const MacResources m = macResources(MacDesign::Mmac);
+    const MacResources b = macResources(MacDesign::BMac);
+    std::printf("\n");
+    bench::row("pMAC/mMAC LUT ratio",
+               static_cast<double>(p.luts) / m.luts, "2.8x (Sec. 7.1)");
+    bench::row("pMAC/mMAC FF ratio", static_cast<double>(p.ffs) / m.ffs,
+               "1.8x (Sec. 7.1)");
+    bench::row("bMAC smallest (LUT)", static_cast<double>(b.luts),
+               "12 (but 16x the cycles)");
+    return 0;
+}

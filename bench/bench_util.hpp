@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared configuration and printing helpers for the reproduction
+ * benches.  Every bench prints the paper's reference values next to
+ * the measured ones so EXPERIMENTS.md can be assembled from the raw
+ * bench output.
+ */
+
+#ifndef MRQ_BENCH_BENCH_UTIL_HPP
+#define MRQ_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "core/quant_config.hpp"
+#include "data/synth_images.hpp"
+#include "train/pipelines.hpp"
+
+namespace mrq {
+namespace bench {
+
+/** Standard classification workload for the training benches. */
+inline SynthImages
+standardImages(std::uint64_t seed = 42)
+{
+    // 16 fine-grained classes on noisy 12x12 images: hard enough that
+    // quantization budgets visibly trade accuracy, small enough for
+    // single-core bench runs.
+    return SynthImages(/*train=*/1200, /*test=*/400, seed, /*size=*/12,
+                       /*classes=*/16, /*noise=*/0.35);
+}
+
+/** Standard pipeline options sized for single-core bench runs. */
+inline PipelineOptions
+standardOptions(std::uint64_t seed = 7)
+{
+    PipelineOptions opts;
+    opts.fpEpochs = 5;
+    opts.mrEpochs = 8;
+    opts.batchSize = 50;
+    opts.seed = seed;
+    return opts;
+}
+
+/** The paper's 8 sub-model (alpha, beta) ladder from Fig. 19. */
+inline SubModelLadder
+figure19Ladder()
+{
+    // (8,2) (10,2) (12,2) (14,2) (14,3) (16,3) (18,3) (20,3):
+    // alpha rises 8..20, beta switches from 2 to 3 midway.
+    SubModelLadder ladder = makeTqLadder(8, 20, 2, 3, 2, 5, 16);
+    // makeTqLadder yields alpha 6..20; rebuild the paper's exact set.
+    ladder.clear();
+    const std::size_t alphas[8] = {8, 10, 12, 14, 14, 16, 18, 20};
+    const std::size_t betas[8] = {2, 2, 2, 2, 3, 3, 3, 3};
+    for (int i = 0; i < 8; ++i) {
+        SubModelConfig cfg;
+        cfg.mode = QuantMode::Tq;
+        cfg.bits = 5;
+        cfg.groupSize = 16;
+        cfg.alpha = alphas[i];
+        cfg.beta = betas[i];
+        ladder.push_back(cfg);
+    }
+    return ladder;
+}
+
+/** Print a standard experiment header. */
+inline void
+header(const std::string& id, const std::string& what)
+{
+    std::printf("==============================================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("==============================================\n");
+}
+
+/** Print one metric row with its paper reference. */
+inline void
+row(const std::string& label, double measured, const std::string& paper)
+{
+    std::printf("  %-28s measured %-12.4g paper %s\n", label.c_str(),
+                measured, paper.c_str());
+}
+
+} // namespace bench
+} // namespace mrq
+
+#endif // MRQ_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multi-resolution LSTM language modeling (the paper's Wikitext-2
+ * scenario, Sec. 6.4.2, on the synthetic Markov corpus).
+ *
+ * Trains a 2-layer LSTM LM under Algorithm 1 and reports validation
+ * perplexity per sub-model next to the corpus entropy floor.
+ *
+ * Runtime: a couple of minutes on one core.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/synth_text.hpp"
+#include "models/lstm_lm.hpp"
+#include "train/pipelines.hpp"
+
+int
+main()
+{
+    using namespace mrq;
+
+    std::printf("== multi-resolution LSTM language model ==\n\n");
+    SynthText data(/*vocab=*/32, /*train=*/30000, /*valid=*/6000,
+                   /*seed=*/5);
+    const double floor_ppl = std::exp(data.entropyRate());
+    std::printf("corpus entropy floor: perplexity %.2f (uniform %.0f)\n\n",
+                floor_ppl, 32.0);
+
+    Rng rng(1);
+    LstmLm model(data.vocab(), /*embed=*/24, /*hidden=*/48,
+                 /*dropout=*/0.2f, rng);
+
+    PipelineOptions opts;
+    opts.fpEpochs = 3;
+    opts.mrEpochs = 3;
+    opts.batchSize = 8;
+    opts.bptt = 16;
+    opts.fpLr = 0.5f;
+    opts.mrLr = 0.1f;
+    opts.verbose = true;
+
+    const auto ladder = makeTqLadder(4, 20, 4, 3, 2, 5, 16);
+    std::printf("training (fp pretrain + Algorithm 1)...\n");
+    const auto result = runLmMultiRes(model, data, ladder, opts);
+
+    std::printf("\nfp32 validation perplexity: %.2f\n\n",
+                result.fp32Metric);
+    std::printf("%-8s %-18s %s\n", "config", "term-pairs/token",
+                "perplexity");
+    for (const auto& sub : result.subModels)
+        std::printf("%-8s %-18zu %.2f\n", sub.config.name().c_str(),
+                    sub.termPairs, sub.metric);
+    std::printf("\nLower budgets cost perplexity; every sub-model stays\n"
+                "well below the uniform baseline (paper Fig. 22 middle).\n");
+    return 0;
+}

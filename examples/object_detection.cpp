@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multi-resolution object detection (the paper's COCO / YOLO-v5
+ * scenario, Sec. 6.4.3, on the synthetic shapes dataset).
+ *
+ * Trains the single-scale TinyYolo detector under Algorithm 1 on an
+ * 8-bit lattice — detection needs more precision than classification,
+ * exactly the paper's finding — and reports mAP@0.5 per sub-model.
+ *
+ * Runtime: a few minutes on one core.
+ */
+
+#include <cstdio>
+
+#include "data/synth_detect.hpp"
+#include "models/tiny_yolo.hpp"
+#include "train/pipelines.hpp"
+
+int
+main()
+{
+    using namespace mrq;
+
+    std::printf("== multi-resolution object detection ==\n\n");
+    SynthDetect data(/*train=*/400, /*test=*/100, /*seed=*/3);
+
+    Rng rng(1);
+    TinyYolo model(rng);
+
+    PipelineOptions opts;
+    opts.fpEpochs = 12;
+    opts.mrEpochs = 6;
+    opts.batchSize = 32;
+    opts.fpLr = 0.05f;
+    opts.mrLr = 0.01f;
+    opts.verbose = true;
+
+    // Detection ladder on an 8-bit lattice with larger budgets
+    // (paper: alpha 22..38, beta 4..5, b = 8).
+    SubModelLadder ladder = makeTqLadder(4, 38, 5, 5, 4, 8, 16);
+
+    std::printf("training (fp pretrain + Algorithm 1)...\n");
+    const auto result = runYoloMultiRes(model, data, ladder, opts);
+
+    std::printf("\nfp32 mAP@0.5: %.3f\n\n", result.fp32Metric);
+    std::printf("%-8s %-18s %s\n", "config", "term-pairs/sample",
+                "mAP@0.5");
+    for (const auto& sub : result.subModels)
+        std::printf("%-8s %-18zu %.3f\n", sub.config.name().c_str(),
+                    sub.termPairs, sub.metric);
+    std::printf("\nDetection tolerates less quantization than\n"
+                "classification, hence the larger budgets (Sec. 6.4.3).\n");
+    return 0;
+}

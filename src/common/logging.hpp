@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error-reporting helpers shared across the library.
+ *
+ * Follows the gem5 convention: `panic` is for internal invariant
+ * violations (library bugs), `fatal` is for unrecoverable user errors
+ * (bad configuration, shape mismatches caused by the caller).
+ */
+
+#ifndef MRQ_COMMON_LOGGING_HPP
+#define MRQ_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mrq {
+
+/** Exception thrown for unrecoverable caller errors (bad arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendParts(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendParts(std::ostringstream& os, const T& part, const Rest&... rest)
+{
+    os << part;
+    appendParts(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Abort with a caller-error message.
+ *
+ * @param parts Message fragments streamed together.
+ */
+template <typename... Parts>
+[[noreturn]] void
+fatal(const Parts&... parts)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::appendParts(os, parts...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Abort with an internal-bug message.  Use when a condition can only be
+ * false if the library itself is broken.
+ */
+template <typename... Parts>
+[[noreturn]] void
+panic(const Parts&... parts)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::appendParts(os, parts...);
+    throw PanicError(os.str());
+}
+
+/** Require a caller-supplied condition, otherwise fatal(). */
+template <typename... Parts>
+void
+require(bool cond, const Parts&... parts)
+{
+    if (!cond)
+        fatal(parts...);
+}
+
+/** Assert an internal invariant, otherwise panic(). */
+template <typename... Parts>
+void
+invariant(bool cond, const Parts&... parts)
+{
+    if (!cond)
+        panic(parts...);
+}
+
+} // namespace mrq
+
+#endif // MRQ_COMMON_LOGGING_HPP

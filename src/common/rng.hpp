@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic random number generation for the whole library.
+ *
+ * We use xoshiro256** seeded through splitmix64.  Every experiment and
+ * test constructs its own Rng from an explicit seed so runs are fully
+ * reproducible; nothing in the library touches global RNG state.
+ */
+
+#ifndef MRQ_COMMON_RNG_HPP
+#define MRQ_COMMON_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace mrq {
+
+/** Deterministic xoshiro256** generator with sampling helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire-style rejection-free enough for our use; simple modulo
+        // bias is negligible for the small n used here, but we still use
+        // the multiply-shift reduction for uniformity.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * n) >> 64);
+    }
+
+    /** Standard normal sample (Box-Muller, cached second value). */
+    double
+    normal()
+    {
+        if (hasCached_) {
+            hasCached_ = false;
+            return cached_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        // Avoid log(0).
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cached_ = r * std::sin(theta);
+        hasCached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal sample with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Bernoulli sample with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+    double cached_ = 0.0;
+    bool hasCached_ = false;
+};
+
+} // namespace mrq
+
+#endif // MRQ_COMMON_RNG_HPP

@@ -1,0 +1,141 @@
+#include "core/fake_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/uniform_quant.hpp"
+
+namespace mrq {
+
+std::size_t
+scaledGroupBudget(std::size_t alpha, std::size_t group_size,
+                  std::size_t actual_size)
+{
+    if (actual_size == group_size)
+        return alpha;
+    const double frac = static_cast<double>(actual_size) /
+                        static_cast<double>(group_size);
+    const auto scaled = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(alpha)));
+    return std::max<std::size_t>(1, scaled);
+}
+
+Tensor
+fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
+                 QuantStats* stats)
+{
+    if (cfg.mode == QuantMode::None)
+        return w;
+    require(clip > 0.0f, "fakeQuantWeights: clip must be positive");
+
+    UniformQuantizer uq;
+    uq.bits = cfg.bits;
+    uq.clip = clip;
+    uq.isSigned = true;
+
+    Tensor out = w;
+    const std::size_t n = w.size();
+
+    if (cfg.mode == QuantMode::Uq) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = uq.roundTrip(w[i]);
+        if (stats) {
+            stats->units += n;
+        }
+        return out;
+    }
+
+    // QuantMode::Tq: lattice projection, then group-wise TQ within
+    // each output row (never across dot-product boundaries).
+    const std::size_t g = cfg.groupSize;
+    require(g > 0, "fakeQuantWeights: group size must be positive");
+    const std::size_t row_len =
+        w.rank() >= 2 && w.dim(0) > 0 ? n / w.dim(0) : n;
+    std::vector<std::int64_t> group;
+    group.reserve(g);
+    for (std::size_t row_base = 0; row_base < n; row_base += row_len) {
+        for (std::size_t off = 0; off < row_len; off += g) {
+            const std::size_t base = row_base + off;
+            const std::size_t len = std::min(g, row_len - off);
+            group.clear();
+            for (std::size_t i = 0; i < len; ++i)
+                group.push_back(uq.quantize(w[base + i]));
+            const std::size_t budget = scaledGroupBudget(cfg.alpha, g, len);
+            const GroupQuantResult r =
+                termQuantizeGroup(group, budget, cfg.encoding);
+            for (std::size_t i = 0; i < len; ++i)
+                out[base + i] = uq.dequantize(r.values[i]);
+            if (stats) {
+                stats->keptTerms += r.keptTerms.size();
+                stats->units += 1;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
+              QuantStats* stats, bool is_signed)
+{
+    if (cfg.mode == QuantMode::None)
+        return x;
+    require(clip > 0.0f, "fakeQuantData: clip must be positive");
+
+    UniformQuantizer uq;
+    uq.bits = cfg.bits;
+    uq.clip = clip;
+    uq.isSigned = is_signed;
+
+    Tensor out = x;
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t q = uq.quantize(x[i]);
+        if (cfg.mode == QuantMode::Tq) {
+            if (stats) {
+                const std::size_t kept = std::min(
+                    cfg.beta, termCount(q, cfg.encoding));
+                stats->keptTerms += kept;
+            }
+            q = termQuantizeValue(q, cfg.beta, cfg.encoding);
+        }
+        out[i] = uq.dequantize(q);
+    }
+    if (stats)
+        stats->units += n;
+    return out;
+}
+
+Tensor
+steBackward(const Tensor& x, const Tensor& dy, float clip, bool is_signed,
+            float* clip_grad)
+{
+    require(x.sameShape(dy), "steBackward: shape mismatch");
+    Tensor dx = dy;
+    float cg = 0.0f;
+    const std::size_t n = x.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const float v = x[i];
+        if (is_signed) {
+            if (v > clip) {
+                dx[i] = 0.0f;
+                cg += dy[i];
+            } else if (v < -clip) {
+                dx[i] = 0.0f;
+                cg -= dy[i];
+            }
+        } else {
+            if (v > clip) {
+                dx[i] = 0.0f;
+                cg += dy[i];
+            } else if (v < 0.0f) {
+                dx[i] = 0.0f;
+            }
+        }
+    }
+    if (clip_grad)
+        *clip_grad += cg;
+    return dx;
+}
+
+} // namespace mrq

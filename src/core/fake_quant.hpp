@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tensor-level quantization projections used during training.
+ *
+ * The forward pass of a quantized layer projects its full-precision
+ * master weights through UQ (learned clip) -> SDR -> TQ and its
+ * activations through UQ -> SDR -> top-beta TQ, exactly Steps 1-5 of
+ * Algorithm 1.  Gradients are passed straight through the projection
+ * (STE); the paper performs no quantization during backpropagation.
+ *
+ * These functions are pure: they take a tensor and return the
+ * quantize-dequantize round trip plus term statistics; the layers in
+ * src/nn own the STE bookkeeping.
+ */
+
+#ifndef MRQ_CORE_FAKE_QUANT_HPP
+#define MRQ_CORE_FAKE_QUANT_HPP
+
+#include <cstdint>
+
+#include "core/quant_config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mrq {
+
+/** Statistics from one projection (used for term-pair accounting). */
+struct QuantStats
+{
+    /** Terms actually kept (<= budget) summed over all groups/values. */
+    std::size_t keptTerms = 0;
+
+    /** Number of groups (weights) or values (data) processed. */
+    std::size_t units = 0;
+};
+
+/**
+ * Budget for a (possibly partial) tail group, proportional to its
+ * size, at least one term.  Shared by the training-side quantizer and
+ * the hardware simulator so both project weights identically.
+ */
+std::size_t scaledGroupBudget(std::size_t alpha, std::size_t group_size,
+                              std::size_t actual_size);
+
+/**
+ * Project weights onto the sub-model's lattice.
+ *
+ * For QuantMode::Tq: UQ to the b-bit lattice with symmetric clip
+ * @p clip, then group-wise TQ with budget alpha.  Groups are formed
+ * within each output row (dim 0 slice) — the dot-product structure
+ * the mMAC hardware sees — never across row boundaries; partial tail
+ * groups get a proportionally scaled budget (at least 1 term).
+ * For QuantMode::Uq: lattice round trip only.
+ * For QuantMode::None: returns @p w unchanged.
+ *
+ * @param w     Full-precision weights (rank >= 2: rows are dim 0).
+ * @param clip  Positive clipping magnitude (learned, PACT-style).
+ * @param cfg   Sub-model configuration.
+ * @param stats Optional out-param for kept-term statistics.
+ */
+Tensor fakeQuantWeights(const Tensor& w, float clip,
+                        const SubModelConfig& cfg,
+                        QuantStats* stats = nullptr);
+
+/**
+ * Project activations onto the sub-model's lattice: UQ on [0, clip]
+ * (or [-clip, clip] when @p is_signed, for recurrent nets whose
+ * activations are signed) then per-value top-beta TQ (group size 1).
+ */
+Tensor fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
+                     QuantStats* stats = nullptr, bool is_signed = false);
+
+/**
+ * Straight-through-estimator mask for a clipped projection: gradient
+ * element i passes iff |x_i| (signed) or x_i (unsigned) lies strictly
+ * inside the clip range.  Returns dy masked accordingly, and
+ * accumulates the clip parameter's gradient (sum of dy over clipped
+ * elements, signed for symmetric clips) into @p clip_grad.
+ */
+Tensor steBackward(const Tensor& x, const Tensor& dy, float clip,
+                   bool is_signed, float* clip_grad);
+
+} // namespace mrq
+
+#endif // MRQ_CORE_FAKE_QUANT_HPP

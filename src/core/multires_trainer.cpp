@@ -1,0 +1,93 @@
+#include "core/multires_trainer.hpp"
+
+namespace mrq {
+
+MultiResTrainer::MultiResTrainer(Module& model, SubModelLadder ladder,
+                                 const TrainerOptions& opts)
+    : model_(model), ladder_(std::move(ladder)), opts_(opts),
+      opt_(model.parameters(), opts.lr, opts.momentum, opts.weightDecay),
+      rng_(opts.seed)
+{
+    require(!ladder_.empty(), "MultiResTrainer: empty sub-model ladder");
+    opt_.setGradClip(opts_.gradClip);
+    model_.setQuantContext(&ctx_);
+}
+
+MultiResTrainer::~MultiResTrainer()
+{
+    model_.setQuantContext(nullptr);
+}
+
+MultiResTrainer::IterStats
+MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
+                                const SoftLossFn& soft)
+{
+    IterStats stats;
+    opt_.zeroGrad();
+
+    // Teacher pass: highest-resolution sub-model, task loss only
+    // (Algorithm 1, Steps 2-3, 6-9 for the teacher).
+    ctx_.config = ladder_.back();
+    Tensor teacher_out = model_.forward(input);
+    Tensor d_teacher;
+    stats.teacherLoss = hard(teacher_out, &d_teacher);
+    model_.backward(d_teacher);
+
+    // Student pass: randomly drawn sub-model (Steps 4-5); with more
+    // than one sub-model the teacher itself is excluded from the draw.
+    const std::size_t draws =
+        ladder_.size() > 1 ? ladder_.size() - 1 : 1;
+    stats.studentIndex = rng_.uniformInt(draws);
+    ctx_.config = ladder_[stats.studentIndex];
+    Tensor student_out = model_.forward(input);
+    Tensor d_student;
+    stats.studentLoss = hard(student_out, &d_student);
+    if (opts_.useDistillation && soft) {
+        Tensor d_soft;
+        stats.studentLoss +=
+            opts_.distillWeight *
+            soft(student_out, teacher_out, &d_soft);
+        d_soft *= opts_.distillWeight;
+        d_student += d_soft;
+    }
+    model_.backward(d_student);
+
+    // One update over the summed gradients (Step 9).
+    opt_.step();
+    return stats;
+}
+
+float
+MultiResTrainer::trainIterationSingle(const Tensor& input,
+                                      const HardLossFn& hard,
+                                      const SubModelConfig& cfg)
+{
+    opt_.zeroGrad();
+    ctx_.config = cfg;
+    Tensor out = model_.forward(input);
+    Tensor dout;
+    const float loss = hard(out, &dout);
+    model_.backward(dout);
+    opt_.step();
+    return loss;
+}
+
+void
+MultiResTrainer::calibrate(const Tensor& input, const SubModelConfig& cfg)
+{
+    ctx_.config = cfg;
+    model_.setTraining(true);
+    model_.forward(input);
+}
+
+Tensor
+MultiResTrainer::inferAt(const Tensor& input, const SubModelConfig& cfg)
+{
+    ctx_.config = cfg;
+    model_.setTraining(false);
+    Tensor out = model_.forward(input);
+    model_.setTraining(true);
+    return out;
+}
+
+} // namespace mrq

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Meta multi-resolution training driver (Algorithm 1).
+ *
+ * Each iteration runs two forward/backward passes over the same
+ * minibatch: one with the highest-resolution sub-model (the teacher)
+ * minimizing the task loss, and one with a randomly drawn sub-model
+ * (the student) minimizing the task loss plus a distillation term
+ * against the teacher's outputs.  Gradients from both passes
+ * accumulate into the shared full-precision master weights, which the
+ * optimizer updates once — no quantization occurs on the backward
+ * path (straight-through).
+ *
+ * The trainer is task-agnostic: the caller supplies a hard-loss
+ * closure bound to the current batch's targets and, optionally, a
+ * soft-loss function comparing student and teacher outputs
+ * (KL-on-logits for classification/LM, MSE-on-maps for detection).
+ */
+
+#ifndef MRQ_CORE_MULTIRES_TRAINER_HPP
+#define MRQ_CORE_MULTIRES_TRAINER_HPP
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+
+namespace mrq {
+
+/** Hard loss bound to a batch: fills *dout, returns the loss. */
+using HardLossFn = std::function<float(const Tensor& out, Tensor* dout)>;
+
+/** Soft (distillation) loss between student and teacher outputs. */
+using SoftLossFn = std::function<float(const Tensor& student,
+                                       const Tensor& teacher,
+                                       Tensor* dstudent)>;
+
+/** Hyperparameters of the multi-resolution trainer. */
+struct TrainerOptions
+{
+    float lr = 0.02f;
+    float momentum = 0.9f;
+    float weightDecay = 1e-4f;
+    float gradClip = 5.0f;
+
+    /** Weight of the soft loss in the student objective. */
+    float distillWeight = 0.5f;
+
+    /** Distillation off reproduces the naive two-model baseline. */
+    bool useDistillation = true;
+
+    /** Seed for the per-iteration student draw. */
+    std::uint64_t seed = 1;
+};
+
+/** Drives Algorithm 1 over any Module and task. */
+class MultiResTrainer
+{
+  public:
+    /**
+     * @param model  The network; its quantized layers are wired to the
+     *               trainer's QuantContext.
+     * @param ladder Sub-model configurations, ascending; back() is the
+     *               teacher.
+     * @param opts   Hyperparameters.
+     */
+    MultiResTrainer(Module& model, SubModelLadder ladder,
+                    const TrainerOptions& opts);
+
+    ~MultiResTrainer();
+
+    MultiResTrainer(const MultiResTrainer&) = delete;
+    MultiResTrainer& operator=(const MultiResTrainer&) = delete;
+
+    /** Per-iteration result for logging. */
+    struct IterStats
+    {
+        float teacherLoss = 0.0f;
+        float studentLoss = 0.0f;
+        std::size_t studentIndex = 0; ///< Which ladder entry was drawn.
+    };
+
+    /**
+     * One Algorithm-1 iteration: teacher pass, student pass with
+     * distillation, single optimizer step.
+     *
+     * @param input Batch input tensor.
+     * @param hard  Task loss bound to this batch's targets.
+     * @param soft  Distillation loss (ignored when disabled).
+     */
+    IterStats trainIteration(const Tensor& input, const HardLossFn& hard,
+                             const SoftLossFn& soft);
+
+    /**
+     * One conventional iteration at a fixed configuration (used for
+     * full-precision pretraining and individually trained baselines).
+     */
+    float trainIterationSingle(const Tensor& input, const HardLossFn& hard,
+                               const SubModelConfig& cfg);
+
+    /** Run a forward pass at @p cfg in eval mode and return the output. */
+    Tensor inferAt(const Tensor& input, const SubModelConfig& cfg);
+
+    /**
+     * Training-mode forward at @p cfg with no parameter update: used
+     * to re-estimate batch-norm running statistics for the sub-model
+     * about to be evaluated (running stats drift across the mixed
+     * teacher/student quantization configs during training).
+     */
+    void calibrate(const Tensor& input, const SubModelConfig& cfg);
+
+    /** The context the model is wired to (for stats collection). */
+    QuantContext& context() { return ctx_; }
+
+    Sgd& optimizer() { return opt_; }
+    const SubModelLadder& ladder() const { return ladder_; }
+
+    /** The teacher configuration (largest budgets). */
+    const SubModelConfig& teacherConfig() const { return ladder_.back(); }
+
+  private:
+    Module& model_;
+    SubModelLadder ladder_;
+    TrainerOptions opts_;
+    QuantContext ctx_;
+    Sgd opt_;
+    Rng rng_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_CORE_MULTIRES_TRAINER_HPP

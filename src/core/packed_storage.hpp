@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Compact storage of multi-resolution weight terms (Sec. 5.4).
+ *
+ * Terms are packed into fixed-width fields (Fig. 16: exponent bits
+ * plus a sign bit), weight indexes are stored separately (Fig. 18),
+ * and groups are laid out as budget *increments* (Fig. 17): the terms
+ * a sub-model adds over the next-smaller sub-model sit in consecutive
+ * memory entries, so a low-resolution sub-model touches only a prefix
+ * of the memory — fewer accesses, same single stored model.
+ */
+
+#ifndef MRQ_CORE_PACKED_STORAGE_HPP
+#define MRQ_CORE_PACKED_STORAGE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multires_group.hpp"
+
+namespace mrq {
+
+/** Field widths of the packed term format. */
+struct PackedTermFormat
+{
+    /** Bits for the exponent field (3 suits a 5-bit lattice's NAF). */
+    unsigned exponentBits = 3;
+
+    /** Bits for the per-term weight index (log2 of the group size). */
+    unsigned indexBits = 4;
+
+    /** Memory entry width in bits (one access reads one entry). */
+    unsigned entryBits = 16;
+
+    /** @return Bits per packed term (exponent + sign). */
+    unsigned termBits() const { return exponentBits + 1; }
+
+    /** @return Packed terms per term-memory entry. */
+    unsigned termsPerEntry() const { return entryBits / termBits(); }
+
+    /** @return Packed indexes per index-memory entry. */
+    unsigned indexesPerEntry() const { return entryBits / indexBits; }
+};
+
+/**
+ * One group's terms packed in increment order, with access counting.
+ */
+class PackedGroup
+{
+  public:
+    /**
+     * Pack a multi-resolution group for a ladder of term budgets.
+     *
+     * @param group  The decomposed group (terms sorted large-to-small).
+     * @param ladder Ascending term budgets the deployment must support;
+     *               the group stores min(ladder.back(), termCount) terms.
+     * @param fmt    Field widths.
+     */
+    PackedGroup(const MultiResGroup& group,
+                const std::vector<std::size_t>& ladder,
+                const PackedTermFormat& fmt);
+
+    /**
+     * Reassemble a packed group from raw fields (deserialization).
+     *
+     * @param group_size Member count g.
+     * @param ladder     Budget ladder the fields were packed for.
+     * @param fmt        Field widths.
+     * @param terms      One packed term field per stored term.
+     * @param indexes    One weight index per stored term.
+     */
+    PackedGroup(std::size_t group_size,
+                std::vector<std::size_t> ladder,
+                const PackedTermFormat& fmt,
+                std::vector<std::uint8_t> terms,
+                std::vector<std::uint8_t> indexes);
+
+    /** @return Group size g. */
+    std::size_t groupSize() const { return groupSize_; }
+
+    /** @return Raw packed term nibbles/fields, one per stored term. */
+    const std::vector<std::uint8_t>& packedTerms() const { return terms_; }
+
+    /** @return Raw packed per-term weight indexes. */
+    const std::vector<std::uint8_t>& packedIndexes() const { return indexes_; }
+
+    /**
+     * Decode the group's values at budget @p alpha straight from the
+     * packed representation (round-trip check for the format).
+     */
+    std::vector<std::int64_t> decode(std::size_t alpha) const;
+
+    /** Term-memory entries read to serve budget @p alpha. */
+    std::size_t termEntriesFor(std::size_t alpha) const;
+
+    /** Index-memory entries read to serve budget @p alpha. */
+    std::size_t indexEntriesFor(std::size_t alpha) const;
+
+    /** Total storage in bits (terms + indexes). */
+    std::size_t storageBits() const;
+
+    /** @return The budget ladder the group was packed for. */
+    const std::vector<std::size_t>& ladder() const { return ladder_; }
+
+  private:
+    PackedTermFormat fmt_;
+    std::size_t groupSize_ = 0;
+    std::vector<std::size_t> ladder_;
+    std::vector<std::uint8_t> terms_;   ///< One packed field per term.
+    std::vector<std::uint8_t> indexes_; ///< One weight index per term.
+};
+
+/**
+ * Average storage bits per weight value for a packed deployment —
+ * the Sec. 5.4 arithmetic (4*alpha + alpha*log2 g bits per group, and
+ * that amortized over sub-models sharing the same storage).
+ *
+ * @param alpha_max   Term budget of the largest sub-model.
+ * @param group_size  Group size g.
+ * @param fmt         Field widths.
+ * @return Bits per weight value for the stored (largest) model.
+ */
+double storageBitsPerWeight(std::size_t alpha_max, std::size_t group_size,
+                            const PackedTermFormat& fmt);
+
+} // namespace mrq
+
+#endif // MRQ_CORE_PACKED_STORAGE_HPP

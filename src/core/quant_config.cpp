@@ -1,0 +1,62 @@
+#include "core/quant_config.hpp"
+
+#include <sstream>
+
+namespace mrq {
+
+std::string
+SubModelConfig::name() const
+{
+    std::ostringstream os;
+    switch (mode) {
+      case QuantMode::None:
+        os << "fp32";
+        break;
+      case QuantMode::Uq:
+        os << "uq" << bits;
+        break;
+      case QuantMode::Tq:
+        os << "a" << alpha << "b" << beta;
+        break;
+    }
+    return os.str();
+}
+
+SubModelLadder
+makeTqLadder(std::size_t n, std::size_t alpha_max, std::size_t alpha_step,
+             std::size_t beta_hi, std::size_t beta_lo, int bits,
+             std::size_t group_size)
+{
+    require(n >= 1, "makeTqLadder: need at least one sub-model");
+    require(alpha_max > alpha_step * (n - 1),
+            "makeTqLadder: ladder underflows alpha");
+    SubModelLadder ladder(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        SubModelConfig& c = ladder[i];
+        c.mode = QuantMode::Tq;
+        c.bits = bits;
+        c.groupSize = group_size;
+        // Index 0 is the most aggressive sub-model.
+        c.alpha = alpha_max - alpha_step * (n - 1 - i);
+        c.beta = (i >= n / 2) ? beta_hi : beta_lo;
+    }
+    return ladder;
+}
+
+SubModelLadder
+makeUqLadder(int bits_max, int bits_min, std::size_t group_size)
+{
+    require(bits_max >= bits_min && bits_min >= 1,
+            "makeUqLadder: invalid bit range");
+    SubModelLadder ladder;
+    for (int b = bits_min; b <= bits_max; ++b) {
+        SubModelConfig c;
+        c.mode = QuantMode::Uq;
+        c.bits = b;
+        c.groupSize = group_size;
+        ladder.push_back(c);
+    }
+    return ladder;
+}
+
+} // namespace mrq

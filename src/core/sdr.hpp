@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Signed-digit representation (SDR) encoding.
+ *
+ * Implements the canonical signed-digit form (non-adjacent form, NAF),
+ * which attains the minimum possible number of nonzero digits for any
+ * integer [Jedwab & Mitchell 1989], exactly the property the paper
+ * relies on (Sec. 2.4).  A plain unsigned-binary (UBR) decomposition is
+ * also provided for the SDR-vs-UBR ablation.
+ */
+
+#ifndef MRQ_CORE_SDR_HPP
+#define MRQ_CORE_SDR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/term.hpp"
+
+namespace mrq {
+
+/**
+ * Encode an integer into its non-adjacent form term list.
+ *
+ * The returned terms are ordered from largest exponent to smallest.
+ * NAF guarantees no two adjacent exponents are both nonzero and that
+ * the number of terms is minimal over all signed-digit encodings.
+ *
+ * @param value Any 64-bit integer (sign handled naturally).
+ */
+std::vector<Term> encodeNaf(std::int64_t value);
+
+/**
+ * Encode a non-negative integer into its unsigned binary term list
+ * (one +2^k term per set bit), largest exponent first.  Negative
+ * inputs yield the UBR of |value| with all signs flipped.
+ */
+std::vector<Term> encodeUbr(std::int64_t value);
+
+/**
+ * Radix-4 Booth recoding of an integer into signed power-of-two terms
+ * with digits in {-2, -1, 0, 1, 2} mapped onto single power-of-two
+ * terms, largest exponent first.  Used by the Laconic PE baseline
+ * (Sec. 7.2), which assumes Booth-encoded operands.
+ */
+std::vector<Term> encodeBooth(std::int64_t value);
+
+/** Number of nonzero terms in the NAF of @p value. */
+std::size_t nafTermCount(std::int64_t value);
+
+} // namespace mrq
+
+#endif // MRQ_CORE_SDR_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Term-pair accounting (Sec. 3.3 and the x-axes of Figs. 19-24).
+ *
+ * Under TQ, one g-long dot-product slice costs gamma = alpha * beta
+ * term-pair multiplications, so a layer with M MACs costs
+ * M / g * alpha * beta term pairs.  Under b-bit UQ the hardware must
+ * budget for b_w * b_d bit pairs per MAC (the paper plots UQ points
+ * at their bitwidth-implied term-operation cost).
+ */
+
+#ifndef MRQ_CORE_TERM_ACCOUNTING_HPP
+#define MRQ_CORE_TERM_ACCOUNTING_HPP
+
+#include "core/quant_config.hpp"
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Term-pair multiplications implied by @p macs MACs under @p cfg. */
+inline std::size_t
+termPairCount(std::size_t macs, const SubModelConfig& cfg)
+{
+    switch (cfg.mode) {
+      case QuantMode::None:
+        return 0;
+      case QuantMode::Uq: {
+        const std::size_t b = static_cast<std::size_t>(cfg.bits);
+        return macs * b * b;
+      }
+      case QuantMode::Tq: {
+        const double per_mac =
+            static_cast<double>(cfg.alpha) *
+            static_cast<double>(cfg.beta) /
+            static_cast<double>(cfg.groupSize);
+        return static_cast<std::size_t>(
+            per_mac * static_cast<double>(macs));
+      }
+    }
+    return 0;
+}
+
+/**
+ * Count the MACs of one forward pass of @p model on @p probe_input,
+ * normalized per sample (probe batch dimension divides the count).
+ *
+ * The model's quantization wiring is left detached afterwards.
+ */
+inline std::size_t
+countModelMacs(Module& model, const Tensor& probe_input,
+               std::size_t batch_dim = 0)
+{
+    QuantContext ctx;
+    ctx.config.mode = QuantMode::None;
+    ctx.collectStats = true;
+    model.setQuantContext(&ctx);
+    model.forward(probe_input);
+    model.setQuantContext(nullptr);
+    const std::size_t batch = probe_input.dim(batch_dim);
+    return batch == 0 ? 0 : ctx.macs / batch;
+}
+
+} // namespace mrq
+
+#endif // MRQ_CORE_TERM_ACCOUNTING_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Term quantization (TQ) over value groups and individual values.
+ *
+ * TQ (Sec. 3) keeps only the alpha largest-magnitude signed
+ * power-of-two terms across a group of g lattice values (weights), or
+ * the beta leading terms of a single value (data).  Unlike uniform
+ * quantization, term positions are unconstrained, so large values in a
+ * group soak up more of the budget than small ones — exactly the
+ * behaviour that makes TQ a good fit for normally distributed weights.
+ */
+
+#ifndef MRQ_CORE_TERM_QUANT_HPP
+#define MRQ_CORE_TERM_QUANT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sdr.hpp"
+#include "core/term.hpp"
+
+namespace mrq {
+
+/** Which signed-digit decomposition feeds the term quantizer. */
+enum class TermEncoding
+{
+    Naf,   ///< Canonical signed-digit form (minimal terms; the default).
+    Ubr,   ///< Plain unsigned binary (for the SDR-vs-UBR ablation).
+    Booth, ///< Radix-4 Booth recoding (Laconic PE baseline assumption).
+};
+
+/** Decompose a lattice value with the chosen encoding. */
+std::vector<Term> encodeTerms(std::int64_t value, TermEncoding encoding);
+
+/** Result of term-quantizing a group of lattice values. */
+struct GroupQuantResult
+{
+    /** Quantized values, one per group member. */
+    std::vector<std::int64_t> values;
+
+    /** Kept terms, sorted by descending exponent (ties: member order). */
+    std::vector<GroupTerm> keptTerms;
+
+    /** Term count before truncation. */
+    std::size_t totalTerms = 0;
+};
+
+/**
+ * Term-quantize a group of lattice values with group budget @p alpha.
+ *
+ * All members are decomposed, the union of terms is sorted by
+ * descending exponent (stable in member order), and only the leading
+ * @p alpha terms are kept.
+ */
+GroupQuantResult termQuantizeGroup(const std::vector<std::int64_t>& values,
+                                   std::size_t alpha,
+                                   TermEncoding encoding = TermEncoding::Naf);
+
+/**
+ * Term-quantize a single lattice value keeping its top @p beta terms
+ * (group size 1, the paper's treatment of data values).
+ */
+std::int64_t termQuantizeValue(std::int64_t value, std::size_t beta,
+                               TermEncoding encoding = TermEncoding::Naf);
+
+/** Number of terms the encoding assigns to @p value. */
+std::size_t termCount(std::int64_t value, TermEncoding encoding);
+
+/**
+ * Mean squared TQ error for N(0, sigma^2) samples quantized on a b-bit
+ * lattice with one average term per value (budget alpha = group size),
+ * as a function of group size — the experiment behind Fig. 5(b).
+ *
+ * @param sigma       Weight standard deviation.
+ * @param group_size  TQ group size g.
+ * @param avg_terms   Average term budget per value (alpha = g*avg_terms).
+ * @param samples     Number of samples to draw.
+ * @param seed        RNG seed.
+ * @return Mean squared quantization error in the real domain.
+ */
+double tqGroupError(double sigma, std::size_t group_size, double avg_terms,
+                    std::size_t samples, std::uint64_t seed);
+
+} // namespace mrq
+
+#endif // MRQ_CORE_TERM_QUANT_HPP

@@ -1,0 +1,24 @@
+#include "core/uniform_quant.hpp"
+
+#include <cstdlib>
+
+namespace mrq {
+
+std::int64_t
+logQuantize(std::int64_t q)
+{
+    if (q == 0)
+        return 0;
+    const std::int64_t sign = q < 0 ? -1 : 1;
+    const std::int64_t mag = std::llabs(q);
+    // Find the power of two nearest to mag (ties round up, matching
+    // round-half-away behaviour on the log lattice).
+    std::int64_t below = 1;
+    while ((below << 1) <= mag)
+        below <<= 1;
+    const std::int64_t above = below << 1;
+    const std::int64_t rounded = (mag - below < above - mag) ? below : above;
+    return sign * rounded;
+}
+
+} // namespace mrq

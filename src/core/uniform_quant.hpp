@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Uniform quantization (UQ) to a b-bit magnitude lattice.
+ *
+ * The paper's pipeline (Algorithm 1, Step 1) first projects weights and
+ * data onto a b-bit uniform lattice with a learned clipping range
+ * [PACT], then applies SDR + term quantization on the lattice values.
+ * This header provides the lattice mapping used by both the training
+ * fake-quantizers and the hardware-side encoders.
+ *
+ * Conventions (matching the paper's figures, which show 5-bit
+ * magnitudes up to 31): a b-bit lattice holds integer magnitudes in
+ * [0, 2^b - 1]; weights additionally carry a sign, data (post-ReLU /
+ * PACT) are non-negative.
+ */
+
+#ifndef MRQ_CORE_UNIFORM_QUANT_HPP
+#define MRQ_CORE_UNIFORM_QUANT_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+/** Parameters of a symmetric/unsigned uniform quantizer. */
+struct UniformQuantizer
+{
+    /** Magnitude bitwidth b (lattice levels 0 .. 2^b - 1). */
+    int bits = 5;
+
+    /** Clipping range: weights use [-clip, clip], data uses [0, clip]. */
+    float clip = 1.0f;
+
+    /** Whether negative lattice values are representable (weights). */
+    bool isSigned = true;
+
+    /** @return Largest representable magnitude level. */
+    std::int64_t
+    qmax() const
+    {
+        return (std::int64_t{1} << bits) - 1;
+    }
+
+    /** @return Real-valued step size between adjacent lattice levels. */
+    float
+    scale() const
+    {
+        invariant(clip > 0.0f, "UniformQuantizer: clip must be positive");
+        return clip / static_cast<float>(qmax());
+    }
+
+    /** Map a real value onto the integer lattice (round-to-nearest). */
+    std::int64_t
+    quantize(float x) const
+    {
+        const float s = scale();
+        std::int64_t q = static_cast<std::int64_t>(std::lround(x / s));
+        const std::int64_t lo = isSigned ? -qmax() : 0;
+        if (q < lo)
+            q = lo;
+        if (q > qmax())
+            q = qmax();
+        return q;
+    }
+
+    /** Map a lattice level back to a real value. */
+    float
+    dequantize(std::int64_t q) const
+    {
+        return static_cast<float>(q) * scale();
+    }
+
+    /** Round-trip a real value through the lattice. */
+    float
+    roundTrip(float x) const
+    {
+        return dequantize(quantize(x));
+    }
+};
+
+/**
+ * Logarithmic quantization baseline (Sec. 2.3): round to the nearest
+ * power of two, i.e. term quantization with a single-term budget per
+ * value.  Returns the rounded integer magnitude with sign.
+ */
+std::int64_t logQuantize(std::int64_t q);
+
+} // namespace mrq
+
+#endif // MRQ_CORE_UNIFORM_QUANT_HPP

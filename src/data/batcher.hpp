@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shuffled mini-batch index generation.
+ */
+
+#ifndef MRQ_DATA_BATCHER_HPP
+#define MRQ_DATA_BATCHER_HPP
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mrq {
+
+/** Yields shuffled index batches over a dataset of fixed size. */
+class Batcher
+{
+  public:
+    /**
+     * @param dataset_size Number of samples.
+     * @param batch_size   Samples per batch (last partial batch kept).
+     * @param seed         Shuffle seed.
+     */
+    Batcher(std::size_t dataset_size, std::size_t batch_size,
+            std::uint64_t seed)
+        : batchSize_(batch_size), rng_(seed), order_(dataset_size)
+    {
+        std::iota(order_.begin(), order_.end(), std::size_t{0});
+        shuffle();
+    }
+
+    /** Batches per epoch. */
+    std::size_t
+    batchesPerEpoch() const
+    {
+        return (order_.size() + batchSize_ - 1) / batchSize_;
+    }
+
+    /**
+     * Next batch of indices; reshuffles automatically when the epoch
+     * wraps.
+     */
+    std::vector<std::size_t>
+    next()
+    {
+        if (cursor_ >= order_.size()) {
+            shuffle();
+            cursor_ = 0;
+        }
+        const std::size_t end =
+            std::min(cursor_ + batchSize_, order_.size());
+        std::vector<std::size_t> batch(order_.begin() + cursor_,
+                                       order_.begin() + end);
+        cursor_ = end;
+        return batch;
+    }
+
+  private:
+    void
+    shuffle()
+    {
+        for (std::size_t i = order_.size(); i > 1; --i) {
+            const std::size_t j = rng_.uniformInt(i);
+            std::swap(order_[i - 1], order_[j]);
+        }
+    }
+
+    std::size_t batchSize_;
+    std::size_t cursor_ = 0;
+    Rng rng_;
+    std::vector<std::size_t> order_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_DATA_BATCHER_HPP

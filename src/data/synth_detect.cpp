@@ -1,0 +1,211 @@
+#include "data/synth_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+float
+boxIou(const DetBox& a, const DetBox& b)
+{
+    const float ax0 = a.cx - a.w * 0.5f, ax1 = a.cx + a.w * 0.5f;
+    const float ay0 = a.cy - a.h * 0.5f, ay1 = a.cy + a.h * 0.5f;
+    const float bx0 = b.cx - b.w * 0.5f, bx1 = b.cx + b.w * 0.5f;
+    const float by0 = b.cy - b.h * 0.5f, by1 = b.cy + b.h * 0.5f;
+    const float ix = std::max(0.0f, std::min(ax1, bx1) - std::max(ax0, bx0));
+    const float iy = std::max(0.0f, std::min(ay1, by1) - std::max(ay0, by0));
+    const float inter = ix * iy;
+    const float uni = a.w * a.h + b.w * b.h - inter;
+    return uni <= 0.0f ? 0.0f : inter / uni;
+}
+
+SynthDetect::SynthDetect(std::size_t train_count, std::size_t test_count,
+                         std::uint64_t seed, std::size_t size)
+    : size_(size)
+{
+    Rng train_rng(seed);
+    Rng test_rng(seed ^ 0xfeedfaceULL);
+    generate(trainImages_, trainBoxes_, train_count, train_rng);
+    generate(testImages_, testBoxes_, test_count, test_rng);
+}
+
+void
+SynthDetect::generate(Tensor& images,
+                      std::vector<std::vector<DetBox>>& boxes,
+                      std::size_t count, Rng& rng)
+{
+    images = Tensor({count, 3, size_, size_});
+    boxes.assign(count, {});
+    const std::size_t plane = size_ * size_;
+    for (std::size_t i = 0; i < count; ++i) {
+        float* pixels = images.data() + i * 3 * plane;
+        // Dim textured background.
+        for (std::size_t p = 0; p < 3 * plane; ++p)
+            pixels[p] = static_cast<float>(
+                std::clamp(0.12 + rng.normal(0.0, 0.04), 0.0, 1.0));
+
+        const std::size_t n_obj = 1 + rng.uniformInt(3);
+        for (std::size_t o = 0; o < n_obj; ++o) {
+            DetBox box;
+            box.classId = static_cast<int>(rng.uniformInt(kNumClasses));
+            box.w = static_cast<float>(rng.uniform(0.2, 0.4));
+            box.h = box.w; // square extents keep shapes recognizable
+            box.cx = static_cast<float>(
+                rng.uniform(box.w * 0.5 + 0.02, 0.98 - box.w * 0.5));
+            box.cy = static_cast<float>(
+                rng.uniform(box.h * 0.5 + 0.02, 0.98 - box.h * 0.5));
+
+            // Avoid heavy overlap with earlier objects so every box is
+            // visible and matchable.
+            bool clash = false;
+            for (const DetBox& prev : boxes[i])
+                clash = clash || boxIou(box, prev) > 0.2f;
+            if (clash)
+                continue;
+            renderShape(pixels, box, rng);
+            boxes[i].push_back(box);
+        }
+    }
+}
+
+void
+SynthDetect::renderShape(float* pixels, const DetBox& box, Rng& rng) const
+{
+    const std::size_t plane = size_ * size_;
+    // Class-coded color with small jitter.
+    const float base[kNumClasses][3] = {
+        {0.9f, 0.2f, 0.2f}, // square: red
+        {0.2f, 0.9f, 0.2f}, // disc:   green
+        {0.2f, 0.3f, 0.9f}, // ring:   blue
+        {0.9f, 0.9f, 0.2f}, // cross:  yellow
+    };
+    float color[3];
+    for (int c = 0; c < 3; ++c)
+        color[c] = std::clamp(
+            base[box.classId][c] +
+                static_cast<float>(rng.normal(0.0, 0.05)),
+            0.0f, 1.0f);
+
+    const float x0 = box.cx - box.w * 0.5f, y0 = box.cy - box.h * 0.5f;
+    const float inv = 1.0f / static_cast<float>(size_);
+    for (std::size_t y = 0; y < size_; ++y) {
+        for (std::size_t x = 0; x < size_; ++x) {
+            const float u = (static_cast<float>(x) + 0.5f) * inv;
+            const float v = (static_cast<float>(y) + 0.5f) * inv;
+            if (u < x0 || u > x0 + box.w || v < y0 || v > y0 + box.h)
+                continue;
+            // Local coordinates in [-1, 1] within the box.
+            const float lu = 2.0f * (u - box.cx) / box.w;
+            const float lv = 2.0f * (v - box.cy) / box.h;
+            bool inside = false;
+            switch (box.classId) {
+              case 0: // filled square
+                inside = true;
+                break;
+              case 1: // filled disc
+                inside = lu * lu + lv * lv <= 1.0f;
+                break;
+              case 2: { // ring
+                const float r2 = lu * lu + lv * lv;
+                inside = r2 <= 1.0f && r2 >= 0.35f;
+                break;
+              }
+              case 3: // cross
+                inside = std::fabs(lu) < 0.35f || std::fabs(lv) < 0.35f;
+                break;
+              default:
+                panic("SynthDetect: unknown class");
+            }
+            if (!inside)
+                continue;
+            const std::size_t idx = y * size_ + x;
+            for (std::size_t c = 0; c < 3; ++c)
+                pixels[c * plane + idx] = color[c];
+        }
+    }
+}
+
+double
+meanAveragePrecision(const std::vector<std::vector<DetBox>>& predictions,
+                     const std::vector<std::vector<DetBox>>& ground_truth,
+                     std::size_t num_classes, float iou_threshold)
+{
+    require(predictions.size() == ground_truth.size(),
+            "meanAveragePrecision: image count mismatch");
+
+    double ap_sum = 0.0;
+    std::size_t classes_with_gt = 0;
+    for (std::size_t cls = 0; cls < num_classes; ++cls) {
+        // Flatten this class's predictions with their image ids.
+        struct Pred
+        {
+            std::size_t image;
+            float confidence;
+            DetBox box;
+        };
+        std::vector<Pred> preds;
+        std::size_t total_gt = 0;
+        for (std::size_t img = 0; img < predictions.size(); ++img) {
+            for (const DetBox& p : predictions[img])
+                if (static_cast<std::size_t>(p.classId) == cls)
+                    preds.push_back({img, p.confidence, p});
+            for (const DetBox& g : ground_truth[img])
+                total_gt += static_cast<std::size_t>(g.classId) == cls;
+        }
+        if (total_gt == 0)
+            continue;
+        ++classes_with_gt;
+
+        std::sort(preds.begin(), preds.end(),
+                  [](const Pred& a, const Pred& b) {
+                      return a.confidence > b.confidence;
+                  });
+
+        std::vector<std::vector<bool>> used(ground_truth.size());
+        for (std::size_t img = 0; img < ground_truth.size(); ++img)
+            used[img].assign(ground_truth[img].size(), false);
+
+        std::vector<double> precision, recall;
+        std::size_t tp = 0, fp = 0;
+        for (const Pred& pred : preds) {
+            float best_iou = 0.0f;
+            std::size_t best_gt = 0;
+            const auto& gts = ground_truth[pred.image];
+            for (std::size_t g = 0; g < gts.size(); ++g) {
+                if (static_cast<std::size_t>(gts[g].classId) != cls)
+                    continue;
+                const float iou = boxIou(pred.box, gts[g]);
+                if (iou > best_iou) {
+                    best_iou = iou;
+                    best_gt = g;
+                }
+            }
+            if (best_iou >= iou_threshold && !used[pred.image][best_gt]) {
+                used[pred.image][best_gt] = true;
+                ++tp;
+            } else {
+                ++fp;
+            }
+            precision.push_back(static_cast<double>(tp) / (tp + fp));
+            recall.push_back(static_cast<double>(tp) / total_gt);
+        }
+
+        // Continuous-interpolation AP (area under the PR envelope).
+        double ap = 0.0;
+        double prev_recall = 0.0;
+        for (std::size_t i = 0; i < precision.size(); ++i) {
+            // Envelope: max precision at or after this recall level.
+            double max_p = 0.0;
+            for (std::size_t j = i; j < precision.size(); ++j)
+                max_p = std::max(max_p, precision[j]);
+            ap += max_p * (recall[i] - prev_recall);
+            prev_recall = recall[i];
+        }
+        ap_sum += ap;
+    }
+    return classes_with_gt == 0 ? 0.0 : ap_sum / classes_with_gt;
+}
+
+} // namespace mrq

@@ -1,0 +1,91 @@
+#include "data/synth_text.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+SynthText::SynthText(std::size_t vocab, std::size_t train_tokens,
+                     std::size_t valid_tokens, std::uint64_t seed,
+                     std::size_t branching)
+    : vocab_(vocab)
+{
+    require(vocab >= 2, "SynthText: vocab too small");
+    require(branching >= 1 && branching <= vocab,
+            "SynthText: invalid branching factor");
+    Rng rng(seed);
+
+    // Build the chain: each row mixes `branching` preferred successors
+    // (heavy weights) with a uniform smoothing floor, so every
+    // transition has nonzero probability and the entropy is finite.
+    transition_.assign(vocab_, std::vector<double>(vocab_, 0.0));
+    const double floor_mass = 0.1;
+    for (std::size_t i = 0; i < vocab_; ++i) {
+        std::vector<double>& row = transition_[i];
+        for (std::size_t j = 0; j < vocab_; ++j)
+            row[j] = floor_mass / static_cast<double>(vocab_);
+        double remaining = 1.0 - floor_mass;
+        for (std::size_t b = 0; b < branching; ++b) {
+            const std::size_t succ = rng.uniformInt(vocab_);
+            // Heavy-tailed split of the remaining mass.
+            const double share =
+                (b + 1 == branching) ? remaining : remaining * 0.5;
+            row[succ] += share;
+            remaining -= share;
+        }
+    }
+
+    auto roll = [&](std::size_t count, std::vector<int>& out) {
+        out.resize(count);
+        int prev = static_cast<int>(rng.uniformInt(vocab_));
+        for (std::size_t t = 0; t < count; ++t) {
+            prev = sample(prev, rng);
+            out[t] = prev;
+        }
+    };
+    roll(train_tokens, train_);
+    roll(valid_tokens, valid_);
+}
+
+int
+SynthText::sample(int prev, Rng& rng) const
+{
+    const std::vector<double>& row =
+        transition_[static_cast<std::size_t>(prev)];
+    double u = rng.uniform();
+    for (std::size_t j = 0; j < vocab_; ++j) {
+        u -= row[j];
+        if (u <= 0.0)
+            return static_cast<int>(j);
+    }
+    return static_cast<int>(vocab_ - 1);
+}
+
+double
+SynthText::entropyRate() const
+{
+    // Estimate the stationary distribution by power iteration, then
+    // average row entropies under it.
+    std::vector<double> pi(vocab_, 1.0 / static_cast<double>(vocab_));
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<double> next(vocab_, 0.0);
+        for (std::size_t i = 0; i < vocab_; ++i)
+            for (std::size_t j = 0; j < vocab_; ++j)
+                next[j] += pi[i] * transition_[i][j];
+        pi.swap(next);
+    }
+    double h = 0.0;
+    for (std::size_t i = 0; i < vocab_; ++i) {
+        double row_h = 0.0;
+        for (std::size_t j = 0; j < vocab_; ++j) {
+            const double p = transition_[i][j];
+            if (p > 0.0)
+                row_h -= p * std::log(p);
+        }
+        h += pi[i] * row_h;
+    }
+    return h;
+}
+
+} // namespace mrq

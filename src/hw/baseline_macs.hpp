@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Conventional MAC baselines (Sec. 7.1, Fig. 25): the bit-parallel
+ * pMAC (one value multiply-accumulate per cycle) and the bit-serial
+ * bMAC (16 cycles per value pair).  Both are evaluated on the same
+ * computation as the mMAC: y_out = sum_{i=1..g} x_i * w_i + y_in with
+ * 5-bit operands and 16-bit accumulation.
+ */
+
+#ifndef MRQ_HW_BASELINE_MACS_HPP
+#define MRQ_HW_BASELINE_MACS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+/** Result of a baseline MAC group computation. */
+struct BaselineMacResult
+{
+    std::int64_t value = 0;
+    std::size_t cycles = 0;
+};
+
+/** Bit-parallel MAC: one multiply-accumulate per cycle. */
+class PMac
+{
+  public:
+    /**
+     * @param weights g weight values.
+     * @param data    g data values.
+     * @param y_in    Accumulation input.
+     */
+    BaselineMacResult
+    computeGroup(const std::vector<std::int64_t>& weights,
+                 const std::vector<std::int64_t>& data,
+                 std::int64_t y_in) const
+    {
+        require(weights.size() == data.size(),
+                "PMac: operand count mismatch");
+        BaselineMacResult r;
+        r.value = y_in;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            r.value += weights[i] * data[i];
+            ++r.cycles;
+        }
+        return r;
+    }
+};
+
+/** Bit-serial MAC: `bits` cycles per value pair (default 16). */
+class BMac
+{
+  public:
+    explicit BMac(std::size_t bits_per_pair = 16)
+        : bitsPerPair_(bits_per_pair)
+    {
+    }
+
+    BaselineMacResult
+    computeGroup(const std::vector<std::int64_t>& weights,
+                 const std::vector<std::int64_t>& data,
+                 std::int64_t y_in) const
+    {
+        require(weights.size() == data.size(),
+                "BMac: operand count mismatch");
+        BaselineMacResult r;
+        r.value = y_in;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            // Bit-serial multiply: shift-and-add over the data bits,
+            // one bit per cycle, then negate if the weight is negative
+            // (Fig. 25's negation stage).
+            const std::int64_t w = weights[i];
+            std::uint64_t mag =
+                data[i] < 0 ? static_cast<std::uint64_t>(-data[i])
+                            : static_cast<std::uint64_t>(data[i]);
+            std::int64_t product = 0;
+            for (std::size_t bit = 0; bit < bitsPerPair_; ++bit) {
+                if (mag & 1u)
+                    product += w << bit;
+                mag >>= 1;
+                ++r.cycles;
+            }
+            r.value += data[i] < 0 ? -product : product;
+        }
+        return r;
+    }
+
+    std::size_t bitsPerPair() const { return bitsPerPair_; }
+
+  private:
+    std::size_t bitsPerPair_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_HW_BASELINE_MACS_HPP

@@ -1,0 +1,68 @@
+#include "hw/controller.hpp"
+
+#include <algorithm>
+
+namespace mrq {
+
+ResolutionController::ResolutionController(
+    const SubModelLadder& ladder, const std::vector<double>& qualities,
+    const std::vector<LayerGeometry>& layers,
+    const SystolicArrayConfig& array, const SystemEnergyModel& energy)
+{
+    require(ladder.size() == qualities.size(),
+            "ResolutionController: ladder/quality size mismatch");
+    require(!ladder.empty(), "ResolutionController: empty ladder");
+
+    const PackedTermFormat fmt;
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        OperatingPoint point;
+        point.config = ladder[i];
+        point.quality = qualities[i];
+        const NetworkPerf perf =
+            networkPerformance(layers, ladder[i], array, fmt, energy);
+        point.latencyMs = perf.latencyMs;
+        point.energyPj = perf.energyUnits;
+        points_.push_back(point);
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const OperatingPoint& a, const OperatingPoint& b) {
+                  return a.config.gamma() < b.config.gamma();
+              });
+}
+
+std::optional<OperatingPoint>
+ResolutionController::select(const ResourceBudget& budget) const
+{
+    const OperatingPoint* best = nullptr;
+    for (const OperatingPoint& p : points_) {
+        if (budget.maxLatencyMs > 0.0 && p.latencyMs > budget.maxLatencyMs)
+            continue;
+        if (budget.maxEnergyPj > 0.0 && p.energyPj > budget.maxEnergyPj)
+            continue;
+        if (best == nullptr || p.quality > best->quality ||
+            (p.quality == best->quality && p.energyPj < best->energyPj)) {
+            best = &p;
+        }
+    }
+    if (best == nullptr)
+        return std::nullopt;
+    return *best;
+}
+
+std::vector<OperatingPoint>
+ResolutionController::paretoFrontier() const
+{
+    // Points ascend in gamma and therefore in latency; keep those that
+    // strictly improve quality over everything cheaper.
+    std::vector<OperatingPoint> frontier;
+    double best_quality = -1e300;
+    for (const OperatingPoint& p : points_) {
+        if (p.quality > best_quality) {
+            frontier.push_back(p);
+            best_quality = p.quality;
+        }
+    }
+    return frontier;
+}
+
+} // namespace mrq

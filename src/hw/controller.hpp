@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime resolution controller (Fig. 1, right).
+ *
+ * The paper's deployment story lets "a user (or other selection
+ * mechanism) select which sub-model to use based on the current
+ * resource constraints".  This module is that selection mechanism:
+ * given the trained ladder's quality metrics and the performance
+ * model's per-configuration latency/energy, it picks the
+ * highest-quality sub-model that fits a runtime budget.
+ */
+
+#ifndef MRQ_HW_CONTROLLER_HPP
+#define MRQ_HW_CONTROLLER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/quant_config.hpp"
+#include "hw/perf_model.hpp"
+
+namespace mrq {
+
+/** One deployable operating point of a multi-resolution model. */
+struct OperatingPoint
+{
+    SubModelConfig config;
+    double quality = 0.0;      ///< Accuracy/mAP (higher better).
+    double latencyMs = 0.0;    ///< Per-sample latency on the array.
+    double energyPj = 0.0;     ///< Per-sample energy estimate.
+};
+
+/** Runtime constraints a selection must satisfy. */
+struct ResourceBudget
+{
+    /** Maximum tolerable latency; <= 0 means unconstrained. */
+    double maxLatencyMs = 0.0;
+
+    /** Maximum tolerable energy per sample; <= 0 means unconstrained. */
+    double maxEnergyPj = 0.0;
+};
+
+/** Precomputes operating points and answers selection queries. */
+class ResolutionController
+{
+  public:
+    /**
+     * Build the operating-point table for a deployment.
+     *
+     * @param ladder    Trained sub-model ladder.
+     * @param qualities Per-ladder-entry quality metric (same order).
+     * @param layers    The deployed network's layer geometry.
+     * @param array     Array configuration.
+     */
+    ResolutionController(const SubModelLadder& ladder,
+                         const std::vector<double>& qualities,
+                         const std::vector<LayerGeometry>& layers,
+                         const SystolicArrayConfig& array = {},
+                         const SystemEnergyModel& energy = {});
+
+    /** All operating points, ascending in gamma. */
+    const std::vector<OperatingPoint>& points() const { return points_; }
+
+    /**
+     * Highest-quality point satisfying @p budget (ties broken toward
+     * lower energy), or nullopt when nothing fits.
+     */
+    std::optional<OperatingPoint>
+    select(const ResourceBudget& budget) const;
+
+    /**
+     * Points on the quality/latency Pareto frontier — the menu a
+     * runtime scheduler would actually switch between.
+     */
+    std::vector<OperatingPoint> paretoFrontier() const;
+
+  private:
+    std::vector<OperatingPoint> points_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_HW_CONTROLLER_HPP

@@ -1,0 +1,98 @@
+#include "hw/cost_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+MacResources
+macResources(MacDesign design)
+{
+    switch (design) {
+      case MacDesign::PMac:
+        return MacResources{57, 44};
+      case MacDesign::BMac:
+        return MacResources{12, 14};
+      case MacDesign::Mmac:
+        return MacResources{21, 25};
+    }
+    panic("macResources: unknown design");
+}
+
+double
+macRelativePower(MacDesign design)
+{
+    switch (design) {
+      case MacDesign::PMac:
+        return 5.8;
+      case MacDesign::BMac:
+        return 0.42;
+      case MacDesign::Mmac:
+        return 1.0;
+    }
+    panic("macRelativePower: unknown design");
+}
+
+std::size_t
+macCyclesPerGroup(MacDesign design, std::size_t group_size,
+                  std::size_t gamma)
+{
+    switch (design) {
+      case MacDesign::PMac:
+        return group_size;
+      case MacDesign::BMac:
+        return 16 * group_size;
+      case MacDesign::Mmac:
+        return gamma;
+    }
+    panic("macCyclesPerGroup: unknown design");
+}
+
+double
+macEnergyPerGroup(MacDesign design, std::size_t group_size,
+                  std::size_t gamma)
+{
+    return static_cast<double>(
+               macCyclesPerGroup(design, group_size, gamma)) *
+           macRelativePower(design);
+}
+
+double
+macRelativeEfficiency(MacDesign design, std::size_t group_size,
+                      std::size_t gamma)
+{
+    const double e_design = macEnergyPerGroup(design, group_size, gamma);
+    const double e_mmac =
+        macEnergyPerGroup(MacDesign::Mmac, group_size, gamma);
+    // Efficiency is work per energy; same work, so the ratio inverts.
+    return e_mmac / e_design;
+}
+
+double
+laconicEnergyPerDotProduct()
+{
+    // 144 budgeted term pairs at 1.125x the mMAC per-pair energy plus
+    // the 16-bucket reduction pass (one add per bucket at unit cost).
+    return 144.0 * 1.125;
+}
+
+double
+mmacEnergyPerDotProduct(std::size_t gamma)
+{
+    return static_cast<double>(gamma);
+}
+
+std::string
+macDesignName(MacDesign design)
+{
+    switch (design) {
+      case MacDesign::PMac:
+        return "pMAC";
+      case MacDesign::BMac:
+        return "bMAC";
+      case MacDesign::Mmac:
+        return "mMAC";
+    }
+    panic("macDesignName: unknown design");
+}
+
+} // namespace mrq

@@ -1,0 +1,52 @@
+#include "hw/laconic.hpp"
+
+namespace mrq {
+
+LaconicResult
+LaconicPe::compute(const std::vector<std::int64_t>& weights,
+                   const std::vector<std::int64_t>& data) const
+{
+    require(weights.size() == kLanes && data.size() == kLanes,
+            "LaconicPe::compute: expected ", kLanes, " lanes");
+
+    LaconicResult result;
+    // Histogram buckets: signed coefficient count per output exponent.
+    // Booth terms on 5-bit operands reach exponent 6 each, so pair
+    // exponents reach 12.
+    std::array<std::int64_t, 16> buckets{};
+
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const auto w_terms = encodeBooth(weights[lane]);
+        const auto d_terms = encodeBooth(data[lane]);
+        require(w_terms.size() <= kMaxTermsPerValue &&
+                    d_terms.size() <= kMaxTermsPerValue,
+                "LaconicPe::compute: operand exceeds the 3-term Booth "
+                "assumption");
+        for (const Term& w : w_terms) {
+            for (const Term& d : d_terms) {
+                const int exponent = w.exponent + d.exponent;
+                invariant(exponent < static_cast<int>(buckets.size()),
+                          "LaconicPe: bucket overflow");
+                buckets[static_cast<std::size_t>(exponent)] +=
+                    w.sign * d.sign;
+                ++result.termPairsActive;
+                ++result.bucketAdds;
+            }
+        }
+    }
+
+    // Reduction: every bucket is summed regardless of occupancy (the
+    // under-utilization the paper calls out).
+    for (std::size_t e = 0; e < buckets.size(); ++e) {
+        result.value += buckets[e] * (std::int64_t{1} << e);
+        ++result.bucketAdds;
+    }
+
+    // Worst-case schedule: 3 x 3 windows, one pair per lane per cycle.
+    result.cycles = kMaxTermsPerValue * kMaxTermsPerValue;
+    result.termPairsBudgeted = kMaxTermsPerValue * kMaxTermsPerValue *
+                               kLanes;
+    return result;
+}
+
+} // namespace mrq

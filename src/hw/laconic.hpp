@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Laconic Processing Element baseline (Sec. 7.2, after Sharify et al.).
+ *
+ * The Laconic PE performs 16 weight/data multiplications in parallel
+ * at term granularity with Booth-encoded operands.  Without
+ * group-based quantization it must assume the worst case of 3 terms
+ * per 5-bit operand, i.e. 3 x 3 = 9 cycles per multiplication window
+ * and 144 term pairs for a 16-long dot product.  Products land in
+ * exponent histogram buckets (6-bit coefficient counters) that are
+ * reduced at the end.
+ */
+
+#ifndef MRQ_HW_LACONIC_HPP
+#define MRQ_HW_LACONIC_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/sdr.hpp"
+
+namespace mrq {
+
+/** Result of a Laconic PE dot-product computation. */
+struct LaconicResult
+{
+    std::int64_t value = 0;
+    std::size_t cycles = 0;          ///< Worst-case schedule cycles.
+    std::size_t termPairsBudgeted = 0; ///< 3 * 3 * lanes.
+    std::size_t termPairsActive = 0; ///< Nonzero pairs processed.
+    std::size_t bucketAdds = 0;      ///< Histogram update activity.
+};
+
+/** 16-lane Laconic PE model. */
+class LaconicPe
+{
+  public:
+    static constexpr std::size_t kLanes = 16;
+    static constexpr std::size_t kMaxTermsPerValue = 3;
+
+    /**
+     * Compute a 16-long dot product y = sum w_i * x_i.
+     *
+     * @param weights 16 signed 5-bit-range weights.
+     * @param data    16 signed 5-bit-range data values.
+     */
+    LaconicResult compute(const std::vector<std::int64_t>& weights,
+                          const std::vector<std::int64_t>& data) const;
+};
+
+} // namespace mrq
+
+#endif // MRQ_HW_LACONIC_HPP

@@ -1,0 +1,250 @@
+#include "hw/perf_model.hpp"
+
+#include <cmath>
+
+namespace mrq {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+std::uint64_t
+layerCycles(const LayerGeometry& layer, const SubModelConfig& cfg,
+            std::size_t rows, std::size_t cols)
+{
+    const std::uint64_t g = cfg.groupSize;
+    const std::uint64_t gamma = cfg.gamma();
+    const std::uint64_t m = layer.outputs;
+    const std::uint64_t k = layer.inner;
+    const std::uint64_t n = layer.positions;
+
+    const std::uint64_t groups_per_row = ceilDiv(k, g);
+    const std::uint64_t tile_rows = ceilDiv(m, rows);
+    const std::uint64_t tile_cols = ceilDiv(groups_per_row, cols);
+    const std::uint64_t tiles = tile_rows * tile_cols;
+
+    // Replication: a layer smaller than the array in a dimension
+    // leaves idle cells; copies of the weights there process extra
+    // input positions in parallel.
+    std::uint64_t rep = 1;
+    if (tile_rows == 1)
+        rep *= std::max<std::uint64_t>(1, rows / std::max<std::uint64_t>(
+                                                    1, m));
+    if (tile_cols == 1)
+        rep *= std::max<std::uint64_t>(
+            1, cols / std::max<std::uint64_t>(1, groups_per_row));
+    const std::uint64_t beats = ceilDiv(n, rep);
+
+    // Each tile: load weight queues (alpha beats), fill the pipeline
+    // (rows + cols), then one gamma-cycle beat per position batch.
+    const std::uint64_t per_tile =
+        cfg.alpha + rows + cols + beats * gamma;
+    return tiles * per_tile;
+}
+
+LayerPerf
+layerPerformance(const LayerGeometry& layer, const SubModelConfig& cfg,
+                 const SystolicArrayConfig& array,
+                 const PackedTermFormat& fmt)
+{
+    require(cfg.mode == QuantMode::Tq,
+            "layerPerformance: the mMAC system runs TQ sub-models");
+    const std::uint64_t g = cfg.groupSize;
+    const std::uint64_t gamma = cfg.gamma();
+    const std::uint64_t m = layer.outputs;
+    const std::uint64_t k = layer.inner;
+    const std::uint64_t n = layer.positions;
+
+    LayerPerf perf;
+    const std::uint64_t groups_per_row = ceilDiv(k, g);
+    const std::uint64_t tile_rows = ceilDiv(m, array.rows);
+
+    perf.cycles = layerCycles(layer, cfg, array.rows, array.cols);
+
+    // Budgeted term pairs: every group beat reserves gamma slots.
+    perf.termPairs = m * groups_per_row * n * gamma;
+
+    // Weight term/index memory: each group's leading alpha terms are
+    // read once (weight-stationary reuse within the tile).
+    const std::uint64_t total_groups = m * groups_per_row;
+    perf.termMemEntries =
+        total_groups * ceilDiv(cfg.alpha, fmt.termsPerEntry());
+    perf.indexMemEntries =
+        total_groups * ceilDiv(cfg.alpha, fmt.indexesPerEntry());
+
+    // Data memory: each tile row re-streams the K x N activations,
+    // beta terms per value packed contiguously into memory entries
+    // (values share entries; Sec. 5.4 packs multiple increments per
+    // entry to use the full memory width).
+    const std::uint64_t data_bits =
+        tile_rows * k * n * cfg.beta * fmt.termBits();
+    perf.dataMemEntries = ceilDiv(data_bits, fmt.entryBits);
+    return perf;
+}
+
+NetworkPerf
+networkPerformance(const std::vector<LayerGeometry>& layers,
+                   const SubModelConfig& cfg,
+                   const SystolicArrayConfig& array,
+                   const PackedTermFormat& fmt,
+                   const SystemEnergyModel& energy)
+{
+    NetworkPerf net;
+    for (const LayerGeometry& layer : layers) {
+        const LayerPerf perf = layerPerformance(layer, cfg, array, fmt);
+        net.cycles += perf.cycles;
+        net.termPairs += perf.termPairs;
+        net.memEntries += perf.termMemEntries + perf.indexMemEntries +
+                          perf.dataMemEntries;
+    }
+    net.latencyMs = static_cast<double>(net.cycles) /
+                    (array.clockMhz * 1e6) * 1e3;
+    const double kilo_cells =
+        static_cast<double>(array.rows * array.cols) / 1000.0;
+    net.energyUnits =
+        static_cast<double>(net.termPairs) * energy.perTermPair +
+        static_cast<double>(net.memEntries) * energy.perMemoryEntry +
+        static_cast<double>(net.cycles) *
+            energy.staticPerCyclePerKiloCell * kilo_cells;
+    // Energy units are picojoules; samples/J = 1e12 / pJ-per-sample.
+    net.samplesPerJoule =
+        net.energyUnits > 0.0 ? 1e12 / net.energyUnits : 0.0;
+    return net;
+}
+
+std::vector<LayerGeometry>
+referenceNetwork(const std::string& name)
+{
+    std::vector<LayerGeometry> layers;
+    auto add = [&](const std::string& lname, std::size_t m, std::size_t k,
+                   std::size_t n) {
+        layers.push_back(LayerGeometry{lname, m, k, n});
+    };
+
+    if (name == "resnet18") {
+        add("conv1", 64, 147, 112 * 112);
+        // Four basic-block stages, two blocks each.
+        const std::size_t widths[4] = {64, 128, 256, 512};
+        const std::size_t sides[4] = {56, 28, 14, 7};
+        std::size_t in = 64;
+        for (int s = 0; s < 4; ++s) {
+            const std::size_t w = widths[s];
+            const std::size_t n = sides[s] * sides[s];
+            add("stage" + std::to_string(s + 1) + ".b1.conv1", w, in * 9,
+                n);
+            add("stage" + std::to_string(s + 1) + ".b1.conv2", w, w * 9,
+                n);
+            if (in != w)
+                add("stage" + std::to_string(s + 1) + ".down", w, in, n);
+            add("stage" + std::to_string(s + 1) + ".b2.conv1", w, w * 9,
+                n);
+            add("stage" + std::to_string(s + 1) + ".b2.conv2", w, w * 9,
+                n);
+            in = w;
+        }
+        add("fc", 1000, 512, 1);
+        return layers;
+    }
+
+    if (name == "resnet50") {
+        add("conv1", 64, 147, 112 * 112);
+        struct Stage
+        {
+            std::size_t out, mid, blocks, side;
+        };
+        const Stage stages[4] = {{256, 64, 3, 56},
+                                 {512, 128, 4, 28},
+                                 {1024, 256, 6, 14},
+                                 {2048, 512, 3, 7}};
+        std::size_t in = 64;
+        for (int s = 0; s < 4; ++s) {
+            const Stage& st = stages[s];
+            const std::size_t n = st.side * st.side;
+            for (std::size_t b = 0; b < st.blocks; ++b) {
+                const std::string base = "stage" + std::to_string(s + 1) +
+                                         ".b" + std::to_string(b + 1);
+                add(base + ".conv1", st.mid, in, n);
+                add(base + ".conv2", st.mid, st.mid * 9, n);
+                add(base + ".conv3", st.out, st.mid, n);
+                if (b == 0)
+                    add(base + ".down", st.out, in, n);
+                in = st.out;
+            }
+        }
+        add("fc", 1000, 2048, 1);
+        return layers;
+    }
+
+    if (name == "mobilenet-v2") {
+        add("stem", 32, 27, 112 * 112);
+        struct Block
+        {
+            std::size_t t, c, n, s;
+        };
+        const Block blocks[7] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                                 {6, 32, 3, 2},  {6, 64, 4, 2},
+                                 {6, 96, 3, 1},  {6, 160, 3, 2},
+                                 {6, 320, 1, 1}};
+        std::size_t in = 32;
+        std::size_t side = 112;
+        int id = 0;
+        for (const Block& blk : blocks) {
+            for (std::size_t r = 0; r < blk.n; ++r) {
+                const std::size_t stride = (r == 0) ? blk.s : 1;
+                side = (stride == 2) ? side / 2 : side;
+                const std::size_t n = side * side;
+                const std::size_t mid = in * blk.t;
+                const std::string base = "ir" + std::to_string(id++);
+                if (blk.t != 1)
+                    add(base + ".expand", mid, in, n);
+                add(base + ".dw", mid, 9, n);
+                add(base + ".project", blk.c, mid, n);
+                in = blk.c;
+            }
+        }
+        add("head", 1280, 320, 7 * 7);
+        add("fc", 1000, 1280, 1);
+        return layers;
+    }
+
+    if (name == "lstm") {
+        // 2-layer, 650 hidden units (Sec. 6.4.2 model).  Positions
+        // model a batch of 16 independent sequences evaluated
+        // together (the standard LM inference deployment); per-token
+        // cost is this divided by 16.
+        add("lstm1.x", 4 * 650, 650, 16);
+        add("lstm1.h", 4 * 650, 650, 16);
+        add("lstm2.x", 4 * 650, 650, 16);
+        add("lstm2.h", 4 * 650, 650, 16);
+        add("decoder", 33278, 650, 16);
+        return layers;
+    }
+
+    if (name == "yolo-v5s") {
+        // Representative backbone + head convolutions at 640x640
+        // covering the bulk of YOLOv5s compute.
+        add("stem", 32, 108, 320 * 320);
+        add("conv1", 64, 288, 160 * 160);
+        add("c3_1", 64, 576, 160 * 160);
+        add("conv2", 128, 576, 80 * 80);
+        add("c3_2", 128, 1152, 80 * 80);
+        add("conv3", 256, 1152, 40 * 40);
+        add("c3_3", 256, 2304, 40 * 40);
+        add("conv4", 512, 2304, 20 * 20);
+        add("c3_4", 512, 4608, 20 * 20);
+        add("head1", 255, 128, 80 * 80);
+        add("head2", 255, 256, 40 * 40);
+        add("head3", 255, 512, 20 * 20);
+        return layers;
+    }
+
+    fatal("referenceNetwork: unknown network '", name, "'");
+}
+
+} // namespace mrq

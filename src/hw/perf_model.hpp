@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Analytic performance model of the mMAC systolic system (Fig. 9)
+ * for full-size networks — validated against the cycle-accurate
+ * small-array simulator in tests/hw.
+ *
+ * A conv/FC layer is a matrix multiply [M, K] x [K, N]:
+ *   M = output channels, K = inC * k * k, N = output positions.
+ * The weight matrix tiles onto an R x C array of mMAC cells, each
+ * holding one g-long weight group; a tile processes all N positions
+ * at gamma cycles per group beat, plus pipeline fill (R + C) and the
+ * alpha-cycle weight-queue load per tile.
+ */
+
+#ifndef MRQ_HW_PERF_MODEL_HPP
+#define MRQ_HW_PERF_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/packed_storage.hpp"
+#include "core/quant_config.hpp"
+#include "hw/cost_model.hpp"
+
+namespace mrq {
+
+/** Systolic array geometry and clock. */
+struct SystolicArrayConfig
+{
+    std::size_t rows = 128;
+    std::size_t cols = 128;
+    double clockMhz = 150.0;
+};
+
+/** One layer as a matrix-multiply problem. */
+struct LayerGeometry
+{
+    std::string name;
+    std::size_t outputs = 0;   ///< M (rows of W).
+    std::size_t inner = 0;     ///< K (dot-product length).
+    std::size_t positions = 0; ///< N (input columns / spatial outputs).
+};
+
+/** Per-layer performance estimate. */
+struct LayerPerf
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t termPairs = 0;
+    std::uint64_t termMemEntries = 0;
+    std::uint64_t indexMemEntries = 0;
+    std::uint64_t dataMemEntries = 0;
+};
+
+/** Whole-network performance estimate. */
+struct NetworkPerf
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t termPairs = 0;
+    std::uint64_t memEntries = 0;
+    double latencyMs = 0.0;
+    double energyUnits = 0.0;
+    double samplesPerJoule = 0.0; ///< Relative; see energy model note.
+};
+
+/**
+ * Cycle count of one layer on the array.  When a layer occupies only
+ * part of the array (a single tile in a dimension), the idle rows /
+ * columns hold weight replicas that process additional input
+ * positions in parallel — the standard utilization trick for small
+ * layers on large arrays.  Shared by the analytic model and the
+ * cycle-accurate simulator so the two always agree.
+ */
+std::uint64_t layerCycles(const LayerGeometry& layer,
+                          const SubModelConfig& cfg, std::size_t rows,
+                          std::size_t cols);
+
+/** Estimate one layer under @p cfg on @p array. */
+LayerPerf layerPerformance(const LayerGeometry& layer,
+                           const SubModelConfig& cfg,
+                           const SystolicArrayConfig& array,
+                           const PackedTermFormat& fmt);
+
+/**
+ * Aggregate a network; energy uses the SystemEnergyModel coefficients
+ * and latency uses the array clock.
+ */
+NetworkPerf networkPerformance(const std::vector<LayerGeometry>& layers,
+                               const SubModelConfig& cfg,
+                               const SystolicArrayConfig& array,
+                               const PackedTermFormat& fmt,
+                               const SystemEnergyModel& energy);
+
+/**
+ * Real layer geometries of the paper's evaluated networks (ImageNet /
+ * Wikitext-2 / COCO scale), used by the hardware benches: the
+ * performance model needs only layer shapes, not trained weights.
+ * Names: "resnet18", "resnet50", "mobilenet-v2", "lstm", "yolo-v5s".
+ */
+std::vector<LayerGeometry> referenceNetwork(const std::string& name);
+
+} // namespace mrq
+
+#endif // MRQ_HW_PERF_MODEL_HPP

@@ -1,0 +1,31 @@
+#include "hw/sdr_encoder.hpp"
+
+#include <algorithm>
+
+namespace mrq {
+
+std::vector<Term>
+sdrEncodeStreaming(std::uint64_t value, unsigned bits, std::size_t* cycles)
+{
+    SdrEncoderFsm fsm;
+    fsm.reset();
+    std::vector<Term> terms;
+    // One extra cycle flushes the final carry into digit position
+    // `bits` (e.g. 31 -> +2^5 - 2^0 on a 5-bit input).
+    for (unsigned i = 0; i <= bits; ++i) {
+        const int bit = static_cast<int>((value >> i) & 1u);
+        const int next_bit =
+            i + 1 <= bits ? static_cast<int>((value >> (i + 1)) & 1u) : 0;
+        const int d = fsm.step(bit, next_bit);
+        if (d != 0) {
+            terms.push_back(Term{static_cast<std::int8_t>(i),
+                                 static_cast<std::int8_t>(d)});
+        }
+    }
+    if (cycles)
+        *cycles = fsm.cycles();
+    std::reverse(terms.begin(), terms.end());
+    return terms;
+}
+
+} // namespace mrq

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Streaming SDR encoder (Sec. 5.3, Fig. 14).
+ *
+ * Hardware FSM that converts an unsigned binary input, presented one
+ * bit per cycle LSB-first, into canonical signed digits {-1, 0, +1}.
+ * The recoding is the classic carry form: with carry c_i and input
+ * bits b_i, b_{i+1}:
+ *   c_{i+1} = floor((b_i + b_{i+1} + c_i) / 2)
+ *   d_i     = b_i + c_i - 2 * c_{i+1}
+ * which yields the non-adjacent form — the minimum-term SDR the rest
+ * of the system assumes.
+ */
+
+#ifndef MRQ_HW_SDR_ENCODER_HPP
+#define MRQ_HW_SDR_ENCODER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/term.hpp"
+
+namespace mrq {
+
+/** Cycle-stepped FSM producing one signed digit per input bit. */
+class SdrEncoderFsm
+{
+  public:
+    /** Reset to the idle state (zero carry). */
+    void
+    reset()
+    {
+        carry_ = 0;
+        cycles_ = 0;
+    }
+
+    /**
+     * Feed one cycle: current bit and a one-bit lookahead.
+     *
+     * @param bit      b_i (0/1).
+     * @param next_bit b_{i+1} (0/1); pass 0 past the MSB.
+     * @return The signed digit d_i in {-1, 0, +1}.
+     */
+    int
+    step(int bit, int next_bit)
+    {
+        const int next_carry = (bit + next_bit + carry_) >> 1;
+        const int d = bit + carry_ - 2 * next_carry;
+        carry_ = next_carry;
+        ++cycles_;
+        return d;
+    }
+
+    /** Cycles consumed since the last reset (one per bit). */
+    std::size_t cycles() const { return cycles_; }
+
+  private:
+    int carry_ = 0;
+    std::size_t cycles_ = 0;
+};
+
+/**
+ * Encode a full unsigned value through the FSM.
+ *
+ * @param value Non-negative input.
+ * @param bits  Input bitwidth (cycles consumed = bits + 1).
+ * @return Signed digits as terms, largest exponent first.
+ */
+std::vector<Term> sdrEncodeStreaming(std::uint64_t value, unsigned bits,
+                                     std::size_t* cycles = nullptr);
+
+} // namespace mrq
+
+#endif // MRQ_HW_SDR_ENCODER_HPP

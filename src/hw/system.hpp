@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Full mMAC inference system (Fig. 9): weight buffer + systolic array
+ * + SDR encoders + term quantizers + data buffer, executing a trained
+ * model end to end.
+ *
+ * The engine walks a plain Sequential pipeline (Conv2d / BatchNorm2d /
+ * PactQuant / MaxPool2d / GlobalAvgPool / Linear / ReLU / Dropout) and
+ * runs every conv/linear through the cycle-accurate mMAC systolic
+ * simulator on the integer lattice, exactly as deployed hardware
+ * would: activations are UQ + top-beta term-quantized at each matmul
+ * input, weights are group term-quantized at load.  Non-matmul layers
+ * (BN, clamps, pooling) run in float, as they would on the host or in
+ * dedicated activation blocks.
+ *
+ * Functional output matches the training-side fake-quantized forward
+ * to float rounding — asserted in tests/hw.
+ */
+
+#ifndef MRQ_HW_SYSTEM_HPP
+#define MRQ_HW_SYSTEM_HPP
+
+#include <vector>
+
+#include "hw/deployment.hpp"
+#include "hw/perf_model.hpp"
+#include "hw/systolic.hpp"
+#include "nn/sequential.hpp"
+
+namespace mrq {
+
+/** Accumulated deployment report of an engine run. */
+struct HwReport
+{
+    SystolicStats systolic;            ///< Functional-sim counters.
+    std::uint64_t termMemEntries = 0;  ///< Weight-term memory reads.
+    std::uint64_t indexMemEntries = 0; ///< Weight-index memory reads.
+    std::uint64_t dataMemEntries = 0;  ///< Data buffer reads.
+    double latencyMs = 0.0;            ///< At the array clock.
+    double energyPj = 0.0;             ///< SystemEnergyModel estimate.
+};
+
+/** Runs a trained plain-Sequential model on the mMAC system. */
+class HwInferenceEngine
+{
+  public:
+    /**
+     * @param model Trained model (treated read-only; its quant context
+     *              is detached during engine runs).
+     * @param cfg   The deployed sub-model (TQ mode).
+     * @param array Simulated array geometry (functional cycles use
+     *              this; keep it small for simulation speed).
+     * @param fmt   Packed storage format for memory accounting.
+     */
+    HwInferenceEngine(Sequential& model, const SubModelConfig& cfg,
+                      const SystolicArrayConfig& array = {16, 16, 150.0},
+                      const PackedTermFormat& fmt = {});
+
+    /**
+     * Attach a packed deployment image: conv/linear weights are then
+     * read from the image's term/index memories (the true device
+     * flow) instead of being re-quantized from the model's master
+     * weights.  The image must have been built from this model with
+     * the same bits/group size, and its ladder must contain the
+     * engine's alpha.
+     */
+    void attachImage(const DeploymentImage& image);
+
+    /**
+     * Run a batch through the system.
+     * @param x [N, 3, H, W] input images in [0, 1].
+     * @return Model logits.
+     */
+    Tensor forward(const Tensor& x);
+
+    /** Deployment counters accumulated across forward() calls. */
+    HwReport report() const;
+
+    /** Reset accumulated counters. */
+    void resetReport();
+
+    /**
+     * Matrix-multiply geometry of each distinct conv/linear layer seen
+     * during forward() calls (per-sample positions), e.g. for feeding
+     * the ResolutionController.
+     */
+    const std::vector<LayerGeometry>& layerGeometries() const
+    {
+        return geometries_;
+    }
+
+  private:
+    Tensor runConv(class Conv2d& conv, const Tensor& x, float data_clip,
+                   const std::string& name);
+    Tensor runLinear(class Linear& lin, const Tensor& x, float data_clip,
+                     const std::string& name);
+
+    /**
+     * Fetch a layer's packed weights from the attached image.
+     * @return False when no image is attached (fall back to master
+     *         weights); fatal when an image is attached but lacks the
+     *         layer.
+     */
+    bool fetchImageWeights(const std::string& name,
+                           std::vector<std::int64_t>* w_int,
+                           float* scale) const;
+
+    /** Integer-lattice matmul through the systolic array + counters. */
+    std::vector<std::int64_t>
+    arrayMatmul(const std::vector<std::int64_t>& w, std::size_t m,
+                std::size_t k, const std::vector<std::int64_t>& x,
+                std::size_t n, const std::string& layer_name);
+
+    Sequential& model_;
+    SubModelConfig cfg_;
+    SystolicArrayConfig arrayCfg_;
+    PackedTermFormat fmt_;
+    MmacSystolicArray array_;
+    SystemEnergyModel energy_;
+
+    HwReport report_;
+    std::vector<LayerGeometry> geometries_;
+
+    /** Optional packed weight source (owned by the caller). */
+    const DeploymentImage* image_ = nullptr;
+};
+
+} // namespace mrq
+
+#endif // MRQ_HW_SYSTEM_HPP

@@ -1,0 +1,94 @@
+#include "hw/systolic.hpp"
+
+#include "core/fake_quant.hpp"
+#include "hw/perf_model.hpp"
+
+namespace mrq {
+
+namespace {
+
+std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+MmacSystolicArray::MmacSystolicArray(std::size_t rows, std::size_t cols,
+                                     const SubModelConfig& cfg)
+    : rows_(rows), cols_(cols), cfg_(cfg)
+{
+    require(rows > 0 && cols > 0, "MmacSystolicArray: empty array");
+    require(cfg.mode == QuantMode::Tq,
+            "MmacSystolicArray: the array runs TQ sub-models");
+}
+
+std::vector<std::int64_t>
+MmacSystolicArray::matmul(const std::vector<std::int64_t>& w, std::size_t m,
+                          std::size_t k,
+                          const std::vector<std::int64_t>& x, std::size_t n,
+                          SystolicStats* stats) const
+{
+    require(w.size() == m * k, "MmacSystolicArray::matmul: W size");
+    require(x.size() == k * n, "MmacSystolicArray::matmul: X size");
+    const std::size_t g = cfg_.groupSize;
+    const std::size_t groups_per_row = ceilDiv(k, g);
+
+    // Pre-quantize data terms: top-beta NAF terms per value, exactly
+    // what the SDR encoder + term quantizer units deliver (Fig. 9).
+    std::vector<std::vector<Term>> data_terms(k * n);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t j = 0; j < n; ++j) {
+            auto terms = encodeTerms(x[kk * n + j], cfg_.encoding);
+            if (terms.size() > cfg_.beta)
+                terms.resize(cfg_.beta);
+            data_terms[kk * n + j] = std::move(terms);
+        }
+    }
+
+    std::vector<std::int64_t> y(m * n, 0);
+    SystolicStats local;
+    const std::size_t tile_rows = ceilDiv(m, rows_);
+    const std::size_t tile_cols = ceilDiv(groups_per_row, cols_);
+    local.tiles = tile_rows * tile_cols;
+    // Cycle accounting is shared with the analytic model (including
+    // the idle-cell replication rule), so the two never diverge.
+    local.cycles = layerCycles(LayerGeometry{"", m, k, n}, cfg_, rows_,
+                               cols_);
+
+    Mmac cell(g, cfg_.alpha, cfg_.beta);
+    std::vector<std::vector<Term>> slice(g);
+    std::vector<std::int64_t> group_vals;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t q = 0; q < groups_per_row; ++q) {
+            const std::size_t base = q * g;
+            const std::size_t len = std::min(g, k - base);
+            group_vals.assign(w.begin() + i * k + base,
+                              w.begin() + i * k + base + len);
+            const std::size_t budget =
+                scaledGroupBudget(cfg_.alpha, g, len);
+            MultiResGroup group(group_vals, budget, cfg_.encoding);
+            cell.loadWeights(MmacWeightQueues::fromGroup(group, budget));
+
+            for (std::size_t j = 0; j < n; ++j) {
+                for (std::size_t s = 0; s < g; ++s) {
+                    if (s < len)
+                        slice[s] = data_terms[(base + s) * n + j];
+                    else
+                        slice[s].clear();
+                }
+                const MmacResult r =
+                    cell.computeGroup(slice, y[i * n + j]);
+                y[i * n + j] = r.value;
+                local.termPairs += r.termPairs;
+                local.incrementOps += r.incrementOps;
+            }
+        }
+    }
+    if (stats)
+        *stats = local;
+    return y;
+}
+
+} // namespace mrq

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Output-stationary mMAC array variant.
+ *
+ * Sec. 5 notes the multi-resolution paradigm "can also support other
+ * computation engine designs".  This module provides one: an
+ * output-stationary (OS) array where each cell owns one output
+ * element and both weight terms and data terms stream through.  The
+ * functional result is identical to the weight-stationary (WS) array
+ * (same TQ projection); what changes is the schedule and the memory
+ * traffic pattern — OS re-streams *weights* once per output-column
+ * tile, where WS re-streams *data* once per output-row tile.  The
+ * dataflow ablation bench quantifies when each wins.
+ */
+
+#ifndef MRQ_HW_SYSTOLIC_OS_HPP
+#define MRQ_HW_SYSTOLIC_OS_HPP
+
+#include "hw/perf_model.hpp"
+#include "hw/systolic.hpp"
+
+namespace mrq {
+
+/** Output-stationary counterpart of MmacSystolicArray. */
+class OsMmacSystolicArray
+{
+  public:
+    OsMmacSystolicArray(std::size_t rows, std::size_t cols,
+                        const SubModelConfig& cfg);
+
+    /** Same contract as MmacSystolicArray::matmul. */
+    std::vector<std::int64_t>
+    matmul(const std::vector<std::int64_t>& w, std::size_t m,
+           std::size_t k, const std::vector<std::int64_t>& x,
+           std::size_t n, SystolicStats* stats = nullptr) const;
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    SubModelConfig cfg_;
+};
+
+/**
+ * Output-stationary cycle count for one layer: each tile of R x C
+ * outputs streams ceil(K/g) group beats of gamma cycles plus pipeline
+ * fill; idle-cell replication does not apply (every cell owns a
+ * distinct output).
+ */
+std::uint64_t osLayerCycles(const LayerGeometry& layer,
+                            const SubModelConfig& cfg, std::size_t rows,
+                            std::size_t cols);
+
+/**
+ * Output-stationary performance estimate, with the OS traffic
+ * pattern: weights re-read once per output-column tile, data re-read
+ * once per output-row tile.
+ */
+LayerPerf osLayerPerformance(const LayerGeometry& layer,
+                             const SubModelConfig& cfg,
+                             const SystolicArrayConfig& array,
+                             const PackedTermFormat& fmt);
+
+} // namespace mrq
+
+#endif // MRQ_HW_SYSTOLIC_OS_HPP

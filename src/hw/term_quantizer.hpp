@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Streaming term-quantizer unit (Sec. 5.3, Fig. 15).
+ *
+ * Receives one term per cycle (largest magnitude first, as produced
+ * by the SDR encoder's output path), counts observed terms, and zeroes
+ * every term past the data budget beta.
+ */
+
+#ifndef MRQ_HW_TERM_QUANTIZER_HPP
+#define MRQ_HW_TERM_QUANTIZER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/term.hpp"
+
+namespace mrq {
+
+/** Cycle-stepped top-beta term selector. */
+class TermQuantizerUnit
+{
+  public:
+    explicit TermQuantizerUnit(std::size_t beta) : beta_(beta) {}
+
+    /** Reset for a new value. */
+    void
+    reset()
+    {
+        seen_ = 0;
+        cycles_ = 0;
+    }
+
+    /**
+     * Feed one term (one cycle).
+     * @return The term if within budget, nullopt if zeroed.
+     */
+    std::optional<Term>
+    step(const Term& term)
+    {
+        ++cycles_;
+        if (seen_ < beta_) {
+            ++seen_;
+            return term;
+        }
+        return std::nullopt;
+    }
+
+    std::size_t cycles() const { return cycles_; }
+
+  private:
+    std::size_t beta_;
+    std::size_t seen_ = 0;
+    std::size_t cycles_ = 0;
+};
+
+/** Pass a term stream through the unit; returns the kept terms. */
+inline std::vector<Term>
+termQuantizeStream(const std::vector<Term>& terms, std::size_t beta,
+                   std::size_t* cycles = nullptr)
+{
+    TermQuantizerUnit unit(beta);
+    unit.reset();
+    std::vector<Term> kept;
+    for (const Term& t : terms)
+        if (auto out = unit.step(t))
+            kept.push_back(*out);
+    if (cycles)
+        *cycles = unit.cycles();
+    return kept;
+}
+
+} // namespace mrq
+
+#endif // MRQ_HW_TERM_QUANTIZER_HPP

@@ -1,0 +1,260 @@
+#include "models/blocks.hpp"
+
+namespace mrq {
+
+namespace {
+
+/** Forward every module in @p mods that is non-null. */
+template <typename... Mods>
+void
+setTrainingAll(bool training, Mods&... mods)
+{
+    (..., (mods ? mods->setTraining(training) : void()));
+}
+
+template <typename... Mods>
+void
+setContextAll(QuantContext* ctx, Mods&... mods)
+{
+    (..., (mods ? mods->setQuantContext(ctx) : void()));
+}
+
+template <typename... Mods>
+void
+collectAll(std::vector<Parameter*>& out, Mods&... mods)
+{
+    (..., (mods ? mods->collectParameters(out) : void()));
+}
+
+} // namespace
+
+BasicBlock::BasicBlock(std::size_t in_channels, std::size_t out_channels,
+                       std::size_t stride, Rng& rng)
+{
+    conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride,
+                                      1, rng);
+    bn1_ = std::make_unique<BatchNorm2d>(out_channels);
+    act1_ = std::make_unique<PactQuant>();
+    conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1,
+                                      rng);
+    bn2_ = std::make_unique<BatchNorm2d>(out_channels);
+    act2_ = std::make_unique<PactQuant>();
+    if (stride != 1 || in_channels != out_channels) {
+        convDown_ = std::make_unique<Conv2d>(in_channels, out_channels, 1,
+                                             stride, 0, rng);
+        bnDown_ = std::make_unique<BatchNorm2d>(out_channels);
+    }
+}
+
+Tensor
+BasicBlock::forward(const Tensor& x)
+{
+    Tensor main = bn2_->forward(
+        conv2_->forward(act1_->forward(bn1_->forward(conv1_->forward(x)))));
+    Tensor skip = convDown_ ? bnDown_->forward(convDown_->forward(x)) : x;
+    main += skip;
+    return act2_->forward(main);
+}
+
+Tensor
+BasicBlock::backward(const Tensor& dy)
+{
+    Tensor d = act2_->backward(dy);
+    Tensor d_main = conv1_->backward(bn1_->backward(
+        act1_->backward(conv2_->backward(bn2_->backward(d)))));
+    Tensor d_skip =
+        convDown_ ? convDown_->backward(bnDown_->backward(d)) : d;
+    d_main += d_skip;
+    return d_main;
+}
+
+void
+BasicBlock::collectParameters(std::vector<Parameter*>& out)
+{
+    collectAll(out, conv1_, bn1_, act1_, conv2_, bn2_, act2_, convDown_,
+               bnDown_);
+}
+
+void
+BasicBlock::setTraining(bool training)
+{
+    Module::setTraining(training);
+    setTrainingAll(training, conv1_, bn1_, act1_, conv2_, bn2_, act2_,
+                   convDown_, bnDown_);
+}
+
+void
+BasicBlock::setQuantContext(QuantContext* ctx)
+{
+    setContextAll(ctx, conv1_, act1_, conv2_, act2_, convDown_);
+}
+
+void
+BasicBlock::calibrateWeightClips()
+{
+    conv1_->calibrateWeightClips();
+    conv2_->calibrateWeightClips();
+    if (convDown_)
+        convDown_->calibrateWeightClips();
+}
+
+BottleneckBlock::BottleneckBlock(std::size_t in_channels,
+                                 std::size_t mid_channels,
+                                 std::size_t out_channels,
+                                 std::size_t stride, Rng& rng)
+{
+    conv1_ = std::make_unique<Conv2d>(in_channels, mid_channels, 1, 1, 0,
+                                      rng);
+    bn1_ = std::make_unique<BatchNorm2d>(mid_channels);
+    act1_ = std::make_unique<PactQuant>();
+    conv2_ = std::make_unique<Conv2d>(mid_channels, mid_channels, 3, stride,
+                                      1, rng);
+    bn2_ = std::make_unique<BatchNorm2d>(mid_channels);
+    act2_ = std::make_unique<PactQuant>();
+    conv3_ = std::make_unique<Conv2d>(mid_channels, out_channels, 1, 1, 0,
+                                      rng);
+    bn3_ = std::make_unique<BatchNorm2d>(out_channels);
+    act3_ = std::make_unique<PactQuant>();
+    if (stride != 1 || in_channels != out_channels) {
+        convDown_ = std::make_unique<Conv2d>(in_channels, out_channels, 1,
+                                             stride, 0, rng);
+        bnDown_ = std::make_unique<BatchNorm2d>(out_channels);
+    }
+}
+
+Tensor
+BottleneckBlock::forward(const Tensor& x)
+{
+    Tensor main = act1_->forward(bn1_->forward(conv1_->forward(x)));
+    main = act2_->forward(bn2_->forward(conv2_->forward(main)));
+    main = bn3_->forward(conv3_->forward(main));
+    Tensor skip = convDown_ ? bnDown_->forward(convDown_->forward(x)) : x;
+    main += skip;
+    return act3_->forward(main);
+}
+
+Tensor
+BottleneckBlock::backward(const Tensor& dy)
+{
+    Tensor d = act3_->backward(dy);
+    Tensor d_main = bn3_->backward(d);
+    d_main = conv3_->backward(d_main);
+    d_main = act2_->backward(d_main);
+    d_main = bn2_->backward(d_main);
+    d_main = conv2_->backward(d_main);
+    d_main = act1_->backward(d_main);
+    d_main = bn1_->backward(d_main);
+    d_main = conv1_->backward(d_main);
+    Tensor d_skip =
+        convDown_ ? convDown_->backward(bnDown_->backward(d)) : d;
+    d_main += d_skip;
+    return d_main;
+}
+
+void
+BottleneckBlock::collectParameters(std::vector<Parameter*>& out)
+{
+    collectAll(out, conv1_, bn1_, act1_, conv2_, bn2_, act2_, conv3_, bn3_,
+               act3_, convDown_, bnDown_);
+}
+
+void
+BottleneckBlock::setTraining(bool training)
+{
+    Module::setTraining(training);
+    setTrainingAll(training, conv1_, bn1_, act1_, conv2_, bn2_, act2_,
+                   conv3_, bn3_, act3_, convDown_, bnDown_);
+}
+
+void
+BottleneckBlock::setQuantContext(QuantContext* ctx)
+{
+    setContextAll(ctx, conv1_, act1_, conv2_, act2_, conv3_, act3_,
+                  convDown_);
+}
+
+void
+BottleneckBlock::calibrateWeightClips()
+{
+    conv1_->calibrateWeightClips();
+    conv2_->calibrateWeightClips();
+    conv3_->calibrateWeightClips();
+    if (convDown_)
+        convDown_->calibrateWeightClips();
+}
+
+InvertedResidual::InvertedResidual(std::size_t in_channels,
+                                   std::size_t out_channels,
+                                   std::size_t stride, std::size_t expand,
+                                   Rng& rng)
+    : useSkip_(stride == 1 && in_channels == out_channels)
+{
+    const std::size_t mid = in_channels * expand;
+    expand_ = std::make_unique<Conv2d>(in_channels, mid, 1, 1, 0, rng);
+    bnExpand_ = std::make_unique<BatchNorm2d>(mid);
+    actExpand_ = std::make_unique<PactQuant>();
+    depthwise_ = std::make_unique<DepthwiseConv2d>(mid, 3, stride, 1, rng);
+    bnDepth_ = std::make_unique<BatchNorm2d>(mid);
+    actDepth_ = std::make_unique<PactQuant>();
+    project_ = std::make_unique<Conv2d>(mid, out_channels, 1, 1, 0, rng);
+    bnProject_ = std::make_unique<BatchNorm2d>(out_channels);
+}
+
+Tensor
+InvertedResidual::forward(const Tensor& x)
+{
+    Tensor h = actExpand_->forward(bnExpand_->forward(expand_->forward(x)));
+    h = actDepth_->forward(bnDepth_->forward(depthwise_->forward(h)));
+    h = bnProject_->forward(project_->forward(h));
+    if (useSkip_)
+        h += x;
+    return h;
+}
+
+Tensor
+InvertedResidual::backward(const Tensor& dy)
+{
+    Tensor d = bnProject_->backward(dy);
+    d = project_->backward(d);
+    d = actDepth_->backward(d);
+    d = bnDepth_->backward(d);
+    d = depthwise_->backward(d);
+    d = actExpand_->backward(d);
+    d = bnExpand_->backward(d);
+    d = expand_->backward(d);
+    if (useSkip_)
+        d += dy;
+    return d;
+}
+
+void
+InvertedResidual::collectParameters(std::vector<Parameter*>& out)
+{
+    collectAll(out, expand_, bnExpand_, actExpand_, depthwise_, bnDepth_,
+               actDepth_, project_, bnProject_);
+}
+
+void
+InvertedResidual::setTraining(bool training)
+{
+    Module::setTraining(training);
+    setTrainingAll(training, expand_, bnExpand_, actExpand_, depthwise_,
+                   bnDepth_, actDepth_, project_, bnProject_);
+}
+
+void
+InvertedResidual::setQuantContext(QuantContext* ctx)
+{
+    setContextAll(ctx, expand_, actExpand_, depthwise_, actDepth_,
+                  project_);
+}
+
+void
+InvertedResidual::calibrateWeightClips()
+{
+    expand_->calibrateWeightClips();
+    depthwise_->calibrateWeightClips();
+    project_->calibrateWeightClips();
+}
+
+} // namespace mrq

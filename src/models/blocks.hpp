@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Composite CNN blocks: residual basic block (ResNet-18 style),
+ * bottleneck block (ResNet-50 style), and inverted residual
+ * (MobileNet-v2 style).  Each block routes gradients through both the
+ * main path and the skip connection.
+ */
+
+#ifndef MRQ_MODELS_BLOCKS_HPP
+#define MRQ_MODELS_BLOCKS_HPP
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Two 3x3 convs with BN/PACT and an identity or 1x1 projection skip. */
+class BasicBlock : public Module
+{
+  public:
+    BasicBlock(std::size_t in_channels, std::size_t out_channels,
+               std::size_t stride, Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setTraining(bool training) override;
+    void setQuantContext(QuantContext* ctx) override;
+    void calibrateWeightClips() override;
+
+  private:
+    std::unique_ptr<Conv2d> conv1_, conv2_, convDown_;
+    std::unique_ptr<BatchNorm2d> bn1_, bn2_, bnDown_;
+    std::unique_ptr<PactQuant> act1_, act2_;
+};
+
+/** 1x1 reduce -> 3x3 -> 1x1 expand bottleneck with skip. */
+class BottleneckBlock : public Module
+{
+  public:
+    /**
+     * @param in_channels  Block input channels.
+     * @param mid_channels Reduced width of the 3x3 conv.
+     * @param out_channels Expanded output channels.
+     * @param stride       Stride of the 3x3 conv.
+     */
+    BottleneckBlock(std::size_t in_channels, std::size_t mid_channels,
+                    std::size_t out_channels, std::size_t stride, Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setTraining(bool training) override;
+    void setQuantContext(QuantContext* ctx) override;
+    void calibrateWeightClips() override;
+
+  private:
+    std::unique_ptr<Conv2d> conv1_, conv2_, conv3_, convDown_;
+    std::unique_ptr<BatchNorm2d> bn1_, bn2_, bn3_, bnDown_;
+    std::unique_ptr<PactQuant> act1_, act2_, act3_;
+};
+
+/** MobileNet-v2 inverted residual: expand, depthwise, project. */
+class InvertedResidual : public Module
+{
+  public:
+    /**
+     * @param in_channels  Block input channels.
+     * @param out_channels Block output channels.
+     * @param stride       Depthwise stride.
+     * @param expand       Expansion factor t.
+     */
+    InvertedResidual(std::size_t in_channels, std::size_t out_channels,
+                     std::size_t stride, std::size_t expand, Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setTraining(bool training) override;
+    void setQuantContext(QuantContext* ctx) override;
+    void calibrateWeightClips() override;
+
+  private:
+    bool useSkip_;
+    std::unique_ptr<Conv2d> expand_, project_;
+    std::unique_ptr<DepthwiseConv2d> depthwise_;
+    std::unique_ptr<BatchNorm2d> bnExpand_, bnDepth_, bnProject_;
+    std::unique_ptr<PactQuant> actExpand_, actDepth_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_MODELS_BLOCKS_HPP

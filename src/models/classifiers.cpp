@@ -1,0 +1,84 @@
+#include "models/classifiers.hpp"
+
+#include "models/blocks.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace mrq {
+
+std::unique_ptr<Sequential>
+buildResNetTiny(Rng& rng, std::size_t classes)
+{
+    auto net = std::make_unique<Sequential>();
+    // Input data quantizer (images arrive in [0, 1]).
+    net->emplace<PactQuant>(1.0f);
+    // Stem.
+    net->emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(8);
+    net->emplace<PactQuant>();
+    // Stages.
+    net->emplace<BasicBlock>(8, 8, 1, rng);
+    net->emplace<BasicBlock>(8, 16, 2, rng);
+    net->emplace<BasicBlock>(16, 32, 2, rng);
+    // Head.
+    net->emplace<GlobalAvgPool>();
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<Linear>(32, classes, rng, true);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildResNetMid(Rng& rng, std::size_t classes)
+{
+    auto net = std::make_unique<Sequential>();
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(8);
+    net->emplace<PactQuant>();
+    // Bottleneck stages: (in, mid, out, stride).
+    net->emplace<BottleneckBlock>(8, 4, 16, 1, rng);
+    net->emplace<BottleneckBlock>(16, 8, 16, 1, rng);
+    net->emplace<BottleneckBlock>(16, 8, 32, 2, rng);
+    net->emplace<BottleneckBlock>(32, 16, 32, 1, rng);
+    net->emplace<BottleneckBlock>(32, 16, 48, 2, rng);
+    net->emplace<GlobalAvgPool>();
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<Linear>(48, classes, rng, true);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildMobileNetTiny(Rng& rng, std::size_t classes)
+{
+    auto net = std::make_unique<Sequential>();
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(8);
+    net->emplace<PactQuant>();
+    // Inverted residual stages: (in, out, stride, expand).
+    net->emplace<InvertedResidual>(8, 8, 1, 2, rng);
+    net->emplace<InvertedResidual>(8, 16, 2, 2, rng);
+    net->emplace<InvertedResidual>(16, 16, 1, 2, rng);
+    net->emplace<InvertedResidual>(16, 24, 2, 2, rng);
+    net->emplace<GlobalAvgPool>();
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<Linear>(24, classes, rng, true);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+buildClassifier(const std::string& name, Rng& rng, std::size_t classes)
+{
+    if (name == "resnet-tiny")
+        return buildResNetTiny(rng, classes);
+    if (name == "resnet-mid")
+        return buildResNetMid(rng, classes);
+    if (name == "mobilenet-tiny")
+        return buildMobileNetTiny(rng, classes);
+    fatal("buildClassifier: unknown model '", name, "'");
+}
+
+} // namespace mrq

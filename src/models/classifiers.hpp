@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CNN classifier builders — scaled-down, architecture-faithful
+ * stand-ins for the paper's ImageNet models.
+ *
+ * buildResNetTiny  : basic residual blocks     (ResNet-18 stand-in)
+ * buildResNetMid   : bottleneck residual blocks (ResNet-50 stand-in)
+ * buildMobileNetTiny : inverted residual blocks (MobileNet-v2 stand-in)
+ *
+ * All builders return a Sequential producing [N, classes] logits from
+ * [N, 3, 16, 16] inputs and wire every quantizable layer to the
+ * QuantContext passed at training time via setQuantContext().
+ */
+
+#ifndef MRQ_MODELS_CLASSIFIERS_HPP
+#define MRQ_MODELS_CLASSIFIERS_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace mrq {
+
+/** ResNet-18 stand-in: 3 stages of basic blocks, widths {8, 16, 32}. */
+std::unique_ptr<Sequential> buildResNetTiny(Rng& rng,
+                                            std::size_t classes = 10);
+
+/** ResNet-50 stand-in: 3 stages of bottleneck blocks. */
+std::unique_ptr<Sequential> buildResNetMid(Rng& rng,
+                                           std::size_t classes = 10);
+
+/** MobileNet-v2 stand-in: inverted residual stages. */
+std::unique_ptr<Sequential> buildMobileNetTiny(Rng& rng,
+                                               std::size_t classes = 10);
+
+/** Construct a model by name: "resnet-tiny", "resnet-mid",
+ *  "mobilenet-tiny". */
+std::unique_ptr<Sequential> buildClassifier(const std::string& name,
+                                            Rng& rng,
+                                            std::size_t classes = 10);
+
+} // namespace mrq
+
+#endif // MRQ_MODELS_CLASSIFIERS_HPP

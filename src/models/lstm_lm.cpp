@@ -1,0 +1,137 @@
+#include "models/lstm_lm.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace mrq {
+
+LstmLm::LstmLm(std::size_t vocab, std::size_t embed, std::size_t hidden,
+               float dropout, Rng& rng)
+    : vocab_(vocab), hidden_(hidden)
+{
+    embedding_ = std::make_unique<Embedding>(vocab, embed, rng);
+    act0_ = std::make_unique<PactQuant>(1.0f, true);
+    lstm1_ = std::make_unique<Lstm>(embed, hidden, rng);
+    act1_ = std::make_unique<PactQuant>(1.0f, true);
+    drop1_ = std::make_unique<Dropout>(dropout, 0x111);
+    lstm2_ = std::make_unique<Lstm>(hidden, hidden, rng);
+    act2_ = std::make_unique<PactQuant>(1.0f, true);
+    drop2_ = std::make_unique<Dropout>(dropout, 0x222);
+    decoder_ = std::make_unique<Linear>(hidden, vocab, rng, true);
+}
+
+Tensor
+LstmLm::forward(const Tensor& x)
+{
+    require(x.rank() == 2, "LstmLm::forward: [T, N] token tensor required");
+    cachedT_ = x.dim(0);
+    cachedN_ = x.dim(1);
+
+    Tensor h = embedding_->forward(x);       // [T, N, E]
+    h = act0_->forward(h);
+    h = lstm1_->forward(h);                  // [T, N, H]
+    h = act1_->forward(h);
+    h = drop1_->forward(h);
+    h = lstm2_->forward(h);
+    h = act2_->forward(h);
+    h = drop2_->forward(h);
+    h.reshape({cachedT_ * cachedN_, hidden_});
+    return decoder_->forward(h);             // [T*N, V]
+}
+
+Tensor
+LstmLm::backward(const Tensor& dy)
+{
+    Tensor d = decoder_->backward(dy);
+    d.reshape({cachedT_, cachedN_, hidden_});
+    d = drop2_->backward(d);
+    d = act2_->backward(d);
+    d = lstm2_->backward(d);
+    d = drop1_->backward(d);
+    d = act1_->backward(d);
+    d = lstm1_->backward(d);
+    d = act0_->backward(d);
+    return embedding_->backward(d);
+}
+
+void
+LstmLm::collectParameters(std::vector<Parameter*>& out)
+{
+    embedding_->collectParameters(out);
+    act0_->collectParameters(out);
+    lstm1_->collectParameters(out);
+    act1_->collectParameters(out);
+    lstm2_->collectParameters(out);
+    act2_->collectParameters(out);
+    decoder_->collectParameters(out);
+}
+
+void
+LstmLm::setTraining(bool training)
+{
+    Module::setTraining(training);
+    embedding_->setTraining(training);
+    act0_->setTraining(training);
+    lstm1_->setTraining(training);
+    act1_->setTraining(training);
+    drop1_->setTraining(training);
+    lstm2_->setTraining(training);
+    act2_->setTraining(training);
+    drop2_->setTraining(training);
+    decoder_->setTraining(training);
+}
+
+void
+LstmLm::calibrateWeightClips()
+{
+    lstm1_->calibrateWeightClips();
+    lstm2_->calibrateWeightClips();
+    decoder_->calibrateWeightClips();
+}
+
+void
+LstmLm::setQuantContext(QuantContext* ctx)
+{
+    act0_->setQuantContext(ctx);
+    lstm1_->setQuantContext(ctx);
+    act1_->setQuantContext(ctx);
+    lstm2_->setQuantContext(ctx);
+    act2_->setQuantContext(ctx);
+    decoder_->setQuantContext(ctx);
+}
+
+double
+lmPerplexity(LstmLm& model, const std::vector<int>& tokens,
+             std::size_t bptt, std::size_t batch)
+{
+    require(tokens.size() > bptt * batch + 1,
+            "lmPerplexity: token stream too short");
+    model.setTraining(false);
+
+    // Fold the stream into `batch` parallel columns (the standard
+    // truncated-BPTT layout) and walk windows of length bptt.
+    const std::size_t col_len = (tokens.size() - 1) / batch;
+    double nll = 0.0;
+    std::size_t count = 0;
+    for (std::size_t start = 0; start + 1 < col_len; start += bptt) {
+        const std::size_t t_len = std::min(bptt, col_len - 1 - start);
+        Tensor x({t_len, batch});
+        std::vector<int> targets(t_len * batch);
+        for (std::size_t t = 0; t < t_len; ++t)
+            for (std::size_t b = 0; b < batch; ++b) {
+                const std::size_t pos = b * col_len + start + t;
+                x(t, b) = static_cast<float>(tokens[pos]);
+                targets[t * batch + b] = tokens[pos + 1];
+            }
+        Tensor logits = model.forward(x);
+        nll += static_cast<double>(
+                   softmaxCrossEntropy(logits, targets)) *
+               static_cast<double>(t_len * batch);
+        count += t_len * batch;
+    }
+    model.setTraining(true);
+    return std::exp(nll / static_cast<double>(count));
+}
+
+} // namespace mrq

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Two-layer LSTM language model (the paper's Wikitext-2 model,
+ * scaled down): embedding -> LSTM -> dropout -> LSTM -> dropout ->
+ * linear decoder, with quantized recurrent weights and signed
+ * PACT-quantized hidden activations between layers.
+ */
+
+#ifndef MRQ_MODELS_LSTM_LM_HPP
+#define MRQ_MODELS_LSTM_LM_HPP
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "nn/lstm.hpp"
+
+namespace mrq {
+
+/** LSTM LM over [T, N] token batches producing [T*N, vocab] logits. */
+class LstmLm : public Module
+{
+  public:
+    /**
+     * @param vocab   Vocabulary size.
+     * @param embed   Embedding width.
+     * @param hidden  LSTM hidden width.
+     * @param dropout Dropout probability between layers.
+     * @param rng     Initializer RNG.
+     */
+    LstmLm(std::size_t vocab, std::size_t embed, std::size_t hidden,
+           float dropout, Rng& rng);
+
+    /** @param x Token ids as a [T, N] float tensor. */
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setTraining(bool training) override;
+    void setQuantContext(QuantContext* ctx) override;
+    void calibrateWeightClips() override;
+
+    std::size_t vocab() const { return vocab_; }
+
+  private:
+    std::size_t vocab_, hidden_;
+    std::unique_ptr<Embedding> embedding_;
+    std::unique_ptr<Lstm> lstm1_, lstm2_;
+    std::unique_ptr<PactQuant> act0_, act1_, act2_;
+    std::unique_ptr<Dropout> drop1_, drop2_;
+    std::unique_ptr<Linear> decoder_;
+
+    std::size_t cachedT_ = 0, cachedN_ = 0;
+};
+
+/**
+ * Perplexity of the model on a token stream, evaluated in
+ * non-overlapping [T, 1] windows: exp(mean next-token NLL).
+ */
+double lmPerplexity(LstmLm& model, const std::vector<int>& tokens,
+                    std::size_t bptt, std::size_t batch = 8);
+
+} // namespace mrq
+
+#endif // MRQ_MODELS_LSTM_LM_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Single-scale YOLO-style detector (YOLO-v5s stand-in) for the
+ * SynthDetect dataset, with the full grid loss (objectness BCE, box
+ * regression, per-class BCE) and confidence-decoded predictions.
+ */
+
+#ifndef MRQ_MODELS_TINY_YOLO_HPP
+#define MRQ_MODELS_TINY_YOLO_HPP
+
+#include <memory>
+
+#include "data/synth_detect.hpp"
+#include "nn/sequential.hpp"
+
+namespace mrq {
+
+/** Grid detector: [N, 3, 32, 32] -> [N, 5 + C, S, S] raw predictions. */
+class TinyYolo : public Module
+{
+  public:
+    static constexpr std::size_t kGrid = 4;
+    static constexpr std::size_t kClasses = SynthDetect::kNumClasses;
+
+    explicit TinyYolo(Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setTraining(bool training) override;
+    void setQuantContext(QuantContext* ctx) override;
+
+    void
+    calibrateWeightClips() override
+    {
+        net_->calibrateWeightClips();
+    }
+
+  private:
+    std::unique_ptr<Sequential> net_;
+};
+
+/**
+ * YOLO grid loss.  Channel layout per cell: [obj, tx, ty, tw, th,
+ * class_0..class_{C-1}].  Box coordinates pass through sigmoids so
+ * they live in [0, 1] (offsets within the cell for tx/ty, normalized
+ * image fractions for tw/th).
+ *
+ * @param preds  [N, 5 + C, S, S] raw network output.
+ * @param truth  Per-image ground-truth boxes.
+ * @param dpreds Optional gradient out-parameter.
+ * @return Weighted total loss.
+ */
+float yoloLoss(const Tensor& preds,
+               const std::vector<std::vector<DetBox>>& truth,
+               Tensor* dpreds = nullptr);
+
+/**
+ * Decode raw predictions into confidence-scored boxes with greedy NMS.
+ *
+ * @param preds          [N, 5 + C, S, S] raw network output.
+ * @param conf_threshold Minimum objectness * class score.
+ * @param nms_iou        IoU above which lower-scored boxes are dropped.
+ */
+std::vector<std::vector<DetBox>> decodeYolo(const Tensor& preds,
+                                            float conf_threshold = 0.3f,
+                                            float nms_iou = 0.5f);
+
+} // namespace mrq
+
+#endif // MRQ_MODELS_TINY_YOLO_HPP

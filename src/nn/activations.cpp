@@ -1,0 +1,84 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+
+namespace mrq {
+
+Tensor
+ReLU::forward(const Tensor& x)
+{
+    cachedInput_ = x;
+    Tensor y = x;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = std::max(y[i], 0.0f);
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor& dy)
+{
+    require(!cachedInput_.empty(), "ReLU::backward before forward");
+    require(dy.sameShape(cachedInput_), "ReLU::backward shape mismatch");
+    Tensor dx = dy;
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        if (cachedInput_[i] <= 0.0f)
+            dx[i] = 0.0f;
+    return dx;
+}
+
+PactQuant::PactQuant(float init_clip, bool is_signed)
+    : isSigned_(is_signed)
+{
+    clip_.value = Tensor({1}, init_clip);
+    clip_.decay = false;
+    clip_.resetGrad();
+}
+
+float
+PactQuant::clip() const
+{
+    return std::max(clip_.value[0], 1e-4f);
+}
+
+Tensor
+PactQuant::forward(const Tensor& x)
+{
+    cachedInput_ = x;
+    const float a = clip();
+    const float lo = isSigned_ ? -a : 0.0f;
+    Tensor y = x;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = std::clamp(y[i], lo, a);
+    if (ctx_ != nullptr && ctx_->config.mode != QuantMode::None) {
+        QuantStats* stats =
+            ctx_->collectStats ? &ctx_->dataStats : nullptr;
+        y = fakeQuantData(y, a, ctx_->config, stats, isSigned_);
+    }
+    return y;
+}
+
+Tensor
+PactQuant::backward(const Tensor& dy)
+{
+    require(!cachedInput_.empty(), "PactQuant::backward before forward");
+    require(dy.sameShape(cachedInput_),
+            "PactQuant::backward shape mismatch");
+    float cg = 0.0f;
+    Tensor dx = steBackward(cachedInput_, dy, clip(), isSigned_, &cg);
+    clip_.grad[0] += cg;
+    return dx;
+}
+
+void
+PactQuant::collectParameters(std::vector<Parameter*>& out)
+{
+    out.push_back(&clip_);
+}
+
+void
+PactQuant::setQuantContext(QuantContext* ctx)
+{
+    ctx_ = ctx;
+}
+
+} // namespace mrq

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Activation layers: plain ReLU and the PACT-style quantizing clip.
+ *
+ * PactQuant is the paper's activation block + term quantizer: it
+ * clamps inputs to [0, a] with a learnable a [PACT, Choi et al.] and,
+ * when a QuantContext is active, projects the clamped output through
+ * UQ -> SDR -> top-beta term quantization (Algorithm 1, Steps 3/5).
+ */
+
+#ifndef MRQ_NN_ACTIVATIONS_HPP
+#define MRQ_NN_ACTIVATIONS_HPP
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Elementwise max(x, 0). */
+class ReLU : public Module
+{
+  public:
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+
+  private:
+    Tensor cachedInput_;
+};
+
+/** Learnable clipping activation with data-term quantization. */
+class PactQuant : public Module
+{
+  public:
+    /**
+     * @param init_clip Initial clip value a.
+     * @param is_signed Clamp to [-a, a] instead of [0, a] (recurrent
+     *                  activations).
+     */
+    explicit PactQuant(float init_clip = 4.0f, bool is_signed = false);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setQuantContext(QuantContext* ctx) override;
+
+    Parameter& clipParam() { return clip_; }
+    float clip() const;
+
+  private:
+    bool isSigned_;
+    Parameter clip_{"pact.clip"};
+    QuantContext* ctx_ = nullptr;
+    Tensor cachedInput_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_ACTIVATIONS_HPP

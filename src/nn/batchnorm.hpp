@@ -1,0 +1,56 @@
+/**
+ * @file
+ * 2-D batch normalization (per-channel over N, H, W).
+ */
+
+#ifndef MRQ_NN_BATCHNORM_HPP
+#define MRQ_NN_BATCHNORM_HPP
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** BatchNorm over NCHW inputs with running statistics for eval. */
+class BatchNorm2d : public Module
+{
+  public:
+    /**
+     * @param channels Channel count C.
+     * @param momentum Running-stat update rate.
+     * @param eps      Variance floor.
+     */
+    explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                         float eps = 1e-5f);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+
+    Parameter& gamma() { return gamma_; }
+    Parameter& beta() { return beta_; }
+
+  private:
+    std::size_t channels_;
+    float momentum_;
+    float eps_;
+
+    Parameter gamma_{"bn.gamma"};
+    Parameter beta_{"bn.beta"};
+
+    /**
+     * Running statistics are registered as (gradient-free) parameters
+     * so checkpoints capture them; the optimizer never moves them
+     * because their gradients stay zero.
+     */
+    Parameter runningMean_{"bn.running_mean"};
+    Parameter runningVar_{"bn.running_var"};
+
+    // Forward caches for backward.
+    Tensor cachedXhat_;
+    std::vector<float> cachedInvStd_;
+    std::size_t cachedCount_ = 0;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_BATCHNORM_HPP

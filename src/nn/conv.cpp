@@ -1,0 +1,251 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace mrq {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               Rng& rng, bool bias)
+    : inChannels_(in_channels), outChannels_(out_channels),
+      kernel_(kernel), stride_(stride), pad_(pad), hasBias_(bias)
+{
+    const std::size_t fan_in = in_channels * kernel * kernel;
+    weight_.value = Tensor({out_channels, fan_in});
+    kaimingNormal(weight_.value, fan_in, rng);
+    weight_.resetGrad();
+    quantizer_.initClip(weight_.value);
+    if (hasBias_) {
+        bias_.value = Tensor({out_channels});
+        bias_.decay = false;
+        bias_.resetGrad();
+    }
+}
+
+Tensor
+Conv2d::forward(const Tensor& x)
+{
+    require(x.rank() == 4 && x.dim(1) == inChannels_,
+            "Conv2d::forward: expected [N, ", inChannels_,
+            ", H, W], got ", x.shapeString());
+    const std::size_t n = x.dim(0);
+    inH_ = x.dim(2);
+    inW_ = x.dim(3);
+    const std::size_t oh = convOutSize(inH_, kernel_, stride_, pad_);
+    const std::size_t ow = convOutSize(inW_, kernel_, stride_, pad_);
+
+    cachedCols_ = im2col(x, kernel_, stride_, pad_);
+    cachedWq_ = quantizer_.project(weight_.value);
+    quantizer_.addMacs(n * outChannels_ * inChannels_ * kernel_ * kernel_ *
+                       oh * ow);
+
+    Tensor y({n, outChannels_, oh, ow});
+    const std::size_t cols_rows = cachedCols_.dim(1);
+    const std::size_t cols_cols = cachedCols_.dim(2);
+    for (std::size_t img = 0; img < n; ++img) {
+        // View image's columns as a matrix and multiply.
+        Tensor cols_mat({cols_rows, cols_cols});
+        std::copy(cachedCols_.data() + img * cols_rows * cols_cols,
+                  cachedCols_.data() + (img + 1) * cols_rows * cols_cols,
+                  cols_mat.data());
+        Tensor out = matmul(cachedWq_, cols_mat); // [outC, OH*OW]
+        std::copy(out.data(), out.data() + out.size(),
+                  y.data() + img * outChannels_ * oh * ow);
+    }
+    if (hasBias_) {
+        for (std::size_t img = 0; img < n; ++img)
+            for (std::size_t c = 0; c < outChannels_; ++c) {
+                float* base = y.data() + (img * outChannels_ + c) * oh * ow;
+                for (std::size_t i = 0; i < oh * ow; ++i)
+                    base[i] += bias_.value[c];
+            }
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor& dy)
+{
+    require(!cachedCols_.empty(), "Conv2d::backward before forward");
+    require(dy.rank() == 4 && dy.dim(1) == outChannels_,
+            "Conv2d::backward: gradient shape mismatch");
+    const std::size_t n = dy.dim(0);
+    const std::size_t oh = dy.dim(2), ow = dy.dim(3);
+    const std::size_t cols_rows = cachedCols_.dim(1);
+    const std::size_t cols_cols = cachedCols_.dim(2);
+    require(cols_cols == oh * ow, "Conv2d::backward: spatial mismatch");
+
+    Tensor dw({outChannels_, cols_rows});
+    Tensor dcols({n, cols_rows, cols_cols});
+
+    for (std::size_t img = 0; img < n; ++img) {
+        Tensor dy_mat({outChannels_, cols_cols});
+        std::copy(dy.data() + img * outChannels_ * cols_cols,
+                  dy.data() + (img + 1) * outChannels_ * cols_cols,
+                  dy_mat.data());
+        Tensor cols_mat({cols_rows, cols_cols});
+        std::copy(cachedCols_.data() + img * cols_rows * cols_cols,
+                  cachedCols_.data() + (img + 1) * cols_rows * cols_cols,
+                  cols_mat.data());
+
+        // dW += dy_mat * cols^T.
+        dw += matmulTransB(dy_mat, cols_mat);
+        // dcols = Wq^T * dy_mat.
+        Tensor dc = matmulTransA(cachedWq_, dy_mat);
+        std::copy(dc.data(), dc.data() + dc.size(),
+                  dcols.data() + img * cols_rows * cols_cols);
+
+        if (hasBias_) {
+            for (std::size_t c = 0; c < outChannels_; ++c)
+                for (std::size_t i = 0; i < cols_cols; ++i)
+                    bias_.grad[c] += dy_mat(c, i);
+        }
+    }
+
+    Tensor dw_master = quantizer_.backward(weight_.value, dw);
+    if (!weight_.grad.sameShape(weight_.value))
+        weight_.resetGrad();
+    weight_.grad += dw_master;
+
+    return col2im(dcols, inChannels_, inH_, inW_, kernel_, stride_, pad_);
+}
+
+void
+Conv2d::collectParameters(std::vector<Parameter*>& out)
+{
+    out.push_back(&weight_);
+    if (hasBias_)
+        out.push_back(&bias_);
+    out.push_back(&quantizer_.clipParam());
+}
+
+void
+Conv2d::setQuantContext(QuantContext* ctx)
+{
+    quantizer_.setContext(ctx);
+}
+
+DepthwiseConv2d::DepthwiseConv2d(std::size_t channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t pad,
+                                 Rng& rng)
+    : channels_(channels), kernel_(kernel), stride_(stride), pad_(pad)
+{
+    weight_.value = Tensor({channels, kernel, kernel});
+    kaimingNormal(weight_.value, kernel * kernel, rng);
+    weight_.resetGrad();
+    quantizer_.initClip(weight_.value);
+}
+
+Tensor
+DepthwiseConv2d::forward(const Tensor& x)
+{
+    require(x.rank() == 4 && x.dim(1) == channels_,
+            "DepthwiseConv2d::forward: channel mismatch");
+    const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const std::size_t oh = convOutSize(h, kernel_, stride_, pad_);
+    const std::size_t ow = convOutSize(w, kernel_, stride_, pad_);
+
+    cachedInput_ = x;
+    cachedWq_ = quantizer_.project(weight_.value);
+    quantizer_.addMacs(n * channels_ * kernel_ * kernel_ * oh * ow);
+
+    Tensor y({n, channels_, oh, ow});
+    for (std::size_t img = 0; img < n; ++img) {
+        for (std::size_t c = 0; c < channels_; ++c) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    float acc = 0.0f;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        const long iy =
+                            static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(pad_);
+                        if (iy < 0 || iy >= static_cast<long>(h))
+                            continue;
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            const long ix =
+                                static_cast<long>(ox * stride_ + kx) -
+                                static_cast<long>(pad_);
+                            if (ix < 0 || ix >= static_cast<long>(w))
+                                continue;
+                            acc += cachedWq_(c, ky, kx) *
+                                   x(img, c,
+                                     static_cast<std::size_t>(iy),
+                                     static_cast<std::size_t>(ix));
+                        }
+                    }
+                    y(img, c, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+DepthwiseConv2d::backward(const Tensor& dy)
+{
+    require(!cachedInput_.empty(),
+            "DepthwiseConv2d::backward before forward");
+    const Tensor& x = cachedInput_;
+    const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const std::size_t oh = dy.dim(2), ow = dy.dim(3);
+
+    Tensor dw(cachedWq_.shape());
+    Tensor dx(x.shape());
+    for (std::size_t img = 0; img < n; ++img) {
+        for (std::size_t c = 0; c < channels_; ++c) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    const float g = dy(img, c, oy, ox);
+                    if (g == 0.0f)
+                        continue;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        const long iy =
+                            static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(pad_);
+                        if (iy < 0 || iy >= static_cast<long>(h))
+                            continue;
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            const long ix =
+                                static_cast<long>(ox * stride_ + kx) -
+                                static_cast<long>(pad_);
+                            if (ix < 0 || ix >= static_cast<long>(w))
+                                continue;
+                            const auto uy =
+                                static_cast<std::size_t>(iy);
+                            const auto ux =
+                                static_cast<std::size_t>(ix);
+                            dw(c, ky, kx) += g * x(img, c, uy, ux);
+                            dx(img, c, uy, ux) +=
+                                g * cachedWq_(c, ky, kx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Tensor dw_master = quantizer_.backward(weight_.value, dw);
+    if (!weight_.grad.sameShape(weight_.value))
+        weight_.resetGrad();
+    weight_.grad += dw_master;
+    return dx;
+}
+
+void
+DepthwiseConv2d::collectParameters(std::vector<Parameter*>& out)
+{
+    out.push_back(&weight_);
+    out.push_back(&quantizer_.clipParam());
+}
+
+void
+DepthwiseConv2d::setQuantContext(QuantContext* ctx)
+{
+    quantizer_.setContext(ctx);
+}
+
+} // namespace mrq

@@ -1,0 +1,45 @@
+#include "nn/dropout.hpp"
+
+namespace mrq {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed)
+{
+    require(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1)");
+}
+
+Tensor
+Dropout::forward(const Tensor& x)
+{
+    if (!training_ || p_ == 0.0f) {
+        mask_.clear();
+        return x;
+    }
+    const float keep = 1.0f - p_;
+    const float scale = 1.0f / keep;
+    mask_.assign(x.size(), 0.0f);
+    Tensor y = x;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (rng_.bernoulli(keep)) {
+            mask_[i] = scale;
+            y[i] *= scale;
+        } else {
+            y[i] = 0.0f;
+        }
+    }
+    return y;
+}
+
+Tensor
+Dropout::backward(const Tensor& dy)
+{
+    if (mask_.empty())
+        return dy;
+    require(dy.size() == mask_.size(),
+            "Dropout::backward: gradient size mismatch");
+    Tensor dx = dy;
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        dx[i] *= mask_[i];
+    return dx;
+}
+
+} // namespace mrq

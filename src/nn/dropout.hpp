@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Inverted dropout layer.
+ */
+
+#ifndef MRQ_NN_DROPOUT_HPP
+#define MRQ_NN_DROPOUT_HPP
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Inverted dropout: identity at eval time. */
+class Dropout : public Module
+{
+  public:
+    /**
+     * @param p    Drop probability.
+     * @param seed RNG seed for the mask stream.
+     */
+    explicit Dropout(float p, std::uint64_t seed = 0x0dd5eed);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+
+  private:
+    float p_;
+    Rng rng_;
+    std::vector<float> mask_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_DROPOUT_HPP

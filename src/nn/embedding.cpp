@@ -1,0 +1,58 @@
+#include "nn/embedding.hpp"
+
+#include <cmath>
+
+#include "nn/init.hpp"
+
+namespace mrq {
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng)
+    : vocab_(vocab), dim_(dim)
+{
+    weight_.value = Tensor({vocab, dim});
+    uniformInit(weight_.value, 0.1, rng);
+    weight_.resetGrad();
+}
+
+Tensor
+Embedding::forward(const Tensor& x)
+{
+    cachedShape_ = x.shape();
+    cachedIndices_.resize(x.size());
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.push_back(dim_);
+    Tensor y(out_shape);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const auto idx = static_cast<std::size_t>(std::lround(x[i]));
+        require(idx < vocab_, "Embedding::forward: index ", idx,
+                " out of vocab ", vocab_);
+        cachedIndices_[i] = idx;
+        for (std::size_t d = 0; d < dim_; ++d)
+            y[i * dim_ + d] = weight_.value(idx, d);
+    }
+    return y;
+}
+
+Tensor
+Embedding::backward(const Tensor& dy)
+{
+    require(!cachedIndices_.empty() || dy.size() == 0,
+            "Embedding::backward before forward");
+    require(dy.size() == cachedIndices_.size() * dim_,
+            "Embedding::backward: gradient size mismatch");
+    for (std::size_t i = 0; i < cachedIndices_.size(); ++i) {
+        const std::size_t idx = cachedIndices_[i];
+        for (std::size_t d = 0; d < dim_; ++d)
+            weight_.grad(idx, d) += dy[i * dim_ + d];
+    }
+    // Indices carry no gradient; return a zero tensor of input shape.
+    return Tensor(cachedShape_);
+}
+
+void
+Embedding::collectParameters(std::vector<Parameter*>& out)
+{
+    out.push_back(&weight_);
+}
+
+} // namespace mrq

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Token embedding table.
+ */
+
+#ifndef MRQ_NN_EMBEDDING_HPP
+#define MRQ_NN_EMBEDDING_HPP
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/**
+ * Lookup table mapping token ids to dense rows.
+ *
+ * The Module interface carries indices as a float tensor of any shape
+ * holding integral values; the output appends an embedding axis.
+ */
+class Embedding : public Module
+{
+  public:
+    Embedding(std::size_t vocab, std::size_t dim, Rng& rng);
+
+    /** @param x Indices of shape [...]; output is [..., dim]. */
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+
+    Parameter& weight() { return weight_; }
+
+  private:
+    std::size_t vocab_, dim_;
+    Parameter weight_{"embedding.weight"};
+    std::vector<std::size_t> cachedIndices_;
+    std::vector<std::size_t> cachedShape_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_EMBEDDING_HPP

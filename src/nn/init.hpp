@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Weight initialization helpers (Kaiming / Xavier / constant).
+ */
+
+#ifndef MRQ_NN_INIT_HPP
+#define MRQ_NN_INIT_HPP
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mrq {
+
+/** Fill with N(0, sqrt(2/fan_in)) — Kaiming-normal for ReLU nets. */
+inline void
+kaimingNormal(Tensor& w, std::size_t fan_in, Rng& rng)
+{
+    const double std_dev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.normal(0.0, std_dev));
+}
+
+/** Fill with U(-r, r) where r = sqrt(6/(fan_in+fan_out)). */
+inline void
+xavierUniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, Rng& rng)
+{
+    const double r =
+        std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.uniform(-r, r));
+}
+
+/** Fill with U(-r, r). */
+inline void
+uniformInit(Tensor& w, double r, Rng& rng)
+{
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.uniform(-r, r));
+}
+
+} // namespace mrq
+
+#endif // MRQ_NN_INIT_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fully connected layer with optional weight quantization.
+ */
+
+#ifndef MRQ_NN_LINEAR_HPP
+#define MRQ_NN_LINEAR_HPP
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/weight_quantizer.hpp"
+
+namespace mrq {
+
+/** y = x W^T + b over [batch, in] inputs. */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in_features  Input width.
+     * @param out_features Output width.
+     * @param rng          Initializer RNG.
+     * @param bias         Whether to learn a bias vector.
+     */
+    Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+    void collectParameters(std::vector<Parameter*>& out) override;
+    void setQuantContext(QuantContext* ctx) override;
+
+    void
+    calibrateWeightClips() override
+    {
+        quantizer_.initClip(weight_.value);
+    }
+
+    /** Master weights [out, in] (exposed for deployment/tests). */
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+    WeightQuantizer& quantizer() { return quantizer_; }
+
+    std::size_t inFeatures() const { return inFeatures_; }
+    std::size_t outFeatures() const { return outFeatures_; }
+
+  private:
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    bool hasBias_;
+
+    Parameter weight_{"linear.weight"};
+    Parameter bias_{"linear.bias"};
+    WeightQuantizer quantizer_{"linear.clip_w"};
+
+    Tensor cachedInput_;
+    Tensor cachedWq_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_LINEAR_HPP

@@ -1,0 +1,181 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+Tensor
+softmax(const Tensor& logits, float temperature)
+{
+    require(logits.rank() == 2, "softmax: [N, C] logits required");
+    require(temperature > 0.0f, "softmax: temperature must be positive");
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    Tensor out({n, c});
+    for (std::size_t i = 0; i < n; ++i) {
+        float max_z = -1e30f;
+        for (std::size_t j = 0; j < c; ++j)
+            max_z = std::max(max_z, logits(i, j) / temperature);
+        double denom = 0.0;
+        for (std::size_t j = 0; j < c; ++j) {
+            const float e =
+                std::exp(logits(i, j) / temperature - max_z);
+            out(i, j) = e;
+            denom += e;
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t j = 0; j < c; ++j)
+            out(i, j) *= inv;
+    }
+    return out;
+}
+
+float
+softmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                    Tensor* dlogits)
+{
+    require(logits.rank() == 2, "softmaxCrossEntropy: [N, C] required");
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    require(labels.size() == n,
+            "softmaxCrossEntropy: label count mismatch");
+
+    Tensor probs = softmax(logits);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int y = labels[i];
+        require(y >= 0 && static_cast<std::size_t>(y) < c,
+                "softmaxCrossEntropy: label ", y, " out of range");
+        loss -= std::log(std::max(probs(i, static_cast<std::size_t>(y)),
+                                  1e-12f));
+    }
+    loss /= static_cast<double>(n);
+
+    if (dlogits) {
+        *dlogits = probs;
+        const float inv_n = 1.0f / static_cast<float>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            (*dlogits)(i, static_cast<std::size_t>(labels[i])) -= 1.0f;
+            for (std::size_t j = 0; j < c; ++j)
+                (*dlogits)(i, j) *= inv_n;
+        }
+    }
+    return static_cast<float>(loss);
+}
+
+float
+distillationLoss(const Tensor& student, const Tensor& teacher,
+                 float temperature, Tensor* dstudent)
+{
+    require(student.sameShape(teacher),
+            "distillationLoss: logit shape mismatch");
+    require(student.rank() == 2, "distillationLoss: [N, C] required");
+    const std::size_t n = student.dim(0), c = student.dim(1);
+
+    const Tensor p_t = softmax(teacher, temperature);
+    const Tensor p_s = softmax(student, temperature);
+
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < c; ++j) {
+            const float pt = p_t(i, j);
+            if (pt > 0.0f)
+                loss += pt * (std::log(std::max(pt, 1e-12f)) -
+                              std::log(std::max(p_s(i, j), 1e-12f)));
+        }
+    const double t2 = static_cast<double>(temperature) * temperature;
+    loss = loss * t2 / static_cast<double>(n);
+
+    if (dstudent) {
+        // d/dz_s of T^2 * KL = T * (p_s - p_t); mean over rows.
+        *dstudent = Tensor({n, c});
+        const float k = temperature / static_cast<float>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < c; ++j)
+                (*dstudent)(i, j) = k * (p_s(i, j) - p_t(i, j));
+    }
+    return static_cast<float>(loss);
+}
+
+float
+mseLoss(const Tensor& pred, const Tensor& target, Tensor* dpred)
+{
+    require(pred.sameShape(target), "mseLoss: shape mismatch");
+    const std::size_t n = pred.size();
+    require(n > 0, "mseLoss: empty tensors");
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = pred[i] - target[i];
+        loss += d * d;
+    }
+    loss /= static_cast<double>(n);
+    if (dpred) {
+        *dpred = Tensor(pred.shape());
+        const float k = 2.0f / static_cast<float>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            (*dpred)[i] = k * (pred[i] - target[i]);
+    }
+    return static_cast<float>(loss);
+}
+
+float
+bceWithLogits(const Tensor& logits, const Tensor& target,
+              const Tensor* mask, Tensor* dlogits)
+{
+    require(logits.sameShape(target), "bceWithLogits: shape mismatch");
+    if (mask)
+        require(mask->sameShape(logits), "bceWithLogits: mask mismatch");
+    const std::size_t n = logits.size();
+    require(n > 0, "bceWithLogits: empty tensors");
+
+    double loss = 0.0;
+    double active = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float m = mask ? (*mask)[i] : 1.0f;
+        if (m == 0.0f)
+            continue;
+        const float z = logits[i];
+        const float y = target[i];
+        // Numerically stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+        loss += m * (std::max(z, 0.0f) - z * y +
+                     std::log1p(std::exp(-std::fabs(z))));
+        active += m;
+    }
+    if (active == 0.0)
+        active = 1.0;
+    loss /= active;
+
+    if (dlogits) {
+        *dlogits = Tensor(logits.shape());
+        for (std::size_t i = 0; i < n; ++i) {
+            const float m = mask ? (*mask)[i] : 1.0f;
+            if (m == 0.0f)
+                continue;
+            const float sig = 1.0f / (1.0f + std::exp(-logits[i]));
+            (*dlogits)[i] =
+                m * (sig - target[i]) / static_cast<float>(active);
+        }
+    }
+    return static_cast<float>(loss);
+}
+
+double
+top1Accuracy(const Tensor& logits, const std::vector<int>& labels)
+{
+    require(logits.rank() == 2, "top1Accuracy: [N, C] required");
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    require(labels.size() == n, "top1Accuracy: label count mismatch");
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < c; ++j)
+            if (logits(i, j) > logits(i, best))
+                best = j;
+        hits += static_cast<std::size_t>(labels[i]) == best;
+    }
+    return n == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(n);
+}
+
+} // namespace mrq

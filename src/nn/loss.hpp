@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Loss functions: cross-entropy, knowledge distillation (Hinton-style
+ * soft labels, used by Algorithm 1's teacher/student step), MSE and
+ * BCE-with-logits (used by the YOLO detection head).
+ *
+ * All losses are mean-reduced over the batch and write the gradient
+ * with respect to their first argument through an out-parameter.
+ */
+
+#ifndef MRQ_NN_LOSS_HPP
+#define MRQ_NN_LOSS_HPP
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mrq {
+
+/** Row-wise softmax with temperature. */
+Tensor softmax(const Tensor& logits, float temperature = 1.0f);
+
+/**
+ * Mean softmax cross-entropy against integer labels.
+ *
+ * @param logits  [N, C] scores.
+ * @param labels  N class indices.
+ * @param dlogits Optional out-gradient (mean-reduced).
+ * @return Mean loss.
+ */
+float softmaxCrossEntropy(const Tensor& logits,
+                          const std::vector<int>& labels,
+                          Tensor* dlogits = nullptr);
+
+/**
+ * Hinton knowledge-distillation loss
+ * T^2 * KL(softmax(teacher/T) || softmax(student/T)), mean over rows.
+ * The teacher is treated as a constant (no gradient).
+ *
+ * @param student     [N, C] student logits.
+ * @param teacher     [N, C] teacher logits.
+ * @param temperature Softening temperature T.
+ * @param dstudent    Optional out-gradient w.r.t. the student.
+ */
+float distillationLoss(const Tensor& student, const Tensor& teacher,
+                       float temperature, Tensor* dstudent = nullptr);
+
+/** Mean squared error. */
+float mseLoss(const Tensor& pred, const Tensor& target,
+              Tensor* dpred = nullptr);
+
+/**
+ * Mean binary cross-entropy on logits, optionally masked per-element
+ * (mask 0 drops an element from both the loss and its gradient).
+ */
+float bceWithLogits(const Tensor& logits, const Tensor& target,
+                    const Tensor* mask, Tensor* dlogits = nullptr);
+
+/** Top-1 accuracy of [N, C] logits against labels, in [0, 1]. */
+double top1Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+} // namespace mrq
+
+#endif // MRQ_NN_LOSS_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Base classes of the neural-network substrate.
+ *
+ * The framework uses explicit forward/backward layers (no taped
+ * autograd): every Module caches whatever it needs in forward and
+ * produces input gradients in backward, accumulating parameter
+ * gradients into Parameter::grad.  Composite topologies (residual
+ * blocks, LSTMs, detection heads) are themselves Modules that route
+ * gradients internally.  Correctness is enforced by the
+ * finite-difference gradient checks in tests/nn.
+ */
+
+#ifndef MRQ_NN_MODULE_HPP
+#define MRQ_NN_MODULE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fake_quant.hpp"
+#include "core/quant_config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mrq {
+
+/** A learnable tensor with its gradient accumulator. */
+struct Parameter
+{
+    Tensor value;
+    Tensor grad;
+    std::string name;
+
+    /** Set false for parameters that skip weight decay (clips, BN). */
+    bool decay = true;
+
+    /**
+     * Set false for state carried as a parameter only for
+     * checkpointing (e.g. batch-norm running statistics); the
+     * optimizer and gradient checks skip it.
+     */
+    bool trainable = true;
+
+    explicit Parameter(std::string param_name = "") : name(std::move(param_name)) {}
+
+    /** Allocate the gradient buffer to match the value and zero it. */
+    void
+    resetGrad()
+    {
+        if (!grad.sameShape(value))
+            grad = Tensor(value.shape());
+        else
+            grad.zero();
+    }
+};
+
+/**
+ * Shared quantization state consulted by quantized layers.
+ *
+ * The trainer points every quantized layer at one QuantContext and
+ * swaps the active SubModelConfig between teacher and student forward
+ * passes (Algorithm 1); layers read it lazily each forward.
+ */
+struct QuantContext
+{
+    /** The active sub-model setting for the next forward pass. */
+    SubModelConfig config;
+
+    /** Collect kept-term statistics during forward passes. */
+    bool collectStats = false;
+
+    /** Accumulated statistics when collectStats is set. */
+    QuantStats weightStats;
+    QuantStats dataStats;
+
+    /**
+     * Multiply-accumulate operations performed by forward passes while
+     * collectStats was set (counted regardless of quantization mode;
+     * used for term-pair accounting).
+     */
+    std::size_t macs = 0;
+
+    void
+    resetStats()
+    {
+        weightStats = QuantStats{};
+        dataStats = QuantStats{};
+        macs = 0;
+    }
+};
+
+/** Abstract layer with explicit forward and backward passes. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** Run the layer; must cache what backward needs. */
+    virtual Tensor forward(const Tensor& x) = 0;
+
+    /**
+     * Propagate output gradients to input gradients, accumulating
+     * parameter gradients along the way.  Must be called after a
+     * matching forward.
+     */
+    virtual Tensor backward(const Tensor& dy) = 0;
+
+    /** Append this module's parameters (default: none). */
+    virtual void
+    collectParameters(std::vector<Parameter*>& out)
+    {
+        (void)out;
+    }
+
+    /** Switch train/eval behaviour (dropout, batch-norm). */
+    virtual void
+    setTraining(bool training)
+    {
+        training_ = training;
+    }
+
+    /** Point quantized layers at a shared context (default: ignore). */
+    virtual void
+    setQuantContext(QuantContext* ctx)
+    {
+        (void)ctx;
+    }
+
+    /**
+     * Re-derive weight-clip parameters from the current weights.
+     * Called after full-precision pretraining (weight clips receive no
+     * gradient while quantization is off, so they go stale).
+     */
+    virtual void calibrateWeightClips() {}
+
+    /** Convenience: gather parameters into a fresh vector. */
+    std::vector<Parameter*>
+    parameters()
+    {
+        std::vector<Parameter*> out;
+        collectParameters(out);
+        return out;
+    }
+
+  protected:
+    bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+} // namespace mrq
+
+#endif // MRQ_NN_MODULE_HPP

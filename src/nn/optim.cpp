@@ -1,0 +1,56 @@
+#include "nn/optim.hpp"
+
+namespace mrq {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum),
+      weightDecay_(weight_decay)
+{
+    for (Parameter* p : params_) {
+        require(p != nullptr, "Sgd: null parameter");
+        p->resetGrad();
+    }
+}
+
+void
+Sgd::zeroGrad()
+{
+    for (Parameter* p : params_)
+        p->resetGrad();
+}
+
+void
+Sgd::step()
+{
+    if (gradClip_ > 0.0f) {
+        double norm_sq = 0.0;
+        for (Parameter* p : params_)
+            for (std::size_t i = 0; i < p->grad.size(); ++i)
+                norm_sq += static_cast<double>(p->grad[i]) * p->grad[i];
+        const double norm = std::sqrt(norm_sq);
+        if (norm > gradClip_) {
+            const float scale =
+                gradClip_ / static_cast<float>(norm + 1e-12);
+            for (Parameter* p : params_)
+                for (std::size_t i = 0; i < p->grad.size(); ++i)
+                    p->grad[i] *= scale;
+        }
+    }
+
+    for (Parameter* p : params_) {
+        if (!p->trainable)
+            continue;
+        Tensor& v = velocity_[p];
+        if (!v.sameShape(p->value))
+            v = Tensor(p->value.shape());
+        const float wd = p->decay ? weightDecay_ : 0.0f;
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            const float g = p->grad[i] + wd * p->value[i];
+            v[i] = momentum_ * v[i] + g;
+            p->value[i] -= lr_ * v[i];
+        }
+    }
+}
+
+} // namespace mrq

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SGD with momentum and weight decay, plus learning-rate schedules.
+ */
+
+#ifndef MRQ_NN_OPTIM_HPP
+#define MRQ_NN_OPTIM_HPP
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Plain SGD with classical momentum and decoupled weight decay. */
+class Sgd
+{
+  public:
+    /**
+     * @param params       Parameters to optimize (must outlive Sgd).
+     * @param lr           Learning rate.
+     * @param momentum     Momentum coefficient.
+     * @param weight_decay L2 penalty applied where Parameter::decay.
+     */
+    Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+        float weight_decay = 1e-4f);
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    /** One update step from the accumulated gradients. */
+    void step();
+
+    /** Gradient-norm clipping applied inside step() when positive. */
+    void setGradClip(float max_norm) { gradClip_ = max_norm; }
+
+    float lr() const { return lr_; }
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    std::vector<Parameter*> params_;
+    float lr_;
+    float momentum_;
+    float weightDecay_;
+    float gradClip_ = 0.0f;
+    std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+/** Step schedule: lr drops by @p factor every @p step_epochs. */
+inline float
+stepLr(float base_lr, int epoch, int step_epochs, float factor = 0.1f)
+{
+    const int drops = step_epochs > 0 ? epoch / step_epochs : 0;
+    return base_lr * std::pow(factor, static_cast<float>(drops));
+}
+
+/** Cosine decay from base_lr to ~0 over total_epochs. */
+inline float
+cosineLr(float base_lr, int epoch, int total_epochs)
+{
+    if (total_epochs <= 0)
+        return base_lr;
+    const float t = static_cast<float>(epoch) /
+                    static_cast<float>(total_epochs);
+    return base_lr * 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * t));
+}
+
+} // namespace mrq
+
+#endif // MRQ_NN_OPTIM_HPP

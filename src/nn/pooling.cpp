@@ -1,0 +1,102 @@
+#include "nn/pooling.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace mrq {
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride)
+{
+    require(kernel > 0 && stride > 0, "MaxPool2d: bad geometry");
+}
+
+Tensor
+MaxPool2d::forward(const Tensor& x)
+{
+    require(x.rank() == 4, "MaxPool2d::forward: NCHW input required");
+    const std::size_t n = x.dim(0), c = x.dim(1);
+    const std::size_t h = x.dim(2), w = x.dim(3);
+    const std::size_t oh = convOutSize(h, kernel_, stride_, 0);
+    const std::size_t ow = convOutSize(w, kernel_, stride_, 0);
+
+    inShape_ = x.shape();
+    Tensor y({n, c, oh, ow});
+    argmax_.assign(y.size(), 0);
+    std::size_t out_idx = 0;
+    for (std::size_t img = 0; img < n; ++img)
+        for (std::size_t ch = 0; ch < c; ++ch)
+            for (std::size_t oy = 0; oy < oh; ++oy)
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    float best = -1e30f;
+                    std::size_t best_idx = 0;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky)
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            const std::size_t iy = oy * stride_ + ky;
+                            const std::size_t ix = ox * stride_ + kx;
+                            const float v = x(img, ch, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx =
+                                    ((img * c + ch) * h + iy) * w + ix;
+                            }
+                        }
+                    y[out_idx] = best;
+                    argmax_[out_idx] = best_idx;
+                    ++out_idx;
+                }
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor& dy)
+{
+    require(!inShape_.empty(), "MaxPool2d::backward before forward");
+    require(dy.size() == argmax_.size(),
+            "MaxPool2d::backward: gradient size mismatch");
+    Tensor dx(inShape_);
+    for (std::size_t i = 0; i < dy.size(); ++i)
+        dx[argmax_[i]] += dy[i];
+    return dx;
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor& x)
+{
+    require(x.rank() == 4, "GlobalAvgPool::forward: NCHW input required");
+    const std::size_t n = x.dim(0), c = x.dim(1);
+    const std::size_t h = x.dim(2), w = x.dim(3);
+    inShape_ = x.shape();
+    Tensor y({n, c});
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (std::size_t img = 0; img < n; ++img)
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < h; ++i)
+                for (std::size_t j = 0; j < w; ++j)
+                    acc += x(img, ch, i, j);
+            y(img, ch) = static_cast<float>(acc) * inv;
+        }
+    return y;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor& dy)
+{
+    require(!inShape_.empty(), "GlobalAvgPool::backward before forward");
+    const std::size_t n = inShape_[0], c = inShape_[1];
+    const std::size_t h = inShape_[2], w = inShape_[3];
+    require(dy.rank() == 2 && dy.dim(0) == n && dy.dim(1) == c,
+            "GlobalAvgPool::backward: gradient shape mismatch");
+    Tensor dx(inShape_);
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (std::size_t img = 0; img < n; ++img)
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float g = dy(img, ch) * inv;
+            for (std::size_t i = 0; i < h; ++i)
+                for (std::size_t j = 0; j < w; ++j)
+                    dx(img, ch, i, j) = g;
+        }
+    return dx;
+}
+
+} // namespace mrq

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pooling layers: max pooling and global average pooling.
+ */
+
+#ifndef MRQ_NN_POOLING_HPP
+#define MRQ_NN_POOLING_HPP
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Square-window max pooling over NCHW inputs. */
+class MaxPool2d : public Module
+{
+  public:
+    MaxPool2d(std::size_t kernel, std::size_t stride);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+
+  private:
+    std::size_t kernel_, stride_;
+    std::vector<std::size_t> argmax_;
+    std::vector<std::size_t> inShape_;
+};
+
+/** Global average pooling: [N, C, H, W] -> [N, C]. */
+class GlobalAvgPool : public Module
+{
+  public:
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& dy) override;
+
+  private:
+    std::vector<std::size_t> inShape_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_POOLING_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sequential container module.
+ */
+
+#ifndef MRQ_NN_SEQUENTIAL_HPP
+#define MRQ_NN_SEQUENTIAL_HPP
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Runs child modules in order; backward runs them in reverse. */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    /** Append a child module; returns a raw observer pointer. */
+    template <typename M, typename... Args>
+    M*
+    emplace(Args&&... args)
+    {
+        auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+        M* raw = mod.get();
+        children_.push_back(std::move(mod));
+        return raw;
+    }
+
+    /** Append an already constructed module. */
+    void
+    append(ModulePtr mod)
+    {
+        children_.push_back(std::move(mod));
+    }
+
+    Tensor
+    forward(const Tensor& x) override
+    {
+        Tensor cur = x;
+        for (auto& child : children_)
+            cur = child->forward(cur);
+        return cur;
+    }
+
+    Tensor
+    backward(const Tensor& dy) override
+    {
+        Tensor cur = dy;
+        for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+            cur = (*it)->backward(cur);
+        return cur;
+    }
+
+    void
+    collectParameters(std::vector<Parameter*>& out) override
+    {
+        for (auto& child : children_)
+            child->collectParameters(out);
+    }
+
+    void
+    setTraining(bool training) override
+    {
+        Module::setTraining(training);
+        for (auto& child : children_)
+            child->setTraining(training);
+    }
+
+    void
+    setQuantContext(QuantContext* ctx) override
+    {
+        for (auto& child : children_)
+            child->setQuantContext(ctx);
+    }
+
+    void
+    calibrateWeightClips() override
+    {
+        for (auto& child : children_)
+            child->calibrateWeightClips();
+    }
+
+    std::size_t size() const { return children_.size(); }
+    Module* child(std::size_t i) { return children_.at(i).get(); }
+
+  private:
+    std::vector<ModulePtr> children_;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_SEQUENTIAL_HPP

@@ -1,0 +1,97 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace mrq {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d52'5131; // "MRQ1"
+
+void
+writeU32(std::ofstream& out, std::uint32_t v)
+{
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::ifstream& in)
+{
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+}
+
+void
+writeString(std::ofstream& out, const std::string& s)
+{
+    writeU32(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::ifstream& in)
+{
+    const std::uint32_t len = readU32(in);
+    require(len < (1u << 20), "loadCheckpoint: corrupt string length");
+    std::string s(len, '\0');
+    in.read(s.data(), len);
+    return s;
+}
+
+} // namespace
+
+void
+saveCheckpoint(Module& module, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    require(out.good(), "saveCheckpoint: cannot open '", path, "'");
+
+    const std::vector<Parameter*> params = module.parameters();
+    writeU32(out, kMagic);
+    writeU32(out, static_cast<std::uint32_t>(params.size()));
+    for (const Parameter* p : params) {
+        writeString(out, p->name);
+        writeU32(out, static_cast<std::uint32_t>(p->value.rank()));
+        for (std::size_t d : p->value.shape())
+            writeU32(out, static_cast<std::uint32_t>(d));
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.size() *
+                                               sizeof(float)));
+    }
+    require(out.good(), "saveCheckpoint: write to '", path, "' failed");
+}
+
+void
+loadCheckpoint(Module& module, const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    require(in.good(), "loadCheckpoint: cannot open '", path, "'");
+    require(readU32(in) == kMagic,
+            "loadCheckpoint: '", path, "' is not an mrq checkpoint");
+
+    const std::vector<Parameter*> params = module.parameters();
+    const std::uint32_t count = readU32(in);
+    require(count == params.size(), "loadCheckpoint: checkpoint has ",
+            count, " parameters, model has ", params.size());
+
+    for (Parameter* p : params) {
+        const std::string name = readString(in);
+        require(name == p->name, "loadCheckpoint: parameter '", name,
+                "' does not match model parameter '", p->name, "'");
+        const std::uint32_t rank = readU32(in);
+        require(rank == p->value.rank(),
+                "loadCheckpoint: rank mismatch for '", name, "'");
+        for (std::size_t d = 0; d < rank; ++d)
+            require(readU32(in) == p->value.dim(d),
+                    "loadCheckpoint: shape mismatch for '", name, "'");
+        in.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+        require(in.good(), "loadCheckpoint: truncated payload for '",
+                name, "'");
+    }
+}
+
+} // namespace mrq

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Checkpoint serialization: save and load a module's parameters.
+ *
+ * The format is a small self-describing binary: a magic header, a
+ * parameter count, then per parameter its name, shape, and float
+ * payload.  Parameters are matched positionally AND by name on load,
+ * so a checkpoint only loads into an identically constructed model —
+ * which is the intended "train once, deploy anywhere" flow for
+ * multi-resolution models (the checkpoint stores the meta model; any
+ * sub-model spawns from it at run time).
+ */
+
+#ifndef MRQ_NN_SERIALIZE_HPP
+#define MRQ_NN_SERIALIZE_HPP
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Write all parameters of @p module to @p path. */
+void saveCheckpoint(Module& module, const std::string& path);
+
+/**
+ * Load a checkpoint saved by saveCheckpoint into @p module.
+ * Fails (fatal) on any name, count, or shape mismatch.
+ */
+void loadCheckpoint(Module& module, const std::string& path);
+
+} // namespace mrq
+
+#endif // MRQ_NN_SERIALIZE_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared weight-projection logic for quantized layers.
+ *
+ * Every weight-bearing layer (Linear, Conv2d, LSTM gates) owns a
+ * WeightQuantizer: in forward it projects the fp32 master weights
+ * through the active sub-model's UQ -> SDR -> TQ pipeline with a
+ * learnable symmetric clip; in backward it applies the straight-
+ * through estimator (mask out-of-clip elements, accumulate the clip
+ * gradient).
+ */
+
+#ifndef MRQ_NN_WEIGHT_QUANTIZER_HPP
+#define MRQ_NN_WEIGHT_QUANTIZER_HPP
+
+#include <algorithm>
+
+#include "nn/module.hpp"
+
+namespace mrq {
+
+/** Projects master weights onto the active sub-model lattice. */
+class WeightQuantizer
+{
+  public:
+    explicit WeightQuantizer(const std::string& name = "clip_w")
+        : clip_(name)
+    {
+        clip_.value = Tensor({1}, 1.0f);
+        clip_.decay = false;
+    }
+
+    /** Initialize the clip from the freshly initialized weights. */
+    void
+    initClip(const Tensor& w)
+    {
+        clip_.value[0] = std::max(w.maxAbs(), 1e-3f);
+    }
+
+    /** Attach/detach the shared quantization context. */
+    void setContext(QuantContext* ctx) { ctx_ = ctx; }
+
+    /** Record MACs performed by the owning layer's forward pass. */
+    void
+    addMacs(std::size_t n)
+    {
+        if (ctx_ != nullptr && ctx_->collectStats)
+            ctx_->macs += n;
+    }
+
+    /** @return The learnable clip parameter (for registration). */
+    Parameter& clipParam() { return clip_; }
+
+    /** @return Effective positive clip magnitude. */
+    float
+    clip() const
+    {
+        return std::max(clip_.value[0], 1e-4f);
+    }
+
+    /** @return True when a quantizing context is active. */
+    bool
+    active() const
+    {
+        return ctx_ != nullptr && ctx_->config.mode != QuantMode::None;
+    }
+
+    /** Project master weights for the current forward pass. */
+    Tensor
+    project(const Tensor& w)
+    {
+        if (!active())
+            return w;
+        QuantStats* stats =
+            ctx_->collectStats ? &ctx_->weightStats : nullptr;
+        return fakeQuantWeights(w, clip(), ctx_->config, stats);
+    }
+
+    /**
+     * Apply the STE to a weight gradient computed against the
+     * projected weights: zero gradients outside the clip range and
+     * accumulate the clip parameter's gradient.
+     *
+     * @param w  Master (unprojected) weights.
+     * @param dw Gradient w.r.t. the projected weights.
+     * @return Gradient to accumulate into the master weights.
+     */
+    Tensor
+    backward(const Tensor& w, const Tensor& dw)
+    {
+        if (!active())
+            return dw;
+        if (!clip_.grad.sameShape(clip_.value))
+            clip_.resetGrad();
+        float cg = 0.0f;
+        Tensor masked = steBackward(w, dw, clip(), true, &cg);
+        clip_.grad[0] += cg;
+        return masked;
+    }
+
+  private:
+    Parameter clip_;
+    QuantContext* ctx_ = nullptr;
+};
+
+} // namespace mrq
+
+#endif // MRQ_NN_WEIGHT_QUANTIZER_HPP

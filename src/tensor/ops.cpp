@@ -1,0 +1,177 @@
+#include "tensor/ops.hpp"
+
+namespace mrq {
+
+Tensor
+matmul(const Tensor& a, const Tensor& b)
+{
+    require(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 tensors required");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    require(b.dim(0) == k, "matmul: inner dimensions differ: ",
+            a.shapeString(), " x ", b.shapeString());
+
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    // ikj loop order keeps the inner loop contiguous over both B and C.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f)
+                continue;
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransA(const Tensor& a, const Tensor& b)
+{
+    require(a.rank() == 2 && b.rank() == 2,
+            "matmulTransA: rank-2 tensors required");
+    const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    require(b.dim(0) == k, "matmulTransA: inner dimensions differ");
+
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float aki = arow[i];
+            if (aki == 0.0f)
+                continue;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor& a, const Tensor& b)
+{
+    require(a.rank() == 2 && b.rank() == 2,
+            "matmulTransB: rank-2 tensors required");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    require(b.dim(1) == k, "matmulTransB: inner dimensions differ");
+
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose2d(const Tensor& a)
+{
+    require(a.rank() == 2, "transpose2d: rank-2 tensor required");
+    const std::size_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Tensor
+im2col(const Tensor& input, std::size_t kernel, std::size_t stride,
+       std::size_t pad)
+{
+    require(input.rank() == 4, "im2col: NCHW input required");
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = convOutSize(h, kernel, stride, pad);
+    const std::size_t ow = convOutSize(w, kernel, stride, pad);
+
+    Tensor cols({n, c * kernel * kernel, oh * ow});
+    for (std::size_t img = 0; img < n; ++img) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            for (std::size_t ky = 0; ky < kernel; ++ky) {
+                for (std::size_t kx = 0; kx < kernel; ++kx) {
+                    const std::size_t row = (ch * kernel + ky) * kernel + kx;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const long iy = static_cast<long>(oy * stride + ky) -
+                                        static_cast<long>(pad);
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const long ix =
+                                static_cast<long>(ox * stride + kx) -
+                                static_cast<long>(pad);
+                            float v = 0.0f;
+                            if (iy >= 0 && iy < static_cast<long>(h) &&
+                                ix >= 0 && ix < static_cast<long>(w)) {
+                                v = input(img, ch,
+                                          static_cast<std::size_t>(iy),
+                                          static_cast<std::size_t>(ix));
+                            }
+                            cols(img, row, oy * ow + ox) = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+col2im(const Tensor& cols, std::size_t c, std::size_t h, std::size_t w,
+       std::size_t kernel, std::size_t stride, std::size_t pad)
+{
+    require(cols.rank() == 3, "col2im: rank-3 columns required");
+    const std::size_t n = cols.dim(0);
+    const std::size_t oh = convOutSize(h, kernel, stride, pad);
+    const std::size_t ow = convOutSize(w, kernel, stride, pad);
+    require(cols.dim(1) == c * kernel * kernel &&
+            cols.dim(2) == oh * ow, "col2im: column shape mismatch");
+
+    Tensor img({n, c, h, w});
+    for (std::size_t im = 0; im < n; ++im) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            for (std::size_t ky = 0; ky < kernel; ++ky) {
+                for (std::size_t kx = 0; kx < kernel; ++kx) {
+                    const std::size_t row = (ch * kernel + ky) * kernel + kx;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const long iy = static_cast<long>(oy * stride + ky) -
+                                        static_cast<long>(pad);
+                        if (iy < 0 || iy >= static_cast<long>(h))
+                            continue;
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const long ix =
+                                static_cast<long>(ox * stride + kx) -
+                                static_cast<long>(pad);
+                            if (ix < 0 || ix >= static_cast<long>(w))
+                                continue;
+                            img(im, ch, static_cast<std::size_t>(iy),
+                                static_cast<std::size_t>(ix)) +=
+                                cols(im, row, oy * ow + ox);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace mrq

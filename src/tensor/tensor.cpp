@@ -1,0 +1,140 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace mrq {
+
+std::size_t
+Tensor::numel(const std::vector<std::size_t>& shape)
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(numel(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(numel(shape_), fill)
+{
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    require(data_.size() == numel(shape_),
+            "Tensor: data size ", data_.size(), " does not match shape ",
+            shapeString());
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor
+Tensor::reshaped(std::vector<std::size_t> new_shape) const
+{
+    require(numel(new_shape) == data_.size(),
+            "Tensor::reshaped: element count mismatch");
+    return Tensor(std::move(new_shape), data_);
+}
+
+void
+Tensor::reshape(std::vector<std::size_t> new_shape)
+{
+    require(numel(new_shape) == data_.size(),
+            "Tensor::reshape: element count mismatch");
+    shape_ = std::move(new_shape);
+}
+
+Tensor&
+Tensor::operator+=(const Tensor& rhs)
+{
+    require(sameShape(rhs), "Tensor::operator+= shape mismatch: ",
+            shapeString(), " vs ", rhs.shapeString());
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += rhs.data_[i];
+    return *this;
+}
+
+Tensor&
+Tensor::operator-=(const Tensor& rhs)
+{
+    require(sameShape(rhs), "Tensor::operator-= shape mismatch: ",
+            shapeString(), " vs ", rhs.shapeString());
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+Tensor&
+Tensor::operator*=(float s)
+{
+    for (float& v : data_)
+        v *= s;
+    return *this;
+}
+
+Tensor
+Tensor::operator+(const Tensor& rhs) const
+{
+    Tensor out = *this;
+    out += rhs;
+    return out;
+}
+
+Tensor
+Tensor::operator-(const Tensor& rhs) const
+{
+    Tensor out = *this;
+    out -= rhs;
+    return out;
+}
+
+Tensor
+Tensor::operator*(float s) const
+{
+    Tensor out = *this;
+    out *= s;
+    return out;
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace mrq

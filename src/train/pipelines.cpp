@@ -1,0 +1,514 @@
+#include "train/pipelines.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/term_accounting.hpp"
+#include "data/batcher.hpp"
+#include "nn/loss.hpp"
+
+namespace mrq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+TrainerOptions
+trainerOptions(const PipelineOptions& opts, float lr)
+{
+    TrainerOptions t;
+    t.lr = lr;
+    t.momentum = opts.momentum;
+    t.weightDecay = opts.weightDecay;
+    t.distillWeight = opts.distillWeight;
+    t.useDistillation = opts.useDistillation;
+    t.seed = opts.seed ^ 0xabcdULL;
+    return t;
+}
+
+SubModelConfig
+fpConfig()
+{
+    SubModelConfig cfg;
+    cfg.mode = QuantMode::None;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Classification.
+// ---------------------------------------------------------------------
+
+double
+evalClassifier(MultiResTrainer& trainer, const SynthImages& data,
+               const SubModelConfig& cfg, std::size_t eval_batch,
+               std::size_t calibration_batches)
+{
+    const Tensor& images = data.testImages();
+    const std::vector<int>& labels = data.testLabels();
+    const std::size_t n = images.dim(0);
+    const std::size_t plane = 3 * data.imageSize() * data.imageSize();
+
+    // Re-estimate batch-norm statistics under this configuration.
+    const std::size_t train_n = data.trainImages().dim(0);
+    const std::size_t calib_batch = 50;
+    for (std::size_t b = 0; b < calibration_batches; ++b) {
+        const std::size_t base = (b * calib_batch) % train_n;
+        const std::size_t len = std::min(calib_batch, train_n - base);
+        if (len < 2)
+            continue;
+        Tensor batch({len, 3, data.imageSize(), data.imageSize()});
+        std::copy(data.trainImages().data() + base * plane,
+                  data.trainImages().data() + (base + len) * plane,
+                  batch.data());
+        trainer.calibrate(batch, cfg);
+    }
+
+    std::size_t hits = 0;
+    for (std::size_t base = 0; base < n; base += eval_batch) {
+        const std::size_t len = std::min(eval_batch, n - base);
+        Tensor batch({len, 3, data.imageSize(), data.imageSize()});
+        std::copy(images.data() + base * plane,
+                  images.data() + (base + len) * plane, batch.data());
+        Tensor logits = trainer.inferAt(batch, cfg);
+        for (std::size_t i = 0; i < len; ++i) {
+            std::size_t best = 0;
+            for (std::size_t j = 1; j < logits.dim(1); ++j)
+                if (logits(i, j) > logits(i, best))
+                    best = j;
+            hits += best == static_cast<std::size_t>(labels[base + i]);
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+namespace {
+
+/** Shared classification driver covering all three pipeline modes. */
+PipelineResult
+classifierPipeline(Sequential& model, const SynthImages& data,
+                   const SubModelLadder& ladder,
+                   const PipelineOptions& opts, bool multires,
+                   const SubModelConfig* single_cfg)
+{
+    PipelineResult result;
+    MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
+    Batcher batcher(data.trainImages().dim(0), opts.batchSize, opts.seed);
+    const std::size_t batches = batcher.batchesPerEpoch();
+
+    auto make_hard = [&](const std::vector<int>& labels) -> HardLossFn {
+        return [&labels](const Tensor& out, Tensor* dout) {
+            return softmaxCrossEntropy(out, labels, dout);
+        };
+    };
+    SoftLossFn soft = [&opts](const Tensor& s, const Tensor& t,
+                              Tensor* ds) {
+        return distillationLoss(s, t, opts.distillTemperature, ds);
+    };
+
+    // Phase 1: full-precision pretraining.
+    for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        const auto t0 = Clock::now();
+        trainer.optimizer().setLr(
+            cosineLr(opts.fpLr, static_cast<int>(epoch),
+                     static_cast<int>(opts.fpEpochs)));
+        double loss = 0.0;
+        for (std::size_t b = 0; b < batches; ++b) {
+            const auto idx = batcher.next();
+            const Tensor input = data.gatherImages(idx);
+            const std::vector<int> labels = data.gatherLabels(idx);
+            loss += trainer.trainIterationSingle(input, make_hard(labels),
+                                                 fpConfig());
+        }
+        result.fpEpochSeconds += seconds(t0, Clock::now());
+        if (opts.verbose)
+            std::printf("  [fp   epoch %zu] loss %.4f\n", epoch,
+                        loss / batches);
+    }
+    if (opts.fpEpochs > 0)
+        result.fpEpochSeconds /= static_cast<double>(opts.fpEpochs);
+    model.calibrateWeightClips();
+    result.fp32Metric = evalClassifier(trainer, data, fpConfig());
+
+    // Phase 2: fine-tuning (multi-resolution, single config, or none).
+    const bool post_training = !multires && single_cfg == nullptr;
+    if (!post_training) {
+        for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+            const auto t0 = Clock::now();
+            trainer.optimizer().setLr(
+                cosineLr(opts.mrLr, static_cast<int>(epoch),
+                         static_cast<int>(opts.mrEpochs)));
+            double loss = 0.0;
+            for (std::size_t b = 0; b < batches; ++b) {
+                const auto idx = batcher.next();
+                const Tensor input = data.gatherImages(idx);
+                const std::vector<int> labels = data.gatherLabels(idx);
+                if (multires) {
+                    loss += trainer
+                                .trainIteration(input, make_hard(labels),
+                                                soft)
+                                .studentLoss;
+                } else {
+                    loss += trainer.trainIterationSingle(
+                        input, make_hard(labels), *single_cfg);
+                }
+            }
+            result.mrEpochSeconds += seconds(t0, Clock::now());
+            if (opts.verbose)
+                std::printf("  [tune epoch %zu] loss %.4f\n", epoch,
+                            loss / batches);
+        }
+        if (opts.mrEpochs > 0)
+            result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
+    }
+
+    // Per-sample MAC count for term-pair accounting.
+    Tensor probe({1, 3, data.imageSize(), data.imageSize()});
+    std::copy(data.testImages().data(),
+              data.testImages().data() + probe.size(), probe.data());
+    model.setTraining(false);
+    const std::size_t macs = countModelMacs(model, probe);
+    model.setTraining(true);
+    model.setQuantContext(&trainer.context());
+
+    // Evaluation across the ladder (or the single config).
+    if (single_cfg != nullptr) {
+        SubModelResult r;
+        r.config = *single_cfg;
+        r.metric = evalClassifier(trainer, data, *single_cfg);
+        r.termPairs = termPairCount(macs, *single_cfg);
+        result.subModels.push_back(r);
+    } else {
+        for (const SubModelConfig& cfg : ladder) {
+            SubModelResult r;
+            r.config = cfg;
+            r.metric = evalClassifier(trainer, data, cfg);
+            r.termPairs = termPairCount(macs, cfg);
+            result.subModels.push_back(r);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+PipelineResult
+runClassifierMultiRes(Sequential& model, const SynthImages& data,
+                      const SubModelLadder& ladder,
+                      const PipelineOptions& opts)
+{
+    return classifierPipeline(model, data, ladder, opts, true, nullptr);
+}
+
+PipelineResult
+runClassifierSingle(Sequential& model, const SynthImages& data,
+                    const SubModelConfig& cfg, const PipelineOptions& opts)
+{
+    // Ladder only feeds the trainer's teacher bookkeeping; a single
+    // entry keeps the draw degenerate.
+    return classifierPipeline(model, data, {cfg}, opts, false, &cfg);
+}
+
+PipelineResult
+runClassifierPostTraining(Sequential& model, const SynthImages& data,
+                          const SubModelLadder& ladder,
+                          const PipelineOptions& opts)
+{
+    return classifierPipeline(model, data, ladder, opts, false, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Language modeling.
+// ---------------------------------------------------------------------
+
+double
+evalLm(MultiResTrainer& trainer, LstmLm& model, const SynthText& data,
+       const SubModelConfig& cfg, std::size_t bptt)
+{
+    trainer.context().config = cfg;
+    return lmPerplexity(model, data.valid(), bptt);
+}
+
+namespace {
+
+PipelineResult
+lmPipeline(LstmLm& model, const SynthText& data,
+           const SubModelLadder& ladder, const PipelineOptions& opts,
+           const SubModelConfig* single_cfg)
+{
+    PipelineResult result;
+    MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
+    trainer.optimizer().setGradClip(1.0f);
+
+    const std::vector<int>& stream = data.train();
+    const std::size_t batch = opts.batchSize;
+    const std::size_t col_len = (stream.size() - 1) / batch;
+    const std::size_t windows =
+        col_len > opts.bptt ? (col_len - 1) / opts.bptt : 0;
+    require(windows > 0, "runLmMultiRes: training stream too short");
+
+    std::vector<int> targets(opts.bptt * batch);
+    auto make_batch = [&](std::size_t w, Tensor* input) {
+        const std::size_t start = w * opts.bptt;
+        const std::size_t t_len =
+            std::min(opts.bptt, col_len - 1 - start);
+        *input = Tensor({t_len, batch});
+        targets.resize(t_len * batch);
+        for (std::size_t t = 0; t < t_len; ++t)
+            for (std::size_t b = 0; b < batch; ++b) {
+                const std::size_t pos = b * col_len + start + t;
+                (*input)(t, b) = static_cast<float>(stream[pos]);
+                targets[t * batch + b] = stream[pos + 1];
+            }
+    };
+    HardLossFn hard = [&targets](const Tensor& out, Tensor* dout) {
+        return softmaxCrossEntropy(out, targets, dout);
+    };
+    SoftLossFn soft = [&opts](const Tensor& s, const Tensor& t,
+                              Tensor* ds) {
+        return distillationLoss(s, t, opts.distillTemperature, ds);
+    };
+
+    // Phase 1: full-precision pretraining.
+    for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        const auto t0 = Clock::now();
+        trainer.optimizer().setLr(
+            cosineLr(opts.fpLr, static_cast<int>(epoch),
+                     static_cast<int>(opts.fpEpochs)));
+        for (std::size_t w = 0; w < windows; ++w) {
+            Tensor input;
+            make_batch(w, &input);
+            trainer.trainIterationSingle(input, hard, fpConfig());
+        }
+        result.fpEpochSeconds += seconds(t0, Clock::now());
+        if (opts.verbose)
+            std::printf("  [fp   epoch %zu] ppl %.2f\n", epoch,
+                        lmPerplexity(model, data.valid(), opts.bptt));
+    }
+    if (opts.fpEpochs > 0)
+        result.fpEpochSeconds /= static_cast<double>(opts.fpEpochs);
+    model.calibrateWeightClips();
+    result.fp32Metric = evalLm(trainer, model, data, fpConfig(), opts.bptt);
+
+    // Phase 2: fine-tuning (multi-resolution or single-config).
+    for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+        const auto t0 = Clock::now();
+        trainer.optimizer().setLr(
+            cosineLr(opts.mrLr, static_cast<int>(epoch),
+                     static_cast<int>(opts.mrEpochs)));
+        for (std::size_t w = 0; w < windows; ++w) {
+            Tensor input;
+            make_batch(w, &input);
+            if (single_cfg)
+                trainer.trainIterationSingle(input, hard, *single_cfg);
+            else
+                trainer.trainIteration(input, hard, soft);
+        }
+        result.mrEpochSeconds += seconds(t0, Clock::now());
+    }
+    if (opts.mrEpochs > 0)
+        result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
+
+    // MACs per token.
+    Tensor probe({opts.bptt, 1});
+    for (std::size_t t = 0; t < opts.bptt; ++t)
+        probe(t, 0) = static_cast<float>(data.valid()[t]);
+    model.setTraining(false);
+    QuantContext macs_ctx;
+    macs_ctx.collectStats = true;
+    macs_ctx.config.mode = QuantMode::None;
+    model.setQuantContext(&macs_ctx);
+    model.forward(probe);
+    const std::size_t macs_per_token = macs_ctx.macs / opts.bptt;
+    model.setTraining(true);
+    model.setQuantContext(&trainer.context());
+
+    const SubModelLadder eval_set =
+        single_cfg ? SubModelLadder{*single_cfg} : ladder;
+    for (const SubModelConfig& cfg : eval_set) {
+        SubModelResult r;
+        r.config = cfg;
+        r.metric = evalLm(trainer, model, data, cfg, opts.bptt);
+        r.termPairs = termPairCount(macs_per_token, cfg);
+        result.subModels.push_back(r);
+    }
+    return result;
+}
+
+} // namespace
+
+PipelineResult
+runLmMultiRes(LstmLm& model, const SynthText& data,
+              const SubModelLadder& ladder, const PipelineOptions& opts)
+{
+    return lmPipeline(model, data, ladder, opts, nullptr);
+}
+
+PipelineResult
+runLmSingle(LstmLm& model, const SynthText& data,
+            const SubModelConfig& cfg, const PipelineOptions& opts)
+{
+    return lmPipeline(model, data, {cfg}, opts, &cfg);
+}
+
+// ---------------------------------------------------------------------
+// Detection.
+// ---------------------------------------------------------------------
+
+double
+evalYolo(MultiResTrainer& trainer, const SynthDetect& data,
+         const SubModelConfig& cfg, std::size_t eval_batch)
+{
+    const Tensor& images = data.testImages();
+    const std::size_t n = images.dim(0);
+    const std::size_t plane = 3 * data.imageSize() * data.imageSize();
+
+    // Per-configuration batch-norm recalibration (as in the
+    // classification pipeline).
+    const std::size_t train_n = data.trainImages().dim(0);
+    const std::size_t calib_batch = 32;
+    for (std::size_t b = 0; b < 10; ++b) {
+        const std::size_t base = (b * calib_batch) % train_n;
+        const std::size_t len = std::min(calib_batch, train_n - base);
+        if (len < 2)
+            continue;
+        Tensor batch({len, 3, data.imageSize(), data.imageSize()});
+        std::copy(data.trainImages().data() + base * plane,
+                  data.trainImages().data() + (base + len) * plane,
+                  batch.data());
+        trainer.calibrate(batch, cfg);
+    }
+
+    std::vector<std::vector<DetBox>> predictions;
+    predictions.reserve(n);
+    for (std::size_t base = 0; base < n; base += eval_batch) {
+        const std::size_t len = std::min(eval_batch, n - base);
+        Tensor batch({len, 3, data.imageSize(), data.imageSize()});
+        std::copy(images.data() + base * plane,
+                  images.data() + (base + len) * plane, batch.data());
+        Tensor preds = trainer.inferAt(batch, cfg);
+        auto decoded = decodeYolo(preds);
+        for (auto& boxes : decoded)
+            predictions.push_back(std::move(boxes));
+    }
+    return meanAveragePrecision(predictions, data.testBoxes(),
+                                SynthDetect::kNumClasses);
+}
+
+namespace {
+
+PipelineResult
+yoloPipeline(TinyYolo& model, const SynthDetect& data,
+             const SubModelLadder& ladder, const PipelineOptions& opts,
+             const SubModelConfig* single_cfg)
+{
+    PipelineResult result;
+    MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
+    Batcher batcher(data.trainImages().dim(0), opts.batchSize, opts.seed);
+    const std::size_t batches = batcher.batchesPerEpoch();
+    const std::size_t plane = 3 * data.imageSize() * data.imageSize();
+
+    std::vector<std::vector<DetBox>> batch_truth;
+    auto make_batch = [&](Tensor* input) {
+        const auto idx = batcher.next();
+        *input =
+            Tensor({idx.size(), 3, data.imageSize(), data.imageSize()});
+        batch_truth.clear();
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            std::copy(data.trainImages().data() + idx[i] * plane,
+                      data.trainImages().data() + (idx[i] + 1) * plane,
+                      input->data() + i * plane);
+            batch_truth.push_back(data.trainBoxes()[idx[i]]);
+        }
+    };
+    HardLossFn hard = [&batch_truth](const Tensor& out, Tensor* dout) {
+        return yoloLoss(out, batch_truth, dout);
+    };
+    // Detection distillation: match the teacher's raw prediction maps.
+    SoftLossFn soft = [](const Tensor& s, const Tensor& t, Tensor* ds) {
+        return mseLoss(s, t, ds);
+    };
+
+    for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        const auto t0 = Clock::now();
+        trainer.optimizer().setLr(
+            cosineLr(opts.fpLr, static_cast<int>(epoch),
+                     static_cast<int>(opts.fpEpochs)));
+        double loss = 0.0;
+        for (std::size_t b = 0; b < batches; ++b) {
+            Tensor input;
+            make_batch(&input);
+            loss += trainer.trainIterationSingle(input, hard, fpConfig());
+        }
+        result.fpEpochSeconds += seconds(t0, Clock::now());
+        if (opts.verbose)
+            std::printf("  [fp   epoch %zu] loss %.4f\n", epoch,
+                        loss / batches);
+    }
+    if (opts.fpEpochs > 0)
+        result.fpEpochSeconds /= static_cast<double>(opts.fpEpochs);
+    model.calibrateWeightClips();
+    result.fp32Metric = evalYolo(trainer, data, fpConfig());
+
+    for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+        const auto t0 = Clock::now();
+        trainer.optimizer().setLr(
+            cosineLr(opts.mrLr, static_cast<int>(epoch),
+                     static_cast<int>(opts.mrEpochs)));
+        for (std::size_t b = 0; b < batches; ++b) {
+            Tensor input;
+            make_batch(&input);
+            if (single_cfg)
+                trainer.trainIterationSingle(input, hard, *single_cfg);
+            else
+                trainer.trainIteration(input, hard, soft);
+        }
+        result.mrEpochSeconds += seconds(t0, Clock::now());
+    }
+    if (opts.mrEpochs > 0)
+        result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
+
+    Tensor probe({1, 3, data.imageSize(), data.imageSize()});
+    std::copy(data.testImages().data(),
+              data.testImages().data() + probe.size(), probe.data());
+    model.setTraining(false);
+    const std::size_t macs = countModelMacs(model, probe);
+    model.setTraining(true);
+    model.setQuantContext(&trainer.context());
+
+    const SubModelLadder eval_set =
+        single_cfg ? SubModelLadder{*single_cfg} : ladder;
+    for (const SubModelConfig& cfg : eval_set) {
+        SubModelResult r;
+        r.config = cfg;
+        r.metric = evalYolo(trainer, data, cfg);
+        r.termPairs = termPairCount(macs, cfg);
+        result.subModels.push_back(r);
+    }
+    return result;
+}
+
+} // namespace
+
+PipelineResult
+runYoloMultiRes(TinyYolo& model, const SynthDetect& data,
+                const SubModelLadder& ladder, const PipelineOptions& opts)
+{
+    return yoloPipeline(model, data, ladder, opts, nullptr);
+}
+
+PipelineResult
+runYoloSingle(TinyYolo& model, const SynthDetect& data,
+              const SubModelConfig& cfg, const PipelineOptions& opts)
+{
+    return yoloPipeline(model, data, {cfg}, opts, &cfg);
+}
+
+} // namespace mrq

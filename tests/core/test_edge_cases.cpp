@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Edge cases and failure injection across the quantization core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fake_quant.hpp"
+#include "core/multires_group.hpp"
+#include "core/packed_storage.hpp"
+#include "core/uniform_quant.hpp"
+#include "hw/sdr_encoder.hpp"
+
+namespace mrq {
+namespace {
+
+TEST(EdgeCases, EmptyGroupQuantizes)
+{
+    const GroupQuantResult r = termQuantizeGroup({}, 8);
+    EXPECT_TRUE(r.values.empty());
+    EXPECT_TRUE(r.keptTerms.empty());
+    EXPECT_EQ(r.totalTerms, 0u);
+}
+
+TEST(EdgeCases, AllZeroGroupHasNoTerms)
+{
+    const std::vector<std::int64_t> zeros(16, 0);
+    const GroupQuantResult r = termQuantizeGroup(zeros, 8);
+    EXPECT_EQ(r.values, zeros);
+    EXPECT_TRUE(r.keptTerms.empty());
+    MultiResGroup g(zeros, 20);
+    EXPECT_EQ(g.termCount(), 0u);
+    EXPECT_EQ(g.valuesAt(20), zeros);
+}
+
+TEST(EdgeCases, AllMaxMagnitudeGroup)
+{
+    // 31 = +32 - 1 in NAF: 2 terms per value, 32 total; budget 8 keeps
+    // the eight +32 terms -> every value becomes 32.
+    const std::vector<std::int64_t> maxed(16, 31);
+    const GroupQuantResult r = termQuantizeGroup(maxed, 8);
+    std::size_t at32 = 0;
+    for (std::int64_t v : r.values)
+        at32 += v == 32;
+    EXPECT_EQ(at32, 8u);
+}
+
+TEST(EdgeCases, MixedSignGroupKeepsLargestMagnitudes)
+{
+    const std::vector<std::int64_t> vals{-16, 16, -1, 1};
+    const GroupQuantResult r = termQuantizeGroup(vals, 2);
+    EXPECT_EQ(r.values[0], -16);
+    EXPECT_EQ(r.values[1], 16);
+    EXPECT_EQ(r.values[2], 0);
+    EXPECT_EQ(r.values[3], 0);
+}
+
+TEST(EdgeCases, FakeQuantAllZeroWeights)
+{
+    Tensor w({2, 16});
+    SubModelConfig cfg;
+    cfg.alpha = 8;
+    cfg.beta = 2;
+    Tensor out = fakeQuantWeights(w, 1.0f, cfg);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 0.0f);
+}
+
+TEST(EdgeCases, FakeQuantTinyClipStillFinite)
+{
+    Tensor w({16}, 0.5f);
+    SubModelConfig cfg;
+    cfg.alpha = 8;
+    cfg.beta = 2;
+    Tensor out = fakeQuantWeights(w, 1e-3f, cfg);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(out[i]));
+        // NAF truncation may overshoot one lattice step past the clip
+        // (31 -> kept term +32), so the bound is clip * 32/31.
+        EXPECT_LE(out[i], 1e-3f * 32.0f / 31.0f + 1e-9f);
+    }
+}
+
+TEST(EdgeCases, FakeQuantHugeClipCollapsesToZero)
+{
+    // A clip vastly larger than the weights rounds everything to the
+    // zero lattice point — the failure mode clip learning prevents.
+    Tensor w({16}, 0.01f);
+    SubModelConfig cfg;
+    cfg.alpha = 8;
+    cfg.beta = 2;
+    Tensor out = fakeQuantWeights(w, 100.0f, cfg);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 0.0f);
+}
+
+TEST(EdgeCases, UniformQuantizerOneBit)
+{
+    UniformQuantizer uq;
+    uq.bits = 1;
+    uq.clip = 1.0f;
+    uq.isSigned = true;
+    EXPECT_EQ(uq.qmax(), 1);
+    EXPECT_EQ(uq.quantize(0.7f), 1);
+    EXPECT_EQ(uq.quantize(-0.7f), -1);
+    EXPECT_EQ(uq.quantize(0.2f), 0);
+}
+
+TEST(EdgeCases, SdrEncoderZeroBitsInput)
+{
+    std::size_t cycles = 0;
+    const auto terms = sdrEncodeStreaming(0, 0, &cycles);
+    EXPECT_TRUE(terms.empty());
+    EXPECT_EQ(cycles, 1u);
+}
+
+TEST(EdgeCases, PackedGroupLadderBeyondTermCount)
+{
+    // Ladder rungs above the available terms just read everything.
+    MultiResGroup g({1, 2, 0, 0}, 100);
+    PackedGroup packed(g, {4, 50, 100}, PackedTermFormat{});
+    EXPECT_EQ(packed.decode(100), g.valuesAt(100));
+    EXPECT_EQ(packed.termEntriesFor(100), packed.termEntriesFor(4));
+}
+
+TEST(EdgeCases, MultiResGroupSingleValue)
+{
+    MultiResGroup g({21}, 2);
+    // 21 = 10101 -> NAF 10101 (16+4+1, nonadjacent already); budget 2
+    // keeps 16+4.
+    EXPECT_EQ(g.valuesAt(2), (std::vector<std::int64_t>{20}));
+}
+
+TEST(EdgeCases, SteZeroClipGradPointerIsOptional)
+{
+    Tensor x({2}, std::vector<float>{0.5f, 2.0f});
+    Tensor dy({2}, 1.0f);
+    // Null clip-grad must not crash.
+    Tensor dx = steBackward(x, dy, 1.0f, false, nullptr);
+    EXPECT_EQ(dx[1], 0.0f);
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the tensor-level fake quantizers and the STE backward.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/fake_quant.hpp"
+#include "core/uniform_quant.hpp"
+
+namespace mrq {
+namespace {
+
+Tensor
+randomTensor(std::vector<std::size_t> shape, Rng& rng, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal()) * scale;
+    return t;
+}
+
+SubModelConfig
+tqConfig(std::size_t alpha, std::size_t beta, int bits = 5,
+         std::size_t g = 16)
+{
+    SubModelConfig c;
+    c.mode = QuantMode::Tq;
+    c.alpha = alpha;
+    c.beta = beta;
+    c.bits = bits;
+    c.groupSize = g;
+    return c;
+}
+
+TEST(FakeQuant, NoneModeIsIdentity)
+{
+    Rng rng(1);
+    Tensor w = randomTensor({33}, rng);
+    SubModelConfig c;
+    c.mode = QuantMode::None;
+    Tensor out = fakeQuantWeights(w, 1.0f, c);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_EQ(out[i], w[i]);
+}
+
+TEST(FakeQuant, UqModeMatchesUniformQuantizer)
+{
+    Rng rng(2);
+    Tensor w = randomTensor({64}, rng, 0.3f);
+    SubModelConfig c;
+    c.mode = QuantMode::Uq;
+    c.bits = 5;
+    Tensor out = fakeQuantWeights(w, 1.0f, c);
+    UniformQuantizer uq;
+    uq.bits = 5;
+    uq.clip = 1.0f;
+    uq.isSigned = true;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], uq.roundTrip(w[i]));
+}
+
+TEST(FakeQuant, TqLargeBudgetEqualsUq)
+{
+    // With alpha >= all available terms, TQ degenerates to plain UQ.
+    Rng rng(3);
+    Tensor w = randomTensor({48}, rng, 0.3f);
+    Tensor tq = fakeQuantWeights(w, 1.0f, tqConfig(1000, 3));
+    SubModelConfig uq_cfg;
+    uq_cfg.mode = QuantMode::Uq;
+    uq_cfg.bits = 5;
+    Tensor uq = fakeQuantWeights(w, 1.0f, uq_cfg);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_FLOAT_EQ(tq[i], uq[i]);
+}
+
+TEST(FakeQuant, TqOutputsLieOnLattice)
+{
+    Rng rng(4);
+    Tensor w = randomTensor({160}, rng, 0.4f);
+    const float clip = 1.0f;
+    Tensor out = fakeQuantWeights(w, clip, tqConfig(12, 2));
+    UniformQuantizer uq;
+    uq.bits = 5;
+    uq.clip = clip;
+    const float step = uq.scale();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const float ratio = out[i] / step;
+        EXPECT_NEAR(ratio, std::round(ratio), 1e-3f) << out[i];
+    }
+}
+
+TEST(FakeQuant, StatsCountKeptTerms)
+{
+    Rng rng(5);
+    Tensor w = randomTensor({32}, rng, 0.4f);
+    QuantStats stats;
+    fakeQuantWeights(w, 1.0f, tqConfig(8, 2), &stats);
+    EXPECT_EQ(stats.units, 2u); // two groups of 16
+    EXPECT_LE(stats.keptTerms, 16u);
+    EXPECT_GT(stats.keptTerms, 0u);
+}
+
+TEST(FakeQuant, PartialTailGroupGetsScaledBudget)
+{
+    // 20 weights, group 16: tail of 4 gets budget round(8 * 4/16) = 2.
+    Tensor w({20}, 0.9f);
+    QuantStats stats;
+    fakeQuantWeights(w, 1.0f, tqConfig(8, 2), &stats);
+    EXPECT_EQ(stats.units, 2u);
+    // Full group keeps <= 8, tail keeps <= 2.
+    EXPECT_LE(stats.keptTerms, 10u);
+}
+
+TEST(FakeQuant, SmallerAlphaNeverReducesError)
+{
+    Rng rng(6);
+    Tensor w = randomTensor({256}, rng, 0.3f);
+    double prev = 1e18;
+    for (std::size_t alpha : {4u, 8u, 12u, 16u, 20u, 32u}) {
+        Tensor out = fakeQuantWeights(w, 1.0f, tqConfig(alpha, 2));
+        double err = 0.0;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            // Compare against the lattice-clipped target, not raw w, so
+            // clipping error does not mask the TQ trend.
+            const double d = out[i] - w[i];
+            err += d * d;
+        }
+        EXPECT_LE(err, prev + 1e-6);
+        prev = err;
+    }
+}
+
+TEST(FakeQuant, DataQuantClipsToRange)
+{
+    Tensor x({5}, std::vector<float>{-1.0f, 0.0f, 0.5f, 1.0f, 3.0f});
+    Tensor out = fakeQuantData(x, 1.0f, tqConfig(20, 2));
+    EXPECT_EQ(out[0], 0.0f);
+    EXPECT_EQ(out[1], 0.0f);
+    EXPECT_LE(out[4], 1.0f + 1e-6f);
+}
+
+TEST(FakeQuant, DataQuantBudgetOneIsLogarithmicLike)
+{
+    // beta = 1 keeps a single power-of-two term per value.
+    Rng rng(7);
+    SubModelConfig c = tqConfig(20, 1);
+    UniformQuantizer uq;
+    uq.bits = c.bits;
+    uq.clip = 1.0f;
+    uq.isSigned = false;
+    for (int i = 0; i < 200; ++i) {
+        Tensor x({1}, static_cast<float>(rng.uniform()));
+        Tensor out = fakeQuantData(x, 1.0f, c);
+        const std::int64_t q =
+            static_cast<std::int64_t>(std::llround(out[0] / uq.scale()));
+        if (q != 0) {
+            // q must be a power of two in magnitude.
+            EXPECT_EQ(q & (q - 1), 0) << q;
+        }
+    }
+}
+
+TEST(FakeQuant, DataStatsCountValues)
+{
+    Tensor x({10}, 0.5f);
+    QuantStats stats;
+    fakeQuantData(x, 1.0f, tqConfig(20, 2), &stats);
+    EXPECT_EQ(stats.units, 10u);
+    EXPECT_GT(stats.keptTerms, 0u);
+}
+
+TEST(FakeQuant, SteSignedMasksOutOfRange)
+{
+    Tensor x({4}, std::vector<float>{-2.0f, -0.5f, 0.5f, 2.0f});
+    Tensor dy({4}, std::vector<float>{1.0f, 1.0f, 1.0f, 1.0f});
+    float cg = 0.0f;
+    Tensor dx = steBackward(x, dy, 1.0f, true, &cg);
+    EXPECT_EQ(dx[0], 0.0f);
+    EXPECT_EQ(dx[1], 1.0f);
+    EXPECT_EQ(dx[2], 1.0f);
+    EXPECT_EQ(dx[3], 0.0f);
+    // Clip grad: +dy for over-max, -dy for under-min.
+    EXPECT_FLOAT_EQ(cg, 0.0f);
+}
+
+TEST(FakeQuant, SteUnsignedMasksNegatives)
+{
+    Tensor x({3}, std::vector<float>{-0.5f, 0.5f, 2.0f});
+    Tensor dy({3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+    float cg = 0.0f;
+    Tensor dx = steBackward(x, dy, 1.0f, false, &cg);
+    EXPECT_EQ(dx[0], 0.0f);
+    EXPECT_EQ(dx[1], 2.0f);
+    EXPECT_EQ(dx[2], 0.0f);
+    EXPECT_FLOAT_EQ(cg, 3.0f); // only the over-clip element contributes
+}
+
+TEST(FakeQuant, SteAccumulatesClipGrad)
+{
+    Tensor x({1}, std::vector<float>{5.0f});
+    Tensor dy({1}, std::vector<float>{2.0f});
+    float cg = 1.0f;
+    steBackward(x, dy, 1.0f, false, &cg);
+    EXPECT_FLOAT_EQ(cg, 3.0f);
+}
+
+TEST(FakeQuant, RejectsNonPositiveClip)
+{
+    Tensor w({4}, 0.1f);
+    EXPECT_THROW(fakeQuantWeights(w, 0.0f, tqConfig(8, 2)), FatalError);
+    EXPECT_THROW(fakeQuantData(w, -1.0f, tqConfig(8, 2)), FatalError);
+}
+
+} // namespace
+} // namespace mrq

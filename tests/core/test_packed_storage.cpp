@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the packed term/index storage format (Sec. 5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/packed_storage.hpp"
+
+namespace mrq {
+namespace {
+
+std::vector<std::int64_t>
+randomGroup(std::size_t g, Rng& rng, std::int64_t mag = 31)
+{
+    std::vector<std::int64_t> v(g);
+    for (auto& x : v)
+        x = static_cast<std::int64_t>(rng.uniformInt(2 * mag + 1)) - mag;
+    return v;
+}
+
+TEST(PackedStorage, FormatDefaultsMatchPaper)
+{
+    PackedTermFormat fmt;
+    EXPECT_EQ(fmt.termBits(), 4u);       // Fig. 16: 4 bits per term.
+    EXPECT_EQ(fmt.termsPerEntry(), 4u);  // 16-bit memory entries.
+    EXPECT_EQ(fmt.indexesPerEntry(), 4u);
+}
+
+TEST(PackedStorage, RoundTripAtEveryLadderBudget)
+{
+    Rng rng(1);
+    const std::vector<std::size_t> ladder{4, 8, 12, 16, 20};
+    PackedTermFormat fmt;
+    for (int t = 0; t < 30; ++t) {
+        const auto vals = randomGroup(16, rng);
+        MultiResGroup group(vals, ladder.back());
+        PackedGroup packed(group, ladder, fmt);
+        for (std::size_t alpha : ladder)
+            EXPECT_EQ(packed.decode(alpha), group.valuesAt(alpha));
+    }
+}
+
+TEST(PackedStorage, NegativeTermsSurviveRoundTrip)
+{
+    // 23 in NAF = +16 +8 -1: the sign bit must be preserved.
+    MultiResGroup group({23, 0, 0, 0}, 8);
+    PackedGroup packed(group, {8}, PackedTermFormat{});
+    EXPECT_EQ(packed.decode(8),
+              (std::vector<std::int64_t>{23, 0, 0, 0}));
+}
+
+TEST(PackedStorage, EntriesGrowWithBudget)
+{
+    Rng rng(2);
+    const auto vals = randomGroup(16, rng);
+    MultiResGroup group(vals, 20);
+    PackedGroup packed(group, {4, 8, 12, 16, 20}, PackedTermFormat{});
+    std::size_t prev = 0;
+    for (std::size_t alpha : {4u, 8u, 12u, 16u, 20u}) {
+        const std::size_t entries = packed.termEntriesFor(alpha);
+        EXPECT_GE(entries, prev);
+        prev = entries;
+    }
+}
+
+TEST(PackedStorage, LowBudgetTouchesFewerEntries)
+{
+    // The Fig. 17 point: a 2-term sub-model reads one entry where the
+    // 8-term sub-model reads two (4 terms per 16-bit entry).
+    MultiResGroup group({25, 4, 23, 13}, 8, TermEncoding::Ubr);
+    PackedGroup packed(group, {2, 4, 6, 8}, PackedTermFormat{});
+    EXPECT_EQ(packed.termEntriesFor(2), 1u);
+    EXPECT_EQ(packed.termEntriesFor(8), 2u);
+}
+
+TEST(PackedStorage, StorageBitsMatchFormula)
+{
+    Rng rng(3);
+    const auto vals = randomGroup(16, rng, 31);
+    MultiResGroup group(vals, 20);
+    PackedTermFormat fmt;
+    PackedGroup packed(group, {20}, fmt);
+    const std::size_t stored = std::min<std::size_t>(20, group.termCount());
+    EXPECT_EQ(packed.storageBits(),
+              stored * fmt.termBits() + stored * fmt.indexBits);
+}
+
+TEST(PackedStorage, PaperStorageArithmetic)
+{
+    // Sec. 5.4: alpha = 20, g = 16, 4-bit terms, 4-bit indexes
+    // -> 160 bits per group = 10 bits per weight.
+    PackedTermFormat fmt;
+    EXPECT_DOUBLE_EQ(storageBitsPerWeight(20, 16, fmt), 10.0);
+}
+
+TEST(PackedStorage, RejectsOversizedGroup)
+{
+    PackedTermFormat fmt;
+    fmt.indexBits = 2; // capacity 4
+    MultiResGroup group({1, 2, 3, 4, 5}, 8);
+    EXPECT_THROW(PackedGroup(group, {8}, fmt), FatalError);
+}
+
+TEST(PackedStorage, RejectsUnsortedLadder)
+{
+    MultiResGroup group({1, 2, 3, 4}, 8);
+    EXPECT_THROW(PackedGroup(group, {8, 4}, PackedTermFormat{}),
+                 FatalError);
+}
+
+TEST(PackedStorage, RejectsOverflowingExponent)
+{
+    PackedTermFormat fmt;
+    fmt.exponentBits = 2; // max exponent 3
+    MultiResGroup group({31, 0, 0, 0}, 8); // NAF of 31 = +32 -1
+    EXPECT_THROW(PackedGroup(group, {8}, fmt), FatalError);
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Parameterized property sweeps over the (alpha, beta, g, bits)
+ * configuration space: invariants that must hold for every sub-model
+ * a deployment could select.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/fake_quant.hpp"
+#include "core/multires_group.hpp"
+#include "core/term_accounting.hpp"
+#include "hw/perf_model.hpp"
+
+namespace mrq {
+namespace {
+
+struct SweepParam
+{
+    std::size_t alpha;
+    std::size_t beta;
+    std::size_t group;
+    int bits;
+};
+
+void
+PrintTo(const SweepParam& p, std::ostream* os)
+{
+    *os << "a" << p.alpha << "b" << p.beta << "g" << p.group << "w"
+        << p.bits;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    SubModelConfig
+    config() const
+    {
+        const SweepParam& p = GetParam();
+        SubModelConfig cfg;
+        cfg.mode = QuantMode::Tq;
+        cfg.alpha = p.alpha;
+        cfg.beta = p.beta;
+        cfg.groupSize = p.group;
+        cfg.bits = p.bits;
+        return cfg;
+    }
+};
+
+TEST_P(ConfigSweep, WeightProjectionIsIdempotent)
+{
+    Rng rng(GetParam().alpha * 131 + GetParam().beta);
+    Tensor w({4, 2 * GetParam().group});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.normal()) * 0.4f;
+    const Tensor once = fakeQuantWeights(w, 1.0f, config());
+    const Tensor twice = fakeQuantWeights(once, 1.0f, config());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(once[i], twice[i], 1e-6f);
+}
+
+TEST_P(ConfigSweep, WeightProjectionBoundedByClipOvershoot)
+{
+    Rng rng(GetParam().alpha * 37 + 5);
+    Tensor w({2, 4 * GetParam().group});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.normal()) * 2.0f; // many clip
+    const float clip = 0.7f;
+    const Tensor q = fakeQuantWeights(w, clip, config());
+    // NAF truncation overshoots at most one lattice step past qmax.
+    const float bound =
+        clip * (static_cast<float>((1 << config().bits)) /
+                static_cast<float>((1 << config().bits) - 1));
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_LE(std::fabs(q[i]), bound + 1e-6f);
+}
+
+TEST_P(ConfigSweep, DataProjectionNonNegativeAndBounded)
+{
+    Rng rng(GetParam().beta * 977 + 3);
+    Tensor x({128});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform(0.0, 1.5));
+    const float clip = 1.0f;
+    const Tensor q = fakeQuantData(x, clip, config());
+    const float bound =
+        clip * (static_cast<float>((1 << config().bits)) /
+                static_cast<float>((1 << config().bits) - 1));
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        EXPECT_GE(q[i], 0.0f);
+        EXPECT_LE(q[i], bound + 1e-6f);
+    }
+}
+
+TEST_P(ConfigSweep, GroupNestingHoldsAtEveryPrefix)
+{
+    Rng rng(GetParam().group * 7919 + 1);
+    std::vector<std::int64_t> vals(GetParam().group);
+    const std::int64_t qmax = (1 << GetParam().bits) - 1;
+    for (auto& v : vals)
+        v = static_cast<std::int64_t>(
+                rng.uniformInt(2 * static_cast<std::uint64_t>(qmax) + 1)) -
+            qmax;
+    MultiResGroup group(vals, GetParam().alpha);
+    for (std::size_t a = 0; a + 1 <= GetParam().alpha; a += 2)
+        EXPECT_TRUE(group.nested(a, GetParam().alpha));
+}
+
+TEST_P(ConfigSweep, TermPairCountScalesLinearly)
+{
+    const std::size_t macs = 123456;
+    const std::size_t pairs = termPairCount(macs, config());
+    const std::size_t pairs2 = termPairCount(2 * macs, config());
+    EXPECT_NEAR(static_cast<double>(pairs2),
+                2.0 * static_cast<double>(pairs),
+                2.0); // integer rounding slack
+}
+
+TEST_P(ConfigSweep, PerfModelMonotoneInBudget)
+{
+    const SystolicArrayConfig array{32, 32, 150.0};
+    const LayerGeometry layer{"sweep", 64, 256, 196};
+    const LayerPerf base =
+        layerPerformance(layer, config(), array, PackedTermFormat{});
+    SubModelConfig bigger = config();
+    bigger.alpha += 2;
+    const LayerPerf more =
+        layerPerformance(layer, bigger, array, PackedTermFormat{});
+    EXPECT_GE(more.cycles, base.cycles);
+    EXPECT_GE(more.termPairs, base.termPairs);
+    EXPECT_GE(more.termMemEntries, base.termMemEntries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ConfigSweep,
+    ::testing::Values(SweepParam{4, 1, 8, 5}, SweepParam{8, 2, 16, 5},
+                      SweepParam{12, 2, 16, 5}, SweepParam{20, 3, 16, 5},
+                      SweepParam{10, 2, 8, 5}, SweepParam{40, 4, 32, 5},
+                      SweepParam{22, 4, 16, 8}, SweepParam{38, 5, 16, 8}));
+
+} // namespace
+} // namespace mrq

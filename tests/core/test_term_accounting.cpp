@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for term-pair accounting and MAC counting, plus cross-cutting
+ * quantization properties the hardware equivalence relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/term_accounting.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace mrq {
+namespace {
+
+SubModelConfig
+tqConfig(std::size_t alpha, std::size_t beta, std::size_t g = 16)
+{
+    SubModelConfig cfg;
+    cfg.mode = QuantMode::Tq;
+    cfg.alpha = alpha;
+    cfg.beta = beta;
+    cfg.groupSize = g;
+    return cfg;
+}
+
+TEST(TermAccounting, TqFormula)
+{
+    // M MACs at (alpha, beta, g): M / g * alpha * beta pairs.
+    EXPECT_EQ(termPairCount(1600, tqConfig(20, 3, 16)), 6000u);
+    EXPECT_EQ(termPairCount(1600, tqConfig(8, 2, 16)), 1600u);
+}
+
+TEST(TermAccounting, UqFormula)
+{
+    SubModelConfig cfg;
+    cfg.mode = QuantMode::Uq;
+    cfg.bits = 5;
+    EXPECT_EQ(termPairCount(100, cfg), 2500u);
+    cfg.bits = 2;
+    EXPECT_EQ(termPairCount(100, cfg), 400u);
+}
+
+TEST(TermAccounting, NoneIsZero)
+{
+    SubModelConfig cfg;
+    cfg.mode = QuantMode::None;
+    EXPECT_EQ(termPairCount(1000, cfg), 0u);
+}
+
+TEST(TermAccounting, ConvMacsMatchHandCount)
+{
+    Rng rng(1);
+    Sequential net;
+    net.emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+    Tensor probe({2, 3, 10, 10});
+    const std::size_t macs = countModelMacs(net, probe);
+    // Per sample: 8 out-ch x 3*3*3 taps x 10*10 positions.
+    EXPECT_EQ(macs, 8u * 27u * 100u);
+}
+
+TEST(TermAccounting, LinearMacsMatchHandCount)
+{
+    Rng rng(2);
+    Sequential net;
+    net.emplace<Linear>(20, 7, rng);
+    Tensor probe({3, 20});
+    EXPECT_EQ(countModelMacs(net, probe), 20u * 7u);
+}
+
+TEST(TermAccounting, CountingDetachesContext)
+{
+    Rng rng(3);
+    Sequential net;
+    net.emplace<Linear>(4, 4, rng);
+    countModelMacs(net, Tensor({1, 4}));
+    // A subsequent forward must not quantize (context detached).
+    Linear* lin = dynamic_cast<Linear*>(net.child(0));
+    ASSERT_NE(lin, nullptr);
+    EXPECT_FALSE(lin->quantizer().active());
+}
+
+// ---------------------------------------------------------------------
+// Idempotence properties the hardware path depends on.
+// ---------------------------------------------------------------------
+
+TEST(QuantProperties, NafPrefixIsItsOwnNaf)
+{
+    // Dropping the tail of a NAF leaves a valid NAF whose re-encoding
+    // is itself — the property that makes the streaming term
+    // quantizer and the training-side TQ agree.
+    Rng rng(4);
+    for (int t = 0; t < 500; ++t) {
+        const std::int64_t v =
+            static_cast<std::int64_t>(rng.uniformInt(1u << 12)) -
+            (1 << 11);
+        for (std::size_t beta : {1u, 2u, 3u}) {
+            const std::int64_t q = termQuantizeValue(v, beta);
+            EXPECT_EQ(termQuantizeValue(q, beta), q)
+                << "v=" << v << " beta=" << beta;
+            EXPECT_LE(encodeNaf(q).size(), beta);
+        }
+    }
+}
+
+TEST(QuantProperties, FakeQuantWeightsIsIdempotent)
+{
+    Rng rng(5);
+    Tensor w({4, 32});
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.normal()) * 0.4f;
+    const SubModelConfig cfg = tqConfig(10, 2);
+    Tensor once = fakeQuantWeights(w, 1.0f, cfg);
+    Tensor twice = fakeQuantWeights(once, 1.0f, cfg);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(once[i], twice[i], 1e-6f);
+}
+
+TEST(QuantProperties, FakeQuantDataIsIdempotent)
+{
+    Rng rng(6);
+    Tensor x({64});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+    const SubModelConfig cfg = tqConfig(10, 2);
+    Tensor once = fakeQuantData(x, 1.0f, cfg);
+    Tensor twice = fakeQuantData(once, 1.0f, cfg);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(once[i], twice[i], 1e-6f);
+}
+
+TEST(QuantProperties, RowGroupingNeverCrossesRows)
+{
+    // Two rows that differ only in the other row's content must
+    // quantize identically: groups are per-row.
+    const SubModelConfig cfg = tqConfig(4, 2, 8);
+    Tensor a({2, 8});
+    Tensor b({2, 8});
+    for (std::size_t j = 0; j < 8; ++j) {
+        a(0, j) = b(0, j) = 0.1f * static_cast<float>(j + 1);
+        a(1, j) = 0.9f;  // big values in a's second row
+        b(1, j) = 0.01f; // tiny values in b's second row
+    }
+    Tensor qa = fakeQuantWeights(a, 1.0f, cfg);
+    Tensor qb = fakeQuantWeights(b, 1.0f, cfg);
+    for (std::size_t j = 0; j < 8; ++j)
+        EXPECT_EQ(qa(0, j), qb(0, j)) << "column " << j;
+}
+
+} // namespace
+} // namespace mrq

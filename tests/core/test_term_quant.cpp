@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for term quantization over groups and single values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "core/term_quant.hpp"
+#include "core/uniform_quant.hpp"
+
+namespace mrq {
+namespace {
+
+TEST(TermQuant, PaperFigure4Example)
+{
+    // Fig. 4: group (21, 6, 17, 11) with alpha = 8 under UBR keeps all
+    // terms except two of the 2^0 terms: result (21, 6, 16, 10).  The
+    // UBR decomposition has 3+2+2+3 = 10 terms; dropping the two
+    // smallest (the 2^0 of 17 and of 11 — later members lose ties).
+    const std::vector<std::int64_t> group{21, 6, 17, 11};
+    const GroupQuantResult r =
+        termQuantizeGroup(group, 8, TermEncoding::Ubr);
+    EXPECT_EQ(r.totalTerms, 10u);
+    ASSERT_EQ(r.values.size(), 4u);
+    // 21 = 10101 keeps all three of its terms (16, 4 are high; its 2^0
+    // competes with the other 2^0s — stable order keeps value 0 first).
+    EXPECT_EQ(r.values[0], 21);
+    EXPECT_EQ(r.values[1], 6);
+    EXPECT_EQ(r.values[2], 16);
+    EXPECT_EQ(r.values[3], 10);
+}
+
+TEST(TermQuant, BudgetLargerThanTermsIsLossless)
+{
+    const std::vector<std::int64_t> group{25, 4, 23, 13};
+    const GroupQuantResult r =
+        termQuantizeGroup(group, 100, TermEncoding::Naf);
+    EXPECT_EQ(r.values, group);
+    EXPECT_EQ(r.keptTerms.size(), r.totalTerms);
+}
+
+TEST(TermQuant, ZeroBudgetZeroesGroup)
+{
+    const std::vector<std::int64_t> group{25, 4, 23, 13};
+    const GroupQuantResult r = termQuantizeGroup(group, 0);
+    for (std::int64_t v : r.values)
+        EXPECT_EQ(v, 0);
+    EXPECT_TRUE(r.keptTerms.empty());
+}
+
+TEST(TermQuant, KeptTermsRespectBudget)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<std::int64_t> group(16);
+        for (auto& v : group)
+            v = static_cast<std::int64_t>(rng.uniformInt(63)) - 31;
+        for (std::size_t alpha : {1u, 4u, 8u, 16u, 20u}) {
+            const GroupQuantResult r = termQuantizeGroup(group, alpha);
+            EXPECT_LE(r.keptTerms.size(), alpha);
+        }
+    }
+}
+
+TEST(TermQuant, KeptTermsAreTheLargest)
+{
+    const std::vector<std::int64_t> group{16, 1, 1, 1};
+    // NAF terms: 16, 1, 1, 1.  Budget 2 must keep 16 and one 1.
+    const GroupQuantResult r = termQuantizeGroup(group, 2);
+    EXPECT_EQ(r.values[0], 16);
+    EXPECT_EQ(r.values[1], 1);
+    EXPECT_EQ(r.values[2], 0);
+    EXPECT_EQ(r.values[3], 0);
+}
+
+TEST(TermQuant, LargerBudgetNeverIncreasesGroupError)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::int64_t> group(16);
+        for (auto& v : group)
+            v = static_cast<std::int64_t>(rng.uniformInt(63)) - 31;
+        double prev_err = 1e18;
+        for (std::size_t alpha = 0; alpha <= 32; alpha += 4) {
+            const GroupQuantResult r = termQuantizeGroup(group, alpha);
+            double err = 0.0;
+            for (std::size_t i = 0; i < group.size(); ++i) {
+                const double d =
+                    static_cast<double>(group[i] - r.values[i]);
+                err += d * d;
+            }
+            // Error is non-increasing in alpha for NAF prefixes of a
+            // magnitude-sorted list within each value... globally the
+            // kept set only grows, and each added term moves its value
+            // toward the target by at least the remaining magnitude.
+            EXPECT_LE(err, prev_err + 1e-9)
+                << "alpha " << alpha << " trial " << trial;
+            prev_err = err;
+        }
+    }
+}
+
+TEST(TermQuant, SingleValueBudget)
+{
+    // The paper's Fig. 15 encoder writes 23 = +16 +8 -1; NAF (equally
+    // minimal at 3 terms) writes 23 = +32 -8 -1.  Both agree on the
+    // beta = 2 result of 24.
+    EXPECT_EQ(termQuantizeValue(23, 2), 24);
+    EXPECT_EQ(termQuantizeValue(23, 3), 23);
+    EXPECT_EQ(termQuantizeValue(23, 1), 32);
+    EXPECT_EQ(termQuantizeValue(23, 0), 0);
+}
+
+TEST(TermQuant, SingleValueUbrBudget)
+{
+    // 19 = 10011; beta = 2 keeps 16 + 2 = 18 (Sec. 3.2 example).
+    EXPECT_EQ(termQuantizeValue(19, 2, TermEncoding::Ubr), 18);
+}
+
+TEST(TermQuant, TermCountMatchesEncoding)
+{
+    EXPECT_EQ(termCount(27, TermEncoding::Naf), 3u);
+    EXPECT_EQ(termCount(27, TermEncoding::Ubr), 4u);
+    EXPECT_EQ(termCount(0, TermEncoding::Naf), 0u);
+}
+
+TEST(TermQuant, PaperFigure2LogarithmicQuantization)
+{
+    // Fig. 2(c): logarithmic quantization keeps only the largest UBR
+    // term of each value: 21 -> 16, 6 -> 4, 17 -> 16, 11 -> 8.
+    EXPECT_EQ(termQuantizeValue(21, 1, TermEncoding::Ubr), 16);
+    EXPECT_EQ(termQuantizeValue(6, 1, TermEncoding::Ubr), 4);
+    EXPECT_EQ(termQuantizeValue(17, 1, TermEncoding::Ubr), 16);
+    EXPECT_EQ(termQuantizeValue(11, 1, TermEncoding::Ubr), 8);
+}
+
+TEST(TermQuant, LogQuantizeRoundsToNearestPower)
+{
+    EXPECT_EQ(logQuantize(0), 0);
+    EXPECT_EQ(logQuantize(1), 1);
+    EXPECT_EQ(logQuantize(3), 4);   // 3 is equidistant: rounds up.
+    EXPECT_EQ(logQuantize(5), 4);
+    EXPECT_EQ(logQuantize(6), 8);   // tie rounds up
+    EXPECT_EQ(logQuantize(7), 8);
+    EXPECT_EQ(logQuantize(-5), -4);
+    EXPECT_EQ(logQuantize(-6), -8);
+    EXPECT_EQ(logQuantize(16), 16);
+}
+
+TEST(TermQuant, LogQuantEqualsSingleTermUbrOrBetter)
+{
+    // Log quantization (round to nearest power) always has error no
+    // larger than keeping the single top UBR term (truncation).
+    for (std::int64_t v = 1; v <= 512; ++v) {
+        const std::int64_t lq = logQuantize(v);
+        const std::int64_t tq = termQuantizeValue(v, 1, TermEncoding::Ubr);
+        EXPECT_LE(std::llabs(lq - v), std::llabs(tq - v)) << v;
+    }
+}
+
+class GroupErrorShape
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(GroupErrorShape, ErrorDecreasesWithGroupSize)
+{
+    // Fig. 5(b): at one average term per value, larger groups give
+    // lower error for normal weights.
+    const auto [g_small, g_large] = GetParam();
+    const double e_small = tqGroupError(0.03, g_small, 1.0, 4000, 99);
+    const double e_large = tqGroupError(0.03, g_large, 1.0, 4000, 99);
+    EXPECT_LT(e_large, e_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, GroupErrorShape,
+    ::testing::Values(std::make_tuple(1u, 4u), std::make_tuple(2u, 8u),
+                      std::make_tuple(4u, 15u), std::make_tuple(1u, 15u)));
+
+TEST(TermQuant, UniformQuantizerRoundTripExact)
+{
+    UniformQuantizer uq;
+    uq.bits = 5;
+    uq.clip = 1.0f;
+    uq.isSigned = true;
+    // Every lattice point round-trips exactly.
+    for (std::int64_t q = -uq.qmax(); q <= uq.qmax(); ++q) {
+        const float x = uq.dequantize(q);
+        EXPECT_EQ(uq.quantize(x), q);
+    }
+}
+
+TEST(TermQuant, UniformQuantizerClips)
+{
+    UniformQuantizer uq;
+    uq.bits = 4;
+    uq.clip = 1.0f;
+    uq.isSigned = true;
+    EXPECT_EQ(uq.quantize(100.0f), uq.qmax());
+    EXPECT_EQ(uq.quantize(-100.0f), -uq.qmax());
+    uq.isSigned = false;
+    EXPECT_EQ(uq.quantize(-3.0f), 0);
+}
+
+TEST(TermQuant, UniformQuantizerErrorBoundedByHalfStep)
+{
+    UniformQuantizer uq;
+    uq.bits = 5;
+    uq.clip = 1.0f;
+    uq.isSigned = true;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const float x = static_cast<float>(rng.uniform(-1.0, 1.0));
+        const float back = uq.roundTrip(x);
+        EXPECT_LE(std::abs(back - x), uq.scale() * 0.5f + 1e-6f);
+    }
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the synthetic datasets, batcher, and detection metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/batcher.hpp"
+#include "data/synth_detect.hpp"
+#include "data/synth_images.hpp"
+#include "data/synth_text.hpp"
+
+namespace mrq {
+namespace {
+
+TEST(SynthImages, ShapesAndRanges)
+{
+    SynthImages data(100, 40, 1);
+    EXPECT_EQ(data.trainImages().shape(),
+              (std::vector<std::size_t>{100, 3, 16, 16}));
+    EXPECT_EQ(data.testImages().dim(0), 40u);
+    EXPECT_EQ(data.trainLabels().size(), 100u);
+    for (std::size_t i = 0; i < data.trainImages().size(); ++i) {
+        EXPECT_GE(data.trainImages()[i], 0.0f);
+        EXPECT_LE(data.trainImages()[i], 1.0f);
+    }
+}
+
+TEST(SynthImages, DeterministicForSeed)
+{
+    SynthImages a(20, 5, 42), b(20, 5, 42);
+    for (std::size_t i = 0; i < a.trainImages().size(); ++i)
+        EXPECT_EQ(a.trainImages()[i], b.trainImages()[i]);
+    EXPECT_EQ(a.trainLabels(), b.trainLabels());
+}
+
+TEST(SynthImages, DifferentSeedsDiffer)
+{
+    SynthImages a(20, 5, 1), b(20, 5, 2);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.trainImages().size(); ++i)
+        diff += std::fabs(a.trainImages()[i] - b.trainImages()[i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(SynthImages, AllClassesPresent)
+{
+    SynthImages data(500, 10, 3);
+    std::set<int> seen(data.trainLabels().begin(),
+                       data.trainLabels().end());
+    EXPECT_EQ(seen.size(), data.numClasses());
+}
+
+TEST(SynthImages, GatherMatchesSource)
+{
+    SynthImages data(50, 10, 4);
+    Tensor batch = data.gatherImages({3, 7});
+    EXPECT_EQ(batch.dim(0), 2u);
+    const std::size_t plane = 3 * 16 * 16;
+    for (std::size_t i = 0; i < plane; ++i) {
+        EXPECT_EQ(batch[i], data.trainImages()[3 * plane + i]);
+        EXPECT_EQ(batch[plane + i], data.trainImages()[7 * plane + i]);
+    }
+    EXPECT_EQ(data.gatherLabels({3, 7}),
+              (std::vector<int>{data.trainLabels()[3],
+                                data.trainLabels()[7]}));
+    EXPECT_THROW(data.gatherImages({999}), FatalError);
+}
+
+TEST(SynthText, StreamsAreInVocab)
+{
+    SynthText data(32, 2000, 500, 5);
+    EXPECT_EQ(data.train().size(), 2000u);
+    EXPECT_EQ(data.valid().size(), 500u);
+    for (int t : data.train()) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, 32);
+    }
+}
+
+TEST(SynthText, EntropyRateBounded)
+{
+    SynthText data(32, 1000, 200, 7);
+    const double h = data.entropyRate();
+    EXPECT_GT(h, 0.0);
+    EXPECT_LT(h, std::log(32.0)); // strictly below uniform entropy
+}
+
+TEST(SynthText, ChainHasLearnableStructure)
+{
+    // Bigram statistics must beat unigram statistics by a clear
+    // margin, otherwise the LM task would be vacuous.
+    SynthText data(32, 20000, 100, 9);
+    const double h = data.entropyRate();
+    EXPECT_LT(h, 0.8 * std::log(32.0));
+}
+
+TEST(Batcher, CoversEveryIndexOncePerEpoch)
+{
+    Batcher batcher(103, 10, 1);
+    std::set<std::size_t> seen;
+    for (std::size_t b = 0; b < batcher.batchesPerEpoch(); ++b)
+        for (std::size_t idx : batcher.next())
+            EXPECT_TRUE(seen.insert(idx).second);
+    EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Batcher, ReshufflesAcrossEpochs)
+{
+    Batcher batcher(50, 50, 2);
+    const auto first = batcher.next();
+    const auto second = batcher.next();
+    EXPECT_NE(first, second);
+}
+
+TEST(BoxIou, KnownOverlaps)
+{
+    DetBox a{0, 0.5f, 0.5f, 0.2f, 0.2f, 1.0f};
+    EXPECT_FLOAT_EQ(boxIou(a, a), 1.0f);
+    DetBox b{0, 0.9f, 0.9f, 0.1f, 0.1f, 1.0f};
+    EXPECT_FLOAT_EQ(boxIou(a, b), 0.0f);
+    DetBox c{0, 0.6f, 0.5f, 0.2f, 0.2f, 1.0f};
+    // Overlap 0.1 x 0.2 = 0.02; union 0.04 + 0.04 - 0.02 = 0.06.
+    EXPECT_NEAR(boxIou(a, c), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(SynthDetect, BoxesInsideImage)
+{
+    SynthDetect data(50, 10, 11);
+    for (const auto& boxes : data.trainBoxes()) {
+        EXPECT_GE(boxes.size(), 1u);
+        for (const DetBox& box : boxes) {
+            EXPECT_GT(box.cx - box.w / 2, 0.0f);
+            EXPECT_LT(box.cx + box.w / 2, 1.0f);
+            EXPECT_GT(box.cy - box.h / 2, 0.0f);
+            EXPECT_LT(box.cy + box.h / 2, 1.0f);
+            EXPECT_GE(box.classId, 0);
+            EXPECT_LT(box.classId,
+                      static_cast<int>(SynthDetect::kNumClasses));
+        }
+    }
+}
+
+TEST(SynthDetect, ObjectsAreBrighterThanBackground)
+{
+    SynthDetect data(10, 2, 13);
+    const auto& img = data.trainImages();
+    const auto& boxes = data.trainBoxes()[0];
+    const std::size_t s = data.imageSize();
+    // Sample the center pixel of the first box: it must differ from
+    // the dim background level.
+    const DetBox& box = boxes[0];
+    const auto px = static_cast<std::size_t>(box.cx * s);
+    const auto py = static_cast<std::size_t>(box.cy * s);
+    float maxc = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c)
+        maxc = std::max(maxc, img(0, c, py, px));
+    // Ring centers are background; others are saturated color.
+    if (box.classId != 2)
+        EXPECT_GT(maxc, 0.5f);
+}
+
+TEST(MeanAp, PerfectPredictionsScoreOne)
+{
+    std::vector<std::vector<DetBox>> gt{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 1.0f},
+         {1, 0.7f, 0.7f, 0.2f, 0.2f, 1.0f}}};
+    auto preds = gt;
+    preds[0][0].confidence = 0.9f;
+    preds[0][1].confidence = 0.8f;
+    EXPECT_DOUBLE_EQ(meanAveragePrecision(preds, gt, 4), 1.0);
+}
+
+TEST(MeanAp, MissedBoxesLowerRecall)
+{
+    std::vector<std::vector<DetBox>> gt{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 1.0f},
+         {0, 0.7f, 0.7f, 0.2f, 0.2f, 1.0f}}};
+    std::vector<std::vector<DetBox>> preds{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 0.9f}}};
+    EXPECT_DOUBLE_EQ(meanAveragePrecision(preds, gt, 4), 0.5);
+}
+
+TEST(MeanAp, FalsePositivesLowerPrecision)
+{
+    std::vector<std::vector<DetBox>> gt{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 1.0f}}};
+    std::vector<std::vector<DetBox>> preds{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 0.9f},
+         {0, 0.8f, 0.8f, 0.1f, 0.1f, 0.95f}}};
+    // The false positive ranks first: AP = 0.5 (precision 1/2 when
+    // the true box is finally matched).
+    EXPECT_DOUBLE_EQ(meanAveragePrecision(preds, gt, 4), 0.5);
+}
+
+TEST(MeanAp, DuplicateDetectionsCountOnce)
+{
+    std::vector<std::vector<DetBox>> gt{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 1.0f}}};
+    std::vector<std::vector<DetBox>> preds{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 0.9f},
+         {0, 0.31f, 0.3f, 0.2f, 0.2f, 0.8f}}};
+    // Second hit on a used ground truth is a false positive; the AP
+    // envelope still reaches recall 1 at precision 1.
+    EXPECT_DOUBLE_EQ(meanAveragePrecision(preds, gt, 4), 1.0);
+}
+
+TEST(MeanAp, WrongClassNeverMatches)
+{
+    std::vector<std::vector<DetBox>> gt{
+        {{0, 0.3f, 0.3f, 0.2f, 0.2f, 1.0f}}};
+    std::vector<std::vector<DetBox>> preds{
+        {{1, 0.3f, 0.3f, 0.2f, 0.2f, 0.9f}}};
+    EXPECT_DOUBLE_EQ(meanAveragePrecision(preds, gt, 4), 0.0);
+}
+
+} // namespace
+} // namespace mrq

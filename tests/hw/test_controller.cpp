@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the runtime resolution controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/controller.hpp"
+
+namespace mrq {
+namespace {
+
+SubModelLadder
+ladder4()
+{
+    return makeTqLadder(4, 20, 4, 3, 2, 5, 16); // a8b2 .. a20b3
+}
+
+ResolutionController
+makeController(std::vector<double> qualities = {0.90, 0.95, 0.97, 0.98})
+{
+    return ResolutionController(ladder4(), std::move(qualities),
+                                referenceNetwork("resnet18"));
+}
+
+TEST(Controller, PointsAscendInGammaAndLatency)
+{
+    const auto ctrl = makeController();
+    const auto& points = ctrl.points();
+    ASSERT_EQ(points.size(), 4u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].config.gamma(), points[i - 1].config.gamma());
+        EXPECT_GT(points[i].latencyMs, points[i - 1].latencyMs);
+        EXPECT_GT(points[i].energyPj, points[i - 1].energyPj);
+    }
+}
+
+TEST(Controller, UnconstrainedPicksBestQuality)
+{
+    const auto ctrl = makeController();
+    const auto pick = ctrl.select(ResourceBudget{});
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->config.alpha, 20u);
+    EXPECT_DOUBLE_EQ(pick->quality, 0.98);
+}
+
+TEST(Controller, LatencyBudgetForcesLowerResolution)
+{
+    const auto ctrl = makeController();
+    // Budget between the cheapest and the most expensive point.
+    const double mid = (ctrl.points().front().latencyMs +
+                        ctrl.points().back().latencyMs) /
+                       2.0;
+    ResourceBudget budget;
+    budget.maxLatencyMs = mid;
+    const auto pick = ctrl.select(budget);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_LT(pick->latencyMs, mid);
+    EXPECT_LT(pick->config.alpha, 20u);
+}
+
+TEST(Controller, ImpossibleBudgetReturnsNothing)
+{
+    const auto ctrl = makeController();
+    ResourceBudget budget;
+    budget.maxLatencyMs = 1e-9;
+    EXPECT_FALSE(ctrl.select(budget).has_value());
+}
+
+TEST(Controller, EnergyBudgetApplies)
+{
+    const auto ctrl = makeController();
+    ResourceBudget budget;
+    budget.maxEnergyPj = ctrl.points().front().energyPj * 1.01;
+    const auto pick = ctrl.select(budget);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->config.alpha, 8u);
+}
+
+TEST(Controller, TiesBreakTowardLowerEnergy)
+{
+    // Two rungs with identical quality: the cheaper must win.
+    auto ctrl = makeController({0.90, 0.97, 0.97, 0.97});
+    const auto pick = ctrl.select(ResourceBudget{});
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->config.alpha, 12u);
+}
+
+TEST(Controller, ParetoFrontierDropsDominatedPoints)
+{
+    // The third rung is dominated (worse quality than the second at a
+    // higher cost).
+    auto ctrl = makeController({0.90, 0.96, 0.95, 0.98});
+    const auto frontier = ctrl.paretoFrontier();
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].config.alpha, 8u);
+    EXPECT_EQ(frontier[1].config.alpha, 12u);
+    EXPECT_EQ(frontier[2].config.alpha, 20u);
+}
+
+TEST(Controller, RejectsMismatchedInputs)
+{
+    EXPECT_THROW(ResolutionController(ladder4(), {0.9},
+                                      referenceNetwork("resnet18")),
+                 FatalError);
+    EXPECT_THROW(ResolutionController({}, {},
+                                      referenceNetwork("resnet18")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mrq

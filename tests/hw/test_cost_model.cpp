@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the FPGA cost model (Tables 2-3 shapes, Laconic ratio).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.hpp"
+
+namespace mrq {
+namespace {
+
+TEST(CostModel, Table2ResourceConstants)
+{
+    EXPECT_EQ(macResources(MacDesign::PMac).luts, 57u);
+    EXPECT_EQ(macResources(MacDesign::PMac).ffs, 44u);
+    EXPECT_EQ(macResources(MacDesign::BMac).luts, 12u);
+    EXPECT_EQ(macResources(MacDesign::BMac).ffs, 14u);
+    EXPECT_EQ(macResources(MacDesign::Mmac).luts, 21u);
+    EXPECT_EQ(macResources(MacDesign::Mmac).ffs, 25u);
+}
+
+TEST(CostModel, MmacUsesFewerResourcesThanPmac)
+{
+    const auto p = macResources(MacDesign::PMac);
+    const auto m = macResources(MacDesign::Mmac);
+    // Paper: 2.8x fewer LUTs, 1.8x fewer FFs.
+    EXPECT_NEAR(static_cast<double>(p.luts) / m.luts, 2.8, 0.1);
+    EXPECT_NEAR(static_cast<double>(p.ffs) / m.ffs, 1.8, 0.05);
+}
+
+TEST(CostModel, CyclesPerGroup)
+{
+    EXPECT_EQ(macCyclesPerGroup(MacDesign::PMac, 16, 60), 16u);
+    EXPECT_EQ(macCyclesPerGroup(MacDesign::BMac, 16, 60), 256u);
+    EXPECT_EQ(macCyclesPerGroup(MacDesign::Mmac, 16, 60), 60u);
+    EXPECT_EQ(macCyclesPerGroup(MacDesign::Mmac, 16, 16), 16u);
+}
+
+class Table3Gamma : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(Table3Gamma, MmacBeatsBothBaselines)
+{
+    const std::size_t gamma = GetParam();
+    EXPECT_LT(macRelativeEfficiency(MacDesign::PMac, 16, gamma), 1.0);
+    EXPECT_LT(macRelativeEfficiency(MacDesign::BMac, 16, gamma), 1.0);
+    EXPECT_DOUBLE_EQ(macRelativeEfficiency(MacDesign::Mmac, 16, gamma),
+                     1.0);
+}
+
+TEST_P(Table3Gamma, BaselineEfficiencyGrowsWithGamma)
+{
+    // Larger gamma costs the mMAC more, shrinking its edge: the
+    // baselines' relative numbers rise monotonically across Table 3.
+    const std::size_t gamma = GetParam();
+    if (gamma <= 16)
+        return;
+    EXPECT_GT(macRelativeEfficiency(MacDesign::PMac, 16, gamma),
+              macRelativeEfficiency(MacDesign::PMac, 16, gamma - 4));
+    EXPECT_GT(macRelativeEfficiency(MacDesign::BMac, 16, gamma),
+              macRelativeEfficiency(MacDesign::BMac, 16, gamma - 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, Table3Gamma,
+                         ::testing::Values(16u, 20u, 24u, 28u, 42u, 48u,
+                                           54u, 60u));
+
+TEST(CostModel, Table3EndpointsMatchPaper)
+{
+    // Paper Table 3 endpoints: at gamma=16, bMAC 0.15x / pMAC 0.17x;
+    // at gamma=60, bMAC 0.56x / pMAC 0.66x.  The calibrated model
+    // must land within ~15% of each cell.
+    EXPECT_NEAR(macRelativeEfficiency(MacDesign::BMac, 16, 16), 0.15,
+                0.02);
+    EXPECT_NEAR(macRelativeEfficiency(MacDesign::PMac, 16, 16), 0.17,
+                0.02);
+    EXPECT_NEAR(macRelativeEfficiency(MacDesign::BMac, 16, 60), 0.56,
+                0.03);
+    EXPECT_NEAR(macRelativeEfficiency(MacDesign::PMac, 16, 60), 0.66,
+                0.05);
+}
+
+TEST(CostModel, AverageAdvantageNearPaperClaims)
+{
+    // Paper text claims 3.1x vs pMAC and 5.6x vs bMAC on average.
+    // Averaging the inverses of the paper's own Table 3 cells gives
+    // 3.07x (pMAC) and 3.71x (bMAC) — the 5.6x headline does not
+    // follow from the table (see EXPERIMENTS.md).  We assert the
+    // table-consistent averages.
+    const std::size_t gammas[] = {16, 20, 24, 28, 42, 48, 54, 60};
+    double p_sum = 0.0, b_sum = 0.0;
+    for (std::size_t gamma : gammas) {
+        p_sum += 1.0 / macRelativeEfficiency(MacDesign::PMac, 16, gamma);
+        b_sum += 1.0 / macRelativeEfficiency(MacDesign::BMac, 16, gamma);
+    }
+    EXPECT_NEAR(p_sum / 8.0, 3.07, 0.4);
+    EXPECT_NEAR(b_sum / 8.0, 3.71, 0.5);
+}
+
+TEST(CostModel, LaconicRatioNearPaper)
+{
+    // Sec. 7.2: mMAC outperforms the Laconic PE by 2.7x at gamma=60.
+    const double ratio =
+        laconicEnergyPerDotProduct() / mmacEnergyPerDotProduct(60);
+    EXPECT_NEAR(ratio, 2.7, 0.1);
+}
+
+TEST(CostModel, DesignNames)
+{
+    EXPECT_EQ(macDesignName(MacDesign::PMac), "pMAC");
+    EXPECT_EQ(macDesignName(MacDesign::BMac), "bMAC");
+    EXPECT_EQ(macDesignName(MacDesign::Mmac), "mMAC");
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the streaming SDR encoder FSM and term quantizer unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/sdr.hpp"
+#include "core/term_quant.hpp"
+#include "hw/sdr_encoder.hpp"
+#include "hw/term_quantizer.hpp"
+
+namespace mrq {
+namespace {
+
+TEST(SdrEncoderFsm, MatchesReferenceNafForAll5BitValues)
+{
+    for (std::uint64_t v = 0; v < 32; ++v) {
+        const auto streamed = sdrEncodeStreaming(v, 5);
+        const auto reference = encodeNaf(static_cast<std::int64_t>(v));
+        EXPECT_EQ(streamed, reference) << "value " << v;
+    }
+}
+
+TEST(SdrEncoderFsm, MatchesReferenceNafForRandom16BitValues)
+{
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t v = rng.uniformInt(1u << 16);
+        EXPECT_EQ(sdrEncodeStreaming(v, 16),
+                  encodeNaf(static_cast<std::int64_t>(v)))
+            << "value " << v;
+    }
+}
+
+TEST(SdrEncoderFsm, CyclesAreBitsPlusOne)
+{
+    std::size_t cycles = 0;
+    sdrEncodeStreaming(21, 5, &cycles);
+    EXPECT_EQ(cycles, 6u);
+    sdrEncodeStreaming(0, 8, &cycles);
+    EXPECT_EQ(cycles, 9u);
+}
+
+TEST(SdrEncoderFsm, OutputIsNonAdjacent)
+{
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const auto terms = sdrEncodeStreaming(rng.uniformInt(1u << 12), 12);
+        for (std::size_t t = 1; t < terms.size(); ++t)
+            EXPECT_GE(terms[t - 1].exponent - terms[t].exponent, 2);
+    }
+}
+
+TEST(SdrEncoderFsm, CarryFlushProducesTopTerm)
+{
+    // 31 = 100001- in NAF: the final carry must emit +2^5.
+    const auto terms = sdrEncodeStreaming(31, 5);
+    ASSERT_EQ(terms.size(), 2u);
+    EXPECT_EQ(terms[0].value(), 32);
+    EXPECT_EQ(terms[1].value(), -1);
+}
+
+TEST(TermQuantizerUnit, KeepsTopBetaTerms)
+{
+    // Fig. 15: x = 23 with beta = 2 keeps the two leading terms.
+    const auto terms = encodeNaf(23); // +32 -8 -1
+    std::size_t cycles = 0;
+    const auto kept = termQuantizeStream(terms, 2, &cycles);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(termsToValue(kept), 24);
+    EXPECT_EQ(cycles, terms.size()); // one cycle per streamed term
+}
+
+TEST(TermQuantizerUnit, ZeroBudgetDropsEverything)
+{
+    const auto kept = termQuantizeStream(encodeNaf(21), 0);
+    EXPECT_TRUE(kept.empty());
+}
+
+TEST(TermQuantizerUnit, LargeBudgetKeepsAll)
+{
+    const auto terms = encodeNaf(27);
+    EXPECT_EQ(termQuantizeStream(terms, 100), terms);
+}
+
+TEST(TermQuantizerUnit, ResetStartsANewValue)
+{
+    TermQuantizerUnit unit(1);
+    unit.reset();
+    EXPECT_TRUE(unit.step(Term{4, 1}).has_value());
+    EXPECT_FALSE(unit.step(Term{2, 1}).has_value());
+    unit.reset();
+    EXPECT_TRUE(unit.step(Term{3, -1}).has_value());
+}
+
+TEST(TermQuantizerUnit, AgreesWithReferenceTermQuantizeValue)
+{
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+        const std::int64_t v =
+            static_cast<std::int64_t>(rng.uniformInt(1u << 10));
+        for (std::size_t beta : {1u, 2u, 3u, 4u}) {
+            const auto kept =
+                termQuantizeStream(encodeNaf(v), beta);
+            EXPECT_EQ(termsToValue(kept), termQuantizeValue(v, beta))
+                << "value " << v << " beta " << beta;
+        }
+    }
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end equivalence: the mMAC hardware engine must produce the
+ * same outputs as the training-side fake-quantized forward pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/system.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace mrq {
+namespace {
+
+/** Plain sequential CNN the deployment engine supports natively. */
+std::unique_ptr<Sequential>
+buildPlainCnn(Rng& rng)
+{
+    auto net = std::make_unique<Sequential>();
+    net->emplace<PactQuant>(1.0f); // input quantizer (data buffer in)
+    net->emplace<Conv2d>(3, 8, 3, 1, 1, rng);
+    net->emplace<BatchNorm2d>(8);
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<Conv2d>(8, 16, 3, 2, 1, rng);
+    net->emplace<BatchNorm2d>(16);
+    net->emplace<PactQuant>(1.0f);
+    net->emplace<GlobalAvgPool>();
+    net->emplace<PactQuant>(1.0f); // head input quantizer
+    net->emplace<Linear>(16, 10, rng, true);
+    return net;
+}
+
+SubModelConfig
+tqConfig(std::size_t alpha, std::size_t beta)
+{
+    SubModelConfig cfg;
+    cfg.mode = QuantMode::Tq;
+    cfg.bits = 5;
+    cfg.groupSize = 16;
+    cfg.alpha = alpha;
+    cfg.beta = beta;
+    return cfg;
+}
+
+Tensor
+randomImages(std::size_t n, std::size_t side, Rng& rng)
+{
+    Tensor x({n, 3, side, side});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+    return x;
+}
+
+/** Reference: the model's own quantized forward via a QuantContext. */
+Tensor
+referenceForward(Sequential& model, const Tensor& x,
+                 const SubModelConfig& cfg)
+{
+    QuantContext ctx;
+    ctx.config = cfg;
+    model.setQuantContext(&ctx);
+    model.setTraining(false);
+    Tensor y = model.forward(x);
+    model.setTraining(true);
+    model.setQuantContext(nullptr);
+    return y;
+}
+
+class HwEquivalence
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(HwEquivalence, EngineMatchesFakeQuantForward)
+{
+    const auto [alpha, beta] = GetParam();
+    Rng rng(42);
+    auto model = buildPlainCnn(rng);
+
+    // Feed some data through once in training mode so BatchNorm has
+    // sensible running statistics for eval.
+    Tensor warm = randomImages(16, 8, rng);
+    model->forward(warm);
+
+    const SubModelConfig cfg = tqConfig(alpha, beta);
+    Tensor x = randomImages(4, 8, rng);
+
+    Tensor expect = referenceForward(*model, x, cfg);
+    HwInferenceEngine engine(*model, cfg, SystolicArrayConfig{4, 4, 150.0});
+    Tensor got = engine.forward(x);
+
+    ASSERT_TRUE(got.sameShape(expect));
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], expect[i],
+                    1e-3f * (1.0f + std::fabs(expect[i])))
+            << "logit " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, HwEquivalence,
+    ::testing::Values(std::make_pair(8u, 2u), std::make_pair(12u, 2u),
+                      std::make_pair(16u, 3u), std::make_pair(20u, 3u)));
+
+TEST(HwEngine, ReportAccumulatesAcrossRuns)
+{
+    Rng rng(7);
+    auto model = buildPlainCnn(rng);
+    model->forward(randomImages(8, 8, rng));
+    HwInferenceEngine engine(*model, tqConfig(12, 2),
+                             SystolicArrayConfig{4, 4, 150.0});
+
+    engine.forward(randomImages(2, 8, rng));
+    const HwReport one = engine.report();
+    engine.forward(randomImages(2, 8, rng));
+    const HwReport two = engine.report();
+
+    EXPECT_GT(one.systolic.cycles, 0u);
+    EXPECT_EQ(two.systolic.cycles, 2 * one.systolic.cycles);
+    EXPECT_EQ(two.termMemEntries, 2 * one.termMemEntries);
+    EXPECT_GT(one.energyPj, 0.0);
+    EXPECT_GT(one.latencyMs, 0.0);
+}
+
+TEST(HwEngine, LowerBudgetCostsLess)
+{
+    Rng rng(9);
+    auto model = buildPlainCnn(rng);
+    model->forward(randomImages(8, 8, rng));
+
+    HwInferenceEngine lo(*model, tqConfig(8, 2),
+                         SystolicArrayConfig{4, 4, 150.0});
+    HwInferenceEngine hi(*model, tqConfig(20, 3),
+                         SystolicArrayConfig{4, 4, 150.0});
+    Tensor x = randomImages(2, 8, rng);
+    lo.forward(x);
+    hi.forward(x);
+    EXPECT_LT(lo.report().systolic.cycles, hi.report().systolic.cycles);
+    EXPECT_LT(lo.report().energyPj, hi.report().energyPj);
+    EXPECT_LT(lo.report().termMemEntries, hi.report().termMemEntries);
+}
+
+TEST(HwEngine, ResetClearsCounters)
+{
+    Rng rng(11);
+    auto model = buildPlainCnn(rng);
+    model->forward(randomImages(8, 8, rng));
+    HwInferenceEngine engine(*model, tqConfig(12, 2),
+                             SystolicArrayConfig{4, 4, 150.0});
+    engine.forward(randomImages(1, 8, rng));
+    engine.resetReport();
+    EXPECT_EQ(engine.report().systolic.cycles, 0u);
+}
+
+TEST(HwEngine, RejectsNonTqConfig)
+{
+    Rng rng(13);
+    auto model = buildPlainCnn(rng);
+    SubModelConfig uq;
+    uq.mode = QuantMode::Uq;
+    EXPECT_THROW(HwInferenceEngine(*model, uq), FatalError);
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Finite-difference gradient checking for Modules.
+ *
+ * Checks run with quantization disabled: fake quantization is
+ * piecewise constant, so its STE gradient intentionally differs from
+ * the numeric gradient; STE behaviour is tested separately.
+ */
+
+#ifndef MRQ_TESTS_NN_GRADCHECK_HPP
+#define MRQ_TESTS_NN_GRADCHECK_HPP
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace mrq {
+namespace testing {
+
+/** Scalar probe loss: sum(r .* y) for a fixed random direction r. */
+inline double
+probeLoss(const Tensor& y, const Tensor& r)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        acc += static_cast<double>(y[i]) * r[i];
+    return acc;
+}
+
+/**
+ * Verify a module's analytic input and parameter gradients against
+ * central differences.
+ *
+ * @param mod        Module under test (forward must be deterministic).
+ * @param x          Input point.
+ * @param seed       Seed for the probe direction.
+ * @param eps        Finite-difference step.
+ * @param tol        Mixed tolerance: |a - n| <= tol * (1 + |n|).
+ * @param max_checks Per-tensor cap on sampled coordinates.
+ */
+inline void
+checkModuleGradients(Module& mod, const Tensor& x, std::uint64_t seed,
+                     float eps = 1e-2f, double tol = 2e-2,
+                     std::size_t max_checks = 40)
+{
+    Rng rng(seed);
+
+    Tensor y = mod.forward(x);
+    Tensor r(y.shape());
+    for (std::size_t i = 0; i < r.size(); ++i)
+        r[i] = static_cast<float>(rng.normal());
+
+    // Zero parameter grads, then run analytic backward.
+    for (Parameter* p : mod.parameters())
+        p->resetGrad();
+    Tensor dx = mod.backward(r);
+    ASSERT_TRUE(dx.sameShape(x));
+
+    auto numeric = [&](float* slot) {
+        const float saved = *slot;
+        *slot = saved + eps;
+        const double up = probeLoss(mod.forward(x), r);
+        *slot = saved - eps;
+        const double down = probeLoss(mod.forward(x), r);
+        *slot = saved;
+        return (up - down) / (2.0 * static_cast<double>(eps));
+    };
+
+    // Check a sample of input coordinates.
+    Tensor x_mut = x;
+    const std::size_t x_stride =
+        std::max<std::size_t>(1, x.size() / max_checks);
+    for (std::size_t i = 0; i < x.size(); i += x_stride) {
+        const float saved = x_mut[i];
+        x_mut[i] = saved + eps;
+        const double up = probeLoss(mod.forward(x_mut), r);
+        x_mut[i] = saved - eps;
+        const double down = probeLoss(mod.forward(x_mut), r);
+        x_mut[i] = saved;
+        const double num = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(dx[i], num, tol * (1.0 + std::fabs(num)))
+            << "input coordinate " << i;
+    }
+
+    // Check a sample of each trainable parameter's coordinates.
+    for (Parameter* p : mod.parameters()) {
+        if (!p->trainable)
+            continue;
+        const std::size_t stride =
+            std::max<std::size_t>(1, p->value.size() / max_checks);
+        for (std::size_t i = 0; i < p->value.size(); i += stride) {
+            const double num = numeric(&p->value[i]);
+            EXPECT_NEAR(p->grad[i], num, tol * (1.0 + std::fabs(num)))
+                << p->name << " coordinate " << i;
+        }
+    }
+}
+
+/** Random tensor helper for the NN tests. */
+inline Tensor
+randomTensor(std::vector<std::size_t> shape, Rng& rng, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal()) * scale;
+    return t;
+}
+
+} // namespace testing
+} // namespace mrq
+
+#endif // MRQ_TESTS_NN_GRADCHECK_HPP

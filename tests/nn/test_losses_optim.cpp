@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for losses, the optimizer, LR schedules, Embedding, and LSTM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optim.hpp"
+
+#include "gradcheck.hpp"
+
+namespace mrq {
+namespace {
+
+using testing::checkModuleGradients;
+using testing::probeLoss;
+using testing::randomTensor;
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(1);
+    Tensor z = randomTensor({4, 7}, rng, 3.0f);
+    Tensor p = softmax(z);
+    for (std::size_t i = 0; i < 4; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < 7; ++j) {
+            EXPECT_GT(p(i, j), 0.0f);
+            row += p(i, j);
+        }
+        EXPECT_NEAR(row, 1.0, 1e-5);
+    }
+}
+
+TEST(Softmax, TemperatureFlattens)
+{
+    Tensor z({1, 2}, std::vector<float>{0.0f, 4.0f});
+    Tensor sharp = softmax(z, 1.0f);
+    Tensor soft = softmax(z, 8.0f);
+    EXPECT_GT(sharp(0, 1) - sharp(0, 0), soft(0, 1) - soft(0, 0));
+}
+
+TEST(CrossEntropy, PerfectPredictionHasLowLoss)
+{
+    Tensor z({1, 3}, std::vector<float>{20.0f, 0.0f, 0.0f});
+    EXPECT_LT(softmaxCrossEntropy(z, {0}), 1e-6f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC)
+{
+    Tensor z({2, 4});
+    const float loss = softmaxCrossEntropy(z, {1, 3});
+    EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientMatchesNumeric)
+{
+    Rng rng(2);
+    Tensor z = randomTensor({3, 5}, rng);
+    const std::vector<int> labels{0, 2, 4};
+    Tensor dz;
+    softmaxCrossEntropy(z, labels, &dz);
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        Tensor zp = z, zm = z;
+        zp[i] += eps;
+        zm[i] -= eps;
+        const double num = (softmaxCrossEntropy(zp, labels) -
+                            softmaxCrossEntropy(zm, labels)) /
+                           (2.0 * eps);
+        EXPECT_NEAR(dz[i], num, 1e-3);
+    }
+}
+
+TEST(CrossEntropy, RejectsBadLabel)
+{
+    Tensor z({1, 3});
+    EXPECT_THROW(softmaxCrossEntropy(z, {5}), FatalError);
+}
+
+TEST(Distillation, IdenticalLogitsGiveZeroLoss)
+{
+    Rng rng(3);
+    Tensor z = randomTensor({2, 6}, rng);
+    Tensor dz;
+    const float loss = distillationLoss(z, z, 4.0f, &dz);
+    EXPECT_NEAR(loss, 0.0f, 1e-6f);
+    for (std::size_t i = 0; i < dz.size(); ++i)
+        EXPECT_NEAR(dz[i], 0.0f, 1e-6f);
+}
+
+TEST(Distillation, GradientMatchesNumeric)
+{
+    Rng rng(4);
+    Tensor zs = randomTensor({2, 4}, rng);
+    Tensor zt = randomTensor({2, 4}, rng);
+    Tensor dz;
+    distillationLoss(zs, zt, 3.0f, &dz);
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < zs.size(); ++i) {
+        Tensor zp = zs, zm = zs;
+        zp[i] += eps;
+        zm[i] -= eps;
+        const double num = (distillationLoss(zp, zt, 3.0f) -
+                            distillationLoss(zm, zt, 3.0f)) /
+                           (2.0 * eps);
+        EXPECT_NEAR(dz[i], num, 1e-3);
+    }
+}
+
+TEST(Distillation, LossIsNonNegative)
+{
+    Rng rng(5);
+    for (int t = 0; t < 20; ++t) {
+        Tensor zs = randomTensor({3, 5}, rng, 2.0f);
+        Tensor zt = randomTensor({3, 5}, rng, 2.0f);
+        EXPECT_GE(distillationLoss(zs, zt, 2.0f), -1e-6f);
+    }
+}
+
+TEST(Mse, KnownValueAndGradient)
+{
+    Tensor p({2}, std::vector<float>{1.0f, 3.0f});
+    Tensor t({2}, std::vector<float>{0.0f, 1.0f});
+    Tensor dp;
+    const float loss = mseLoss(p, t, &dp);
+    EXPECT_FLOAT_EQ(loss, 2.5f); // (1 + 4) / 2
+    EXPECT_FLOAT_EQ(dp[0], 1.0f);
+    EXPECT_FLOAT_EQ(dp[1], 2.0f);
+}
+
+TEST(Bce, MatchesManualComputation)
+{
+    Tensor z({1}, std::vector<float>{0.0f});
+    Tensor y({1}, std::vector<float>{1.0f});
+    EXPECT_NEAR(bceWithLogits(z, y, nullptr), std::log(2.0f), 1e-6f);
+}
+
+TEST(Bce, MaskDropsElements)
+{
+    Tensor z({2}, std::vector<float>{0.0f, 100.0f});
+    Tensor y({2}, std::vector<float>{1.0f, 0.0f});
+    Tensor mask({2}, std::vector<float>{1.0f, 0.0f});
+    // Masked loss ignores the terrible second prediction.
+    EXPECT_NEAR(bceWithLogits(z, y, &mask), std::log(2.0f), 1e-6f);
+    Tensor dz;
+    bceWithLogits(z, y, &mask, &dz);
+    EXPECT_EQ(dz[1], 0.0f);
+}
+
+TEST(Bce, GradientMatchesNumeric)
+{
+    Rng rng(6);
+    Tensor z = randomTensor({6}, rng);
+    Tensor y({6});
+    for (std::size_t i = 0; i < 6; ++i)
+        y[i] = static_cast<float>(rng.bernoulli(0.5));
+    Tensor dz;
+    bceWithLogits(z, y, nullptr, &dz);
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        Tensor zp = z, zm = z;
+        zp[i] += eps;
+        zm[i] -= eps;
+        const double num = (bceWithLogits(zp, y, nullptr) -
+                            bceWithLogits(zm, y, nullptr)) /
+                           (2.0 * eps);
+        EXPECT_NEAR(dz[i], num, 1e-3);
+    }
+}
+
+TEST(Accuracy, CountsCorrectArgmax)
+{
+    Tensor z({2, 3},
+             std::vector<float>{5, 0, 0,
+                                0, 0, 5});
+    EXPECT_DOUBLE_EQ(top1Accuracy(z, {0, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(top1Accuracy(z, {1, 2}), 0.5);
+}
+
+TEST(Sgd, StepMovesAgainstGradient)
+{
+    Parameter p;
+    p.value = Tensor({1}, std::vector<float>{1.0f});
+    p.resetGrad();
+    Sgd opt({&p}, 0.1f, 0.0f, 0.0f);
+    p.grad[0] = 2.0f;
+    opt.step();
+    EXPECT_FLOAT_EQ(p.value[0], 0.8f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Parameter p;
+    p.value = Tensor({1}, std::vector<float>{0.0f});
+    p.resetGrad();
+    Sgd opt({&p}, 1.0f, 0.5f, 0.0f);
+    p.grad[0] = 1.0f;
+    opt.step(); // v = 1, x = -1
+    opt.step(); // v = 1.5, x = -2.5
+    EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayRespectsFlag)
+{
+    Parameter decayed, exempt;
+    decayed.value = Tensor({1}, std::vector<float>{1.0f});
+    exempt.value = Tensor({1}, std::vector<float>{1.0f});
+    exempt.decay = false;
+    decayed.resetGrad();
+    exempt.resetGrad();
+    Sgd opt({&decayed, &exempt}, 1.0f, 0.0f, 0.1f);
+    opt.step();
+    EXPECT_FLOAT_EQ(decayed.value[0], 0.9f);
+    EXPECT_FLOAT_EQ(exempt.value[0], 1.0f);
+}
+
+TEST(Sgd, GradClipBoundsNorm)
+{
+    Parameter p;
+    p.value = Tensor({2});
+    p.resetGrad();
+    Sgd opt({&p}, 1.0f, 0.0f, 0.0f);
+    opt.setGradClip(1.0f);
+    p.grad[0] = 30.0f;
+    p.grad[1] = 40.0f; // norm 50 -> scaled to 1
+    opt.step();
+    EXPECT_NEAR(p.value[0], -0.6f, 1e-4f);
+    EXPECT_NEAR(p.value[1], -0.8f, 1e-4f);
+}
+
+TEST(Sgd, MinimizesQuadratic)
+{
+    // f(x) = (x - 3)^2 reaches the optimum under plain SGD.
+    Parameter p;
+    p.value = Tensor({1}, std::vector<float>{0.0f});
+    p.resetGrad();
+    Sgd opt({&p}, 0.1f, 0.9f, 0.0f);
+    for (int i = 0; i < 200; ++i) {
+        opt.zeroGrad();
+        p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(p.value[0], 3.0f, 1e-3f);
+}
+
+TEST(LrSchedules, StepAndCosine)
+{
+    EXPECT_FLOAT_EQ(stepLr(0.1f, 0, 10), 0.1f);
+    EXPECT_FLOAT_EQ(stepLr(0.1f, 10, 10), 0.01f);
+    EXPECT_FLOAT_EQ(stepLr(0.1f, 25, 10), 0.001f); // two drops at 25
+    EXPECT_FLOAT_EQ(cosineLr(1.0f, 0, 100), 1.0f);
+    EXPECT_NEAR(cosineLr(1.0f, 50, 100), 0.5f, 1e-5f);
+    EXPECT_NEAR(cosineLr(1.0f, 100, 100), 0.0f, 1e-5f);
+}
+
+TEST(Embedding, LooksUpRows)
+{
+    Rng rng(7);
+    Embedding emb(10, 4, rng);
+    Tensor idx({3}, std::vector<float>{2, 7, 2});
+    Tensor y = emb.forward(idx);
+    ASSERT_EQ(y.shape(), (std::vector<std::size_t>{3, 4}));
+    for (std::size_t d = 0; d < 4; ++d) {
+        EXPECT_EQ(y(0, d), emb.weight().value(2, d));
+        EXPECT_EQ(y(0, d), y(2, d));
+    }
+}
+
+TEST(Embedding, BackwardScattersAndAccumulates)
+{
+    Rng rng(8);
+    Embedding emb(5, 2, rng);
+    Tensor idx({2}, std::vector<float>{3, 3});
+    emb.forward(idx);
+    emb.weight().resetGrad();
+    Tensor dy({2, 2}, std::vector<float>{1, 2, 10, 20});
+    emb.backward(dy);
+    EXPECT_FLOAT_EQ(emb.weight().grad(3, 0), 11.0f);
+    EXPECT_FLOAT_EQ(emb.weight().grad(3, 1), 22.0f);
+    EXPECT_FLOAT_EQ(emb.weight().grad(0, 0), 0.0f);
+}
+
+TEST(Embedding, RejectsOutOfVocab)
+{
+    Rng rng(9);
+    Embedding emb(4, 2, rng);
+    Tensor idx({1}, std::vector<float>{9});
+    EXPECT_THROW(emb.forward(idx), FatalError);
+}
+
+TEST(Lstm, OutputShape)
+{
+    Rng rng(10);
+    Lstm lstm(6, 8, rng);
+    Tensor y = lstm.forward(Tensor({4, 2, 6}));
+    EXPECT_EQ(y.shape(), (std::vector<std::size_t>{4, 2, 8}));
+}
+
+TEST(Lstm, ZeroInputZeroStateBoundedOutput)
+{
+    Rng rng(11);
+    Lstm lstm(3, 4, rng);
+    Tensor y = lstm.forward(Tensor({5, 1, 3}));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_GE(y[i], -1.0f);
+        EXPECT_LE(y[i], 1.0f);
+    }
+}
+
+TEST(Lstm, GradCheck)
+{
+    Rng rng(12);
+    Lstm lstm(4, 5, rng);
+    checkModuleGradients(lstm, randomTensor({3, 2, 4}, rng), 30, 1e-2f,
+                         3e-2);
+}
+
+TEST(Lstm, LongerSequenceGradCheck)
+{
+    Rng rng(13);
+    Lstm lstm(3, 3, rng);
+    checkModuleGradients(lstm, randomTensor({6, 1, 3}, rng), 31, 1e-2f,
+                         4e-2);
+}
+
+TEST(Lstm, CanMemorizeTinySequenceTask)
+{
+    // Predict the first input token's sign at the last step: requires
+    // carrying state across time, a functional LSTM smoke test.
+    Rng rng(14);
+    Lstm lstm(1, 8, rng);
+    Linear head(8, 2, rng);
+    std::vector<Parameter*> params = lstm.parameters();
+    for (Parameter* p : head.parameters())
+        params.push_back(p);
+    Sgd opt(params, 0.1f, 0.9f, 0.0f);
+
+    Rng data_rng(15);
+    float final_loss = 1e9f;
+    for (int it = 0; it < 300; ++it) {
+        const std::size_t batch = 8, t_len = 4;
+        Tensor x({t_len, batch, 1});
+        std::vector<int> labels(batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const bool pos = data_rng.bernoulli(0.5);
+            labels[b] = pos ? 1 : 0;
+            x(0, b, 0) = pos ? 1.0f : -1.0f;
+            for (std::size_t t = 1; t < t_len; ++t)
+                x(t, b, 0) = static_cast<float>(data_rng.normal()) * 0.1f;
+        }
+        opt.zeroGrad();
+        Tensor h = lstm.forward(x);
+        Tensor h_last({batch, 8});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < 8; ++j)
+                h_last(b, j) = h(t_len - 1, b, j);
+        Tensor logits = head.forward(h_last);
+        Tensor dlogits;
+        final_loss = softmaxCrossEntropy(logits, labels, &dlogits);
+        Tensor dh_last = head.backward(dlogits);
+        Tensor dh({t_len, batch, 8});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < 8; ++j)
+                dh(t_len - 1, b, j) = dh_last(b, j);
+        lstm.backward(dh);
+        opt.step();
+    }
+    EXPECT_LT(final_loss, 0.15f);
+}
+
+} // namespace
+} // namespace mrq

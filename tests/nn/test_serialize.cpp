@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for checkpoint save/load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "models/classifiers.hpp"
+#include "nn/linear.hpp"
+#include "nn/serialize.hpp"
+#include "nn/sequential.hpp"
+
+namespace mrq {
+namespace {
+
+/** Temp path helper that cleans up after itself. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string& name)
+        : path_(::testing::TempDir() + name)
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(Serialize, RoundTripRestoresWeights)
+{
+    Rng rng(1);
+    TempFile file("mrq_ckpt_roundtrip.bin");
+    auto model = buildResNetTiny(rng, 10);
+    saveCheckpoint(*model, file.path());
+
+    // Scramble every parameter, then restore.
+    auto params = model->parameters();
+    std::vector<std::vector<float>> originals;
+    for (Parameter* p : params) {
+        originals.push_back(p->value.flat());
+        p->value.fill(123.0f);
+    }
+    loadCheckpoint(*model, file.path());
+    for (std::size_t i = 0; i < params.size(); ++i)
+        for (std::size_t j = 0; j < params[i]->value.size(); ++j)
+            EXPECT_EQ(params[i]->value[j], originals[i][j]);
+}
+
+TEST(Serialize, RestoredModelPredictsIdentically)
+{
+    Rng rng(2);
+    TempFile file("mrq_ckpt_predict.bin");
+    auto model = buildResNetTiny(rng, 4);
+    Tensor x({2, 3, 12, 12}, 0.4f);
+    model->forward(x); // populate BN batch caches (not serialized)
+    model->setTraining(false);
+    saveCheckpoint(*model, file.path());
+
+    Rng rng_same(2);
+    auto clone = buildResNetTiny(rng_same, 4);
+    loadCheckpoint(*clone, file.path());
+    clone->setTraining(false);
+
+    Tensor a = model->forward(x);
+    Tensor b = clone->forward(x);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, RejectsMissingFile)
+{
+    Rng rng(3);
+    Linear model(4, 2, rng);
+    EXPECT_THROW(loadCheckpoint(model, "/nonexistent/dir/x.bin"),
+                 FatalError);
+}
+
+TEST(Serialize, RejectsWrongArchitecture)
+{
+    Rng rng(4);
+    TempFile file("mrq_ckpt_arch.bin");
+    Linear small(4, 2, rng);
+    saveCheckpoint(small, file.path());
+    Linear big(8, 2, rng);
+    EXPECT_THROW(loadCheckpoint(big, file.path()), FatalError);
+}
+
+TEST(Serialize, RejectsGarbageFile)
+{
+    Rng rng(5);
+    TempFile file("mrq_ckpt_garbage.bin");
+    {
+        std::ofstream out(file.path(), std::ios::binary);
+        out << "definitely not a checkpoint";
+    }
+    Linear model(4, 2, rng);
+    EXPECT_THROW(loadCheckpoint(model, file.path()), FatalError);
+}
+
+TEST(Serialize, RejectsParameterCountMismatch)
+{
+    Rng rng(6);
+    TempFile file("mrq_ckpt_count.bin");
+    Sequential one;
+    one.emplace<Linear>(4, 4, rng, false);
+    saveCheckpoint(one, file.path());
+    Sequential two;
+    two.emplace<Linear>(4, 4, rng, false);
+    two.emplace<Linear>(4, 4, rng, false);
+    EXPECT_THROW(loadCheckpoint(two, file.path()), FatalError);
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for dense kernels: matmul variants, transpose, im2col/col2im.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace mrq {
+namespace {
+
+Tensor
+randomMatrix(std::size_t m, std::size_t n, Rng& rng)
+{
+    Tensor t({m, n});
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal());
+    return t;
+}
+
+TEST(Ops, MatmulSmallKnown)
+{
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c(0, 0), 58.0f);
+    EXPECT_EQ(c(0, 1), 64.0f);
+    EXPECT_EQ(c(1, 0), 139.0f);
+    EXPECT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulShapeCheck)
+{
+    Tensor a({2, 3});
+    Tensor b({4, 2});
+    EXPECT_THROW(matmul(a, b), FatalError);
+}
+
+TEST(Ops, MatmulIdentity)
+{
+    Rng rng(1);
+    Tensor a = randomMatrix(5, 5, rng);
+    Tensor eye({5, 5});
+    for (std::size_t i = 0; i < 5; ++i)
+        eye(i, i) = 1.0f;
+    Tensor c = matmul(a, eye);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Ops, TransAVariantsAgreeWithExplicitTranspose)
+{
+    Rng rng(2);
+    Tensor a = randomMatrix(4, 6, rng);
+    Tensor b = randomMatrix(4, 5, rng);
+    Tensor expect = matmul(transpose2d(a), b);
+    Tensor got = matmulTransA(a, b);
+    ASSERT_TRUE(expect.sameShape(got));
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(expect[i], got[i], 1e-5f);
+}
+
+TEST(Ops, TransBVariantsAgreeWithExplicitTranspose)
+{
+    Rng rng(3);
+    Tensor a = randomMatrix(4, 6, rng);
+    Tensor b = randomMatrix(5, 6, rng);
+    Tensor expect = matmul(a, transpose2d(b));
+    Tensor got = matmulTransB(a, b);
+    ASSERT_TRUE(expect.sameShape(got));
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(expect[i], got[i], 1e-5f);
+}
+
+TEST(Ops, Transpose2dRoundTrip)
+{
+    Rng rng(4);
+    Tensor a = randomMatrix(3, 7, rng);
+    Tensor back = transpose2d(transpose2d(a));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], back[i]);
+}
+
+TEST(Ops, ConvOutSize)
+{
+    EXPECT_EQ(convOutSize(16, 3, 1, 1), 16u);
+    EXPECT_EQ(convOutSize(16, 3, 2, 1), 8u);
+    EXPECT_EQ(convOutSize(5, 5, 1, 0), 1u);
+    EXPECT_THROW(convOutSize(2, 5, 1, 0), FatalError);
+}
+
+TEST(Ops, Im2colIdentityKernel)
+{
+    // 1x1 kernel, stride 1, no pad: columns equal the input.
+    Tensor x({1, 2, 3, 3});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i);
+    Tensor cols = im2col(x, 1, 1, 0);
+    ASSERT_EQ(cols.shape(), (std::vector<std::size_t>{1, 2, 9}));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(cols[i], x[i]);
+}
+
+TEST(Ops, Im2colKnownPatch)
+{
+    // Single channel 3x3 input, 3x3 kernel, no pad: single column equal
+    // to the flattened image.
+    Tensor x({1, 1, 3, 3});
+    for (std::size_t i = 0; i < 9; ++i)
+        x[i] = static_cast<float>(i + 1);
+    Tensor cols = im2col(x, 3, 1, 0);
+    ASSERT_EQ(cols.shape(), (std::vector<std::size_t>{1, 9, 1}));
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(cols(0, i, 0), static_cast<float>(i + 1));
+}
+
+TEST(Ops, Im2colPaddingInsertsZeros)
+{
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    Tensor cols = im2col(x, 3, 1, 1);
+    // Output is 2x2; the kernel's top-left tap at output (0,0) reads the
+    // padded corner, which must be zero.
+    EXPECT_EQ(cols(0, 0, 0), 0.0f);
+    // Center tap at output (0,0) reads input (0,0).
+    EXPECT_EQ(cols(0, 4, 0), 1.0f);
+}
+
+TEST(Ops, Col2imIsAdjointOfIm2col)
+{
+    // <im2col(x), y> == <x, col2im(y)> for random x, y: the operators
+    // are adjoint linear maps, the property backward conv relies on.
+    Rng rng(5);
+    Tensor x({2, 3, 6, 6});
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.normal());
+    const std::size_t kernel = 3, stride = 2, pad = 1;
+    Tensor cols = im2col(x, kernel, stride, pad);
+    Tensor y(cols.shape());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = static_cast<float>(rng.normal());
+    Tensor back = col2im(y, 3, 6, 6, kernel, stride, pad);
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        lhs += static_cast<double>(cols[i]) * y[i];
+    for (std::size_t i = 0; i < x.size(); ++i)
+        rhs += static_cast<double>(x[i]) * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, Col2imShapeCheck)
+{
+    Tensor cols({1, 9, 4});
+    EXPECT_THROW(col2im(cols, 2, 3, 3, 3, 1, 0), FatalError);
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the Algorithm-1 trainer mechanics and small end-to-end
+ * training integration runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/multires_trainer.hpp"
+#include "data/synth_images.hpp"
+#include "models/classifiers.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "train/pipelines.hpp"
+
+namespace mrq {
+namespace {
+
+SubModelLadder
+smallLadder()
+{
+    return makeTqLadder(4, 20, 4, 3, 2, 5, 16);
+}
+
+TEST(MakeTqLadder, ProducesAscendingBudgets)
+{
+    const auto ladder = makeTqLadder(7, 20, 2, 3, 2, 5, 16);
+    ASSERT_EQ(ladder.size(), 7u);
+    EXPECT_EQ(ladder.front().alpha, 8u);
+    EXPECT_EQ(ladder.back().alpha, 20u);
+    for (std::size_t i = 1; i < ladder.size(); ++i)
+        EXPECT_GT(ladder[i].alpha, ladder[i - 1].alpha);
+    // Lower half uses the smaller beta.
+    EXPECT_EQ(ladder.front().beta, 2u);
+    EXPECT_EQ(ladder.back().beta, 3u);
+}
+
+TEST(MakeTqLadder, RejectsUnderflow)
+{
+    EXPECT_THROW(makeTqLadder(10, 8, 2, 3, 2, 5, 16), FatalError);
+}
+
+TEST(MakeUqLadder, CoversBitRange)
+{
+    const auto ladder = makeUqLadder(5, 2, 16);
+    ASSERT_EQ(ladder.size(), 4u);
+    EXPECT_EQ(ladder.front().bits, 2);
+    EXPECT_EQ(ladder.back().bits, 5);
+    for (const auto& cfg : ladder)
+        EXPECT_EQ(cfg.mode, QuantMode::Uq);
+}
+
+TEST(SubModelConfig, NamesAndGamma)
+{
+    SubModelConfig tq;
+    tq.alpha = 12;
+    tq.beta = 2;
+    EXPECT_EQ(tq.name(), "a12b2");
+    EXPECT_EQ(tq.gamma(), 24u);
+    SubModelConfig uq;
+    uq.mode = QuantMode::Uq;
+    uq.bits = 4;
+    EXPECT_EQ(uq.name(), "uq4");
+    SubModelConfig fp;
+    fp.mode = QuantMode::None;
+    EXPECT_EQ(fp.name(), "fp32");
+}
+
+TEST(MultiResTrainer, TeacherIsAlwaysLargestBudget)
+{
+    Rng rng(1);
+    Linear model(4, 2, rng);
+    MultiResTrainer trainer(model, smallLadder(), TrainerOptions{});
+    EXPECT_EQ(trainer.teacherConfig().alpha, 20u);
+}
+
+TEST(MultiResTrainer, StudentDrawExcludesTeacher)
+{
+    Rng rng(2);
+    Linear model(4, 2, rng);
+    TrainerOptions opts;
+    opts.lr = 0.0f; // only inspect the draw, no movement
+    MultiResTrainer trainer(model, smallLadder(), opts);
+
+    Tensor x({2, 4}, 0.1f);
+    const std::vector<int> labels{0, 1};
+    HardLossFn hard = [&labels](const Tensor& out, Tensor* dout) {
+        return softmaxCrossEntropy(out, labels, dout);
+    };
+    SoftLossFn soft = [](const Tensor& s, const Tensor& t, Tensor* ds) {
+        return distillationLoss(s, t, 2.0f, ds);
+    };
+    for (int i = 0; i < 50; ++i) {
+        const auto stats = trainer.trainIteration(x, hard, soft);
+        EXPECT_LT(stats.studentIndex, smallLadder().size() - 1);
+    }
+}
+
+TEST(MultiResTrainer, SingleIterationReducesLoss)
+{
+    Rng rng(3);
+    Linear model(8, 2, rng);
+    SubModelConfig fp;
+    fp.mode = QuantMode::None;
+    TrainerOptions opts;
+    opts.lr = 0.1f;
+    opts.weightDecay = 0.0f;
+    MultiResTrainer trainer(model, {fp}, opts);
+
+    Rng data_rng(4);
+    Tensor x({16, 8});
+    std::vector<int> labels(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        labels[i] = static_cast<int>(i % 2);
+        for (std::size_t j = 0; j < 8; ++j)
+            x(i, j) = static_cast<float>(data_rng.normal()) +
+                      (labels[i] ? 1.0f : -1.0f);
+    }
+    HardLossFn hard = [&labels](const Tensor& out, Tensor* dout) {
+        return softmaxCrossEntropy(out, labels, dout);
+    };
+    float first = 0.0f, last = 0.0f;
+    for (int i = 0; i < 50; ++i) {
+        const float loss = trainer.trainIterationSingle(x, hard, fp);
+        if (i == 0)
+            first = loss;
+        last = loss;
+    }
+    EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(MultiResTrainer, InferAtRunsEvalMode)
+{
+    Rng rng(5);
+    Linear model(4, 2, rng);
+    MultiResTrainer trainer(model, smallLadder(), TrainerOptions{});
+    Tensor x({1, 4}, 0.2f);
+    Tensor a = trainer.inferAt(x, smallLadder().front());
+    Tensor b = trainer.inferAt(x, smallLadder().front());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(MultiResTrainer, QuantizedOutputsDifferAcrossBudgets)
+{
+    Rng rng(6);
+    Linear model(32, 4, rng);
+    MultiResTrainer trainer(model, smallLadder(), TrainerOptions{});
+    Tensor x({1, 32});
+    Rng data_rng(7);
+    for (std::size_t i = 0; i < 32; ++i)
+        x[i] = static_cast<float>(data_rng.uniform());
+    Tensor lo = trainer.inferAt(x, smallLadder().front());
+    Tensor hi = trainer.inferAt(x, smallLadder().back());
+    double diff = 0.0;
+    for (std::size_t i = 0; i < lo.size(); ++i)
+        diff += std::fabs(lo[i] - hi[i]);
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST(MultiResTrainer, RejectsEmptyLadder)
+{
+    Rng rng(8);
+    Linear model(4, 2, rng);
+    EXPECT_THROW(MultiResTrainer(model, {}, TrainerOptions{}),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Small end-to-end integration runs (kept tiny; tens of seconds).
+// ---------------------------------------------------------------------
+
+TEST(Integration, ClassifierMultiResLearnsAllSubModels)
+{
+    SynthImages data(400, 150, 21, 12, 4); // 12x12, 4 classes
+    Rng rng(9);
+    auto model = buildResNetTiny(rng, 4);
+    PipelineOptions opts;
+    opts.fpEpochs = 4;
+    opts.mrEpochs = 3;
+    opts.batchSize = 40;
+    opts.seed = 22;
+    const auto ladder = makeTqLadder(3, 20, 5, 3, 2, 5, 16);
+    const auto result = runClassifierMultiRes(*model, data, ladder, opts);
+
+    ASSERT_EQ(result.subModels.size(), 3u);
+    EXPECT_GT(result.fp32Metric, 0.7);
+    for (const auto& sub : result.subModels) {
+        EXPECT_GT(sub.metric, 0.5) << sub.config.name();
+        EXPECT_GT(sub.termPairs, 0u);
+    }
+    // Term pairs grow with budget.
+    EXPECT_LT(result.subModels.front().termPairs,
+              result.subModels.back().termPairs);
+    // Multi-res epochs cost roughly twice an FP epoch (Table 1).
+    EXPECT_GT(result.mrEpochSeconds, result.fpEpochSeconds);
+}
+
+TEST(Integration, PostTrainingIsWorseAtAggressiveBudgets)
+{
+    SynthImages data(400, 150, 31, 12, 4);
+    const auto ladder = makeTqLadder(3, 20, 5, 3, 2, 5, 16);
+    PipelineOptions opts;
+    opts.fpEpochs = 4;
+    opts.mrEpochs = 3;
+    opts.batchSize = 40;
+    opts.seed = 23;
+
+    Rng rng_a(10);
+    auto model_mr = buildResNetTiny(rng_a, 4);
+    const auto mr = runClassifierMultiRes(*model_mr, data, ladder, opts);
+
+    Rng rng_b(10);
+    auto model_pt = buildResNetTiny(rng_b, 4);
+    const auto pt =
+        runClassifierPostTraining(*model_pt, data, ladder, opts);
+
+    // At the most aggressive budget, Algorithm 1 must beat
+    // post-training TQ (Sec. 6.3).
+    EXPECT_GT(mr.subModels.front().metric,
+              pt.subModels.front().metric - 1e-9);
+}
+
+} // namespace
+} // namespace mrq
