@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_distill.dir/bench/bench_ablation_distill.cpp.o"
+  "CMakeFiles/bench_ablation_distill.dir/bench/bench_ablation_distill.cpp.o.d"
+  "bench/bench_ablation_distill"
+  "bench/bench_ablation_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_increment_memory.dir/bench/bench_ablation_increment_memory.cpp.o"
+  "CMakeFiles/bench_ablation_increment_memory.dir/bench/bench_ablation_increment_memory.cpp.o.d"
+  "bench/bench_ablation_increment_memory"
+  "bench/bench_ablation_increment_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_increment_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sdr_vs_ubr.dir/bench/bench_ablation_sdr_vs_ubr.cpp.o"
+  "CMakeFiles/bench_ablation_sdr_vs_ubr.dir/bench/bench_ablation_sdr_vs_ubr.cpp.o.d"
+  "bench/bench_ablation_sdr_vs_ubr"
+  "bench/bench_ablation_sdr_vs_ubr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sdr_vs_ubr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_tq_group_error.dir/bench/bench_fig05_tq_group_error.cpp.o"
+  "CMakeFiles/bench_fig05_tq_group_error.dir/bench/bench_fig05_tq_group_error.cpp.o.d"
+  "bench/bench_fig05_tq_group_error"
+  "bench/bench_fig05_tq_group_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_tq_group_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_term_sharing.dir/bench/bench_fig19_term_sharing.cpp.o"
+  "CMakeFiles/bench_fig19_term_sharing.dir/bench/bench_fig19_term_sharing.cpp.o.d"
+  "bench/bench_fig19_term_sharing"
+  "bench/bench_fig19_term_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_term_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_weight_hist.dir/bench/bench_fig20_weight_hist.cpp.o"
+  "CMakeFiles/bench_fig20_weight_hist.dir/bench/bench_fig20_weight_hist.cpp.o.d"
+  "bench/bench_fig20_weight_hist"
+  "bench/bench_fig20_weight_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_weight_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

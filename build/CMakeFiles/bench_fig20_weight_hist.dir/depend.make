@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig20_weight_hist.
+# This may be replaced when dependencies are built.

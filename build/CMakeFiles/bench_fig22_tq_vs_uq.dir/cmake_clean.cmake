@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_tq_vs_uq.dir/bench/bench_fig22_tq_vs_uq.cpp.o"
+  "CMakeFiles/bench_fig22_tq_vs_uq.dir/bench/bench_fig22_tq_vs_uq.cpp.o.d"
+  "bench/bench_fig22_tq_vs_uq"
+  "bench/bench_fig22_tq_vs_uq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_tq_vs_uq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

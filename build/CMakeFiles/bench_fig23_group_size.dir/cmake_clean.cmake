@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_group_size.dir/bench/bench_fig23_group_size.cpp.o"
+  "CMakeFiles/bench_fig23_group_size.dir/bench/bench_fig23_group_size.cpp.o.d"
+  "bench/bench_fig23_group_size"
+  "bench/bench_fig23_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_num_submodels.dir/bench/bench_fig24_num_submodels.cpp.o"
+  "CMakeFiles/bench_fig24_num_submodels.dir/bench/bench_fig24_num_submodels.cpp.o.d"
+  "bench/bench_fig24_num_submodels"
+  "bench/bench_fig24_num_submodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_num_submodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec72_laconic.dir/bench/bench_sec72_laconic.cpp.o"
+  "CMakeFiles/bench_sec72_laconic.dir/bench/bench_sec72_laconic.cpp.o.d"
+  "bench/bench_sec72_laconic"
+  "bench/bench_sec72_laconic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec72_laconic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_mac_resources.dir/bench/bench_tab2_mac_resources.cpp.o"
+  "CMakeFiles/bench_tab2_mac_resources.dir/bench/bench_tab2_mac_resources.cpp.o.d"
+  "bench/bench_tab2_mac_resources"
+  "bench/bench_tab2_mac_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_mac_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_mac_energy.dir/bench/bench_tab3_mac_energy.cpp.o"
+  "CMakeFiles/bench_tab3_mac_energy.dir/bench/bench_tab3_mac_energy.cpp.o.d"
+  "bench/bench_tab3_mac_energy"
+  "bench/bench_tab3_mac_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_mac_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

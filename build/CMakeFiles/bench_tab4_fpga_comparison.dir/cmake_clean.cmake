@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_fpga_comparison.dir/bench/bench_tab4_fpga_comparison.cpp.o"
+  "CMakeFiles/bench_tab4_fpga_comparison.dir/bench/bench_tab4_fpga_comparison.cpp.o.d"
+  "bench/bench_tab4_fpga_comparison"
+  "bench/bench_tab4_fpga_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_fpga_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_selection.dir/dynamic_selection.cpp.o"
+  "CMakeFiles/dynamic_selection.dir/dynamic_selection.cpp.o.d"
+  "dynamic_selection"
+  "dynamic_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_inference.dir/hw_inference.cpp.o"
+  "CMakeFiles/hw_inference.dir/hw_inference.cpp.o.d"
+  "hw_inference"
+  "hw_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

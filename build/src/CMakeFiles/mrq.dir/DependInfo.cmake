@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fake_quant.cpp" "src/CMakeFiles/mrq.dir/core/fake_quant.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/fake_quant.cpp.o.d"
+  "/root/repo/src/core/multires_group.cpp" "src/CMakeFiles/mrq.dir/core/multires_group.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/multires_group.cpp.o.d"
+  "/root/repo/src/core/multires_trainer.cpp" "src/CMakeFiles/mrq.dir/core/multires_trainer.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/multires_trainer.cpp.o.d"
+  "/root/repo/src/core/packed_storage.cpp" "src/CMakeFiles/mrq.dir/core/packed_storage.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/packed_storage.cpp.o.d"
+  "/root/repo/src/core/quant_config.cpp" "src/CMakeFiles/mrq.dir/core/quant_config.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/quant_config.cpp.o.d"
+  "/root/repo/src/core/sdr.cpp" "src/CMakeFiles/mrq.dir/core/sdr.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/sdr.cpp.o.d"
+  "/root/repo/src/core/term_quant.cpp" "src/CMakeFiles/mrq.dir/core/term_quant.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/term_quant.cpp.o.d"
+  "/root/repo/src/core/uniform_quant.cpp" "src/CMakeFiles/mrq.dir/core/uniform_quant.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/core/uniform_quant.cpp.o.d"
+  "/root/repo/src/data/synth_detect.cpp" "src/CMakeFiles/mrq.dir/data/synth_detect.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/data/synth_detect.cpp.o.d"
+  "/root/repo/src/data/synth_images.cpp" "src/CMakeFiles/mrq.dir/data/synth_images.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/data/synth_images.cpp.o.d"
+  "/root/repo/src/data/synth_text.cpp" "src/CMakeFiles/mrq.dir/data/synth_text.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/data/synth_text.cpp.o.d"
+  "/root/repo/src/hw/controller.cpp" "src/CMakeFiles/mrq.dir/hw/controller.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/controller.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/CMakeFiles/mrq.dir/hw/cost_model.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/cost_model.cpp.o.d"
+  "/root/repo/src/hw/deployment.cpp" "src/CMakeFiles/mrq.dir/hw/deployment.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/deployment.cpp.o.d"
+  "/root/repo/src/hw/laconic.cpp" "src/CMakeFiles/mrq.dir/hw/laconic.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/laconic.cpp.o.d"
+  "/root/repo/src/hw/mmac.cpp" "src/CMakeFiles/mrq.dir/hw/mmac.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/mmac.cpp.o.d"
+  "/root/repo/src/hw/perf_model.cpp" "src/CMakeFiles/mrq.dir/hw/perf_model.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/perf_model.cpp.o.d"
+  "/root/repo/src/hw/sdr_encoder.cpp" "src/CMakeFiles/mrq.dir/hw/sdr_encoder.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/sdr_encoder.cpp.o.d"
+  "/root/repo/src/hw/system.cpp" "src/CMakeFiles/mrq.dir/hw/system.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/system.cpp.o.d"
+  "/root/repo/src/hw/systolic.cpp" "src/CMakeFiles/mrq.dir/hw/systolic.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/systolic.cpp.o.d"
+  "/root/repo/src/hw/systolic_os.cpp" "src/CMakeFiles/mrq.dir/hw/systolic_os.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/hw/systolic_os.cpp.o.d"
+  "/root/repo/src/models/blocks.cpp" "src/CMakeFiles/mrq.dir/models/blocks.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/models/blocks.cpp.o.d"
+  "/root/repo/src/models/classifiers.cpp" "src/CMakeFiles/mrq.dir/models/classifiers.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/models/classifiers.cpp.o.d"
+  "/root/repo/src/models/lstm_lm.cpp" "src/CMakeFiles/mrq.dir/models/lstm_lm.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/models/lstm_lm.cpp.o.d"
+  "/root/repo/src/models/tiny_yolo.cpp" "src/CMakeFiles/mrq.dir/models/tiny_yolo.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/models/tiny_yolo.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/mrq.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/mrq.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/mrq.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/mrq.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/mrq.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/mrq.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/mrq.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/mrq.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/mrq.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/mrq.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/mrq.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/mrq.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/mrq.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/pipelines.cpp" "src/CMakeFiles/mrq.dir/train/pipelines.cpp.o" "gcc" "src/CMakeFiles/mrq.dir/train/pipelines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/mrq_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_edge_cases.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/core/test_fake_quant.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_fake_quant.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_fake_quant.cpp.o.d"
+  "/root/repo/tests/core/test_multires_group.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_multires_group.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_multires_group.cpp.o.d"
+  "/root/repo/tests/core/test_packed_storage.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_packed_storage.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_packed_storage.cpp.o.d"
+  "/root/repo/tests/core/test_properties_sweep.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_properties_sweep.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_properties_sweep.cpp.o.d"
+  "/root/repo/tests/core/test_sdr.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_sdr.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_sdr.cpp.o.d"
+  "/root/repo/tests/core/test_term_accounting.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_term_accounting.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_term_accounting.cpp.o.d"
+  "/root/repo/tests/core/test_term_quant.cpp" "tests/CMakeFiles/mrq_tests.dir/core/test_term_quant.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/core/test_term_quant.cpp.o.d"
+  "/root/repo/tests/data/test_datasets.cpp" "tests/CMakeFiles/mrq_tests.dir/data/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/data/test_datasets.cpp.o.d"
+  "/root/repo/tests/hw/test_controller.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_controller.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_controller.cpp.o.d"
+  "/root/repo/tests/hw/test_cost_model.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_cost_model.cpp.o.d"
+  "/root/repo/tests/hw/test_deployment.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_deployment.cpp.o.d"
+  "/root/repo/tests/hw/test_encoders.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_encoders.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_encoders.cpp.o.d"
+  "/root/repo/tests/hw/test_mmac.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_mmac.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_mmac.cpp.o.d"
+  "/root/repo/tests/hw/test_system.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_system.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_system.cpp.o.d"
+  "/root/repo/tests/hw/test_systolic.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_systolic.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_systolic.cpp.o.d"
+  "/root/repo/tests/hw/test_systolic_os.cpp" "tests/CMakeFiles/mrq_tests.dir/hw/test_systolic_os.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/hw/test_systolic_os.cpp.o.d"
+  "/root/repo/tests/models/test_models.cpp" "tests/CMakeFiles/mrq_tests.dir/models/test_models.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/models/test_models.cpp.o.d"
+  "/root/repo/tests/nn/test_layers.cpp" "tests/CMakeFiles/mrq_tests.dir/nn/test_layers.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/nn/test_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_losses_optim.cpp" "tests/CMakeFiles/mrq_tests.dir/nn/test_losses_optim.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/nn/test_losses_optim.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/mrq_tests.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/tensor/test_ops.cpp" "tests/CMakeFiles/mrq_tests.dir/tensor/test_ops.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/tensor/test_ops.cpp.o.d"
+  "/root/repo/tests/tensor/test_tensor.cpp" "tests/CMakeFiles/mrq_tests.dir/tensor/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/tensor/test_tensor.cpp.o.d"
+  "/root/repo/tests/train/test_trainer.cpp" "tests/CMakeFiles/mrq_tests.dir/train/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/mrq_tests.dir/train/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mrq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
