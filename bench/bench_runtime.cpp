@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime-layer scaling bench: wall time of the hot kernels at pool
+ * sizes 1/2/4/8, with a bit-identity check across sizes (the thread
+ * pool's determinism contract).  Results are printed and recorded to
+ * BENCH_runtime.json.
+ *
+ * Expected shape: near-linear speedup for matmul and conv up to the
+ * physical core count — at least 2x at 4 threads on a >= 4-core host.
+ * On fewer cores the extra pool sizes measure dispatch overhead only;
+ * the bit-identity check is meaningful regardless.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/fake_quant.hpp"
+#include "nn/conv.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace mrq;
+
+Tensor
+randomTensor(std::vector<std::size_t> shape, Rng& rng, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal()) * scale;
+    return t;
+}
+
+/** Best-of-3 wall time in milliseconds. */
+template <typename Fn>
+double
+bestOf3(Fn&& fn)
+{
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep)
+        best = std::min(best, bench::wallTimeMs(fn));
+    return best;
+}
+
+bool
+bitIdentical(const Tensor& a, const Tensor& b)
+{
+    if (!a.sameShape(b))
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Runtime layer",
+                  "kernel wall time vs thread-pool size");
+    std::printf("hardware threads available: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    Rng rng(123);
+    const Tensor a = randomTensor({256, 512}, rng);
+    const Tensor b = randomTensor({512, 256}, rng);
+    const Tensor w = randomTensor({512, 1152}, rng, 0.3f);
+    const Tensor x = randomTensor({8, 16, 32, 32}, rng);
+    SubModelConfig tq;
+    tq.mode = QuantMode::Tq;
+    tq.bits = 5;
+    tq.groupSize = 16;
+    tq.alpha = 14;
+    tq.beta = 3;
+    Rng conv_rng(5);
+    Conv2d conv(16, 32, 3, 1, 1, conv_rng);
+
+    struct Workload
+    {
+        const char* name;
+        std::function<Tensor()> run;
+    };
+    const std::vector<Workload> workloads = {
+        {"matmul_256x512x256", [&] { return matmul(a, b); }},
+        {"fake_quant_w_512x1152",
+         [&] { return fakeQuantWeights(w, 1.0f, tq); }},
+        {"im2col_8x16x32x32", [&] { return im2col(x, 3, 1, 1); }},
+        {"conv2d_fwd_8x16x32x32", [&] { return conv.forward(x); }},
+    };
+
+    bench::RuntimeReport report;
+    const std::vector<std::size_t> pool_sizes = {1, 2, 4, 8};
+    bool identical = true;
+
+    std::printf("  %-24s", "kernel");
+    for (std::size_t t : pool_sizes)
+        std::printf(" T=%-2zu ms  ", t);
+    std::printf(" speedup@4\n");
+
+    for (const Workload& wl : workloads) {
+        ThreadPool::instance().resize(1);
+        const Tensor reference = wl.run();
+
+        std::printf("  %-24s", wl.name);
+        double t1 = 0.0, t4 = 0.0;
+        for (std::size_t threads : pool_sizes) {
+            ThreadPool::instance().resize(threads);
+            if (!bitIdentical(wl.run(), reference))
+                identical = false;
+            const double ms = bestOf3([&] { wl.run(); });
+            report.add(wl.name, threads, ms);
+            if (threads == 1)
+                t1 = ms;
+            if (threads == 4)
+                t4 = ms;
+            std::printf(" %-9.3f", ms);
+        }
+        std::printf(" %.2fx\n", t4 > 0.0 ? t1 / t4 : 0.0);
+    }
+
+    ThreadPool::instance().resize(1);
+    std::printf("\nbit-identity across pool sizes: %s\n",
+                identical ? "REPRODUCED" : "FAILED (investigate)");
+    bench::row("expected speedup @ T=4", 2.0,
+               ">= 2x on a >= 4-core host (overhead-only below)");
+    std::printf("wrote BENCH_runtime.json\n");
+    return identical ? 0 : 1;
+}

@@ -9,8 +9,11 @@
 #ifndef MRQ_BENCH_BENCH_UTIL_HPP
 #define MRQ_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/quant_config.hpp"
 #include "data/synth_images.hpp"
@@ -81,6 +84,76 @@ row(const std::string& label, double measured, const std::string& paper)
     std::printf("  %-28s measured %-12.4g paper %s\n", label.c_str(),
                 measured, paper.c_str());
 }
+
+/** Wall-clock a callable; returns elapsed milliseconds. */
+template <typename Fn>
+inline double
+wallTimeMs(Fn&& fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::forward<Fn>(fn)();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/**
+ * Collects (name, thread count, wall time) measurements and writes
+ * them as a JSON array on flush()/destruction, so runtime-scaling
+ * results survive the bench run in machine-readable form next to the
+ * printed tables.
+ */
+class RuntimeReport
+{
+  public:
+    explicit RuntimeReport(std::string path = "BENCH_runtime.json")
+        : path_(std::move(path))
+    {
+    }
+
+    ~RuntimeReport() { flush(); }
+
+    void
+    add(const std::string& name, std::size_t threads, double millis)
+    {
+        records_.push_back(Record{name, threads, millis});
+    }
+
+    /** Write all records to @p path_ (idempotent; rewrites the file). */
+    void
+    flush()
+    {
+        if (records_.empty())
+            return;
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "RuntimeReport: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f, "[\n");
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record& r = records_[i];
+            std::fprintf(f,
+                         "  {\"name\": \"%s\", \"threads\": %zu, "
+                         "\"wall_ms\": %.3f}%s\n",
+                         r.name.c_str(), r.threads, r.millis,
+                         i + 1 < records_.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+    }
+
+  private:
+    struct Record
+    {
+        std::string name;
+        std::size_t threads;
+        double millis;
+    };
+
+    std::string path_;
+    std::vector<Record> records_;
+};
 
 } // namespace bench
 } // namespace mrq

@@ -1,11 +1,26 @@
 #include "core/fake_quant.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "core/uniform_quant.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace mrq {
+
+namespace {
+
+/** Projections actually executed (not served from a cache); test hook. */
+std::atomic<std::uint64_t> g_weight_projections{0};
+
+} // namespace
+
+std::uint64_t
+fakeQuantWeightsCallCount()
+{
+    return g_weight_projections.load(std::memory_order_relaxed);
+}
 
 std::size_t
 scaledGroupBudget(std::size_t alpha, std::size_t group_size,
@@ -27,6 +42,7 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
     if (cfg.mode == QuantMode::None)
         return w;
     require(clip > 0.0f, "fakeQuantWeights: clip must be positive");
+    g_weight_projections.fetch_add(1, std::memory_order_relaxed);
 
     UniformQuantizer uq;
     uq.bits = cfg.bits;
@@ -37,8 +53,10 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
     const std::size_t n = w.size();
 
     if (cfg.mode == QuantMode::Uq) {
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = uq.roundTrip(w[i]);
+        parallelFor(n, parallelGrain(8), [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                out[i] = uq.roundTrip(w[i]);
+        });
         if (stats) {
             stats->units += n;
         }
@@ -46,30 +64,48 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
     }
 
     // QuantMode::Tq: lattice projection, then group-wise TQ within
-    // each output row (never across dot-product boundaries).
+    // each output row (never across dot-product boundaries).  Rows are
+    // independent, so they parallelize; per-row kept-term counts are
+    // integers, so the chunked reduction is order-insensitive.
     const std::size_t g = cfg.groupSize;
     require(g > 0, "fakeQuantWeights: group size must be positive");
     const std::size_t row_len =
         w.rank() >= 2 && w.dim(0) > 0 ? n / w.dim(0) : n;
-    std::vector<std::int64_t> group;
-    group.reserve(g);
-    for (std::size_t row_base = 0; row_base < n; row_base += row_len) {
-        for (std::size_t off = 0; off < row_len; off += g) {
-            const std::size_t base = row_base + off;
-            const std::size_t len = std::min(g, row_len - off);
-            group.clear();
-            for (std::size_t i = 0; i < len; ++i)
-                group.push_back(uq.quantize(w[base + i]));
-            const std::size_t budget = scaledGroupBudget(cfg.alpha, g, len);
-            const GroupQuantResult r =
-                termQuantizeGroup(group, budget, cfg.encoding);
-            for (std::size_t i = 0; i < len; ++i)
-                out[base + i] = uq.dequantize(r.values[i]);
-            if (stats) {
-                stats->keptTerms += r.keptTerms.size();
-                stats->units += 1;
+    const std::size_t rows = row_len > 0 ? n / row_len : 0;
+    const QuantStats partial = parallelReduce(
+        rows, parallelGrain(row_len * 16), QuantStats{},
+        [&](std::size_t r0, std::size_t r1) {
+            QuantStats local;
+            std::vector<std::int64_t> group;
+            group.reserve(g);
+            for (std::size_t row = r0; row < r1; ++row) {
+                const std::size_t row_base = row * row_len;
+                for (std::size_t off = 0; off < row_len; off += g) {
+                    const std::size_t base = row_base + off;
+                    const std::size_t len = std::min(g, row_len - off);
+                    group.clear();
+                    for (std::size_t i = 0; i < len; ++i)
+                        group.push_back(uq.quantize(w[base + i]));
+                    const std::size_t budget =
+                        scaledGroupBudget(cfg.alpha, g, len);
+                    const GroupQuantResult r =
+                        termQuantizeGroup(group, budget, cfg.encoding);
+                    for (std::size_t i = 0; i < len; ++i)
+                        out[base + i] = uq.dequantize(r.values[i]);
+                    local.keptTerms += r.keptTerms.size();
+                    local.units += 1;
+                }
             }
-        }
+            return local;
+        },
+        [](QuantStats acc, const QuantStats& part) {
+            acc.keptTerms += part.keptTerms;
+            acc.units += part.units;
+            return acc;
+        });
+    if (stats) {
+        stats->keptTerms += partial.keptTerms;
+        stats->units += partial.units;
     }
     return out;
 }
@@ -89,20 +125,27 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
 
     Tensor out = x;
     const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        std::int64_t q = uq.quantize(x[i]);
-        if (cfg.mode == QuantMode::Tq) {
-            if (stats) {
-                const std::size_t kept = std::min(
-                    cfg.beta, termCount(q, cfg.encoding));
-                stats->keptTerms += kept;
+    const std::size_t kept = parallelReduce(
+        n, parallelGrain(16), std::size_t{0},
+        [&](std::size_t b, std::size_t e) {
+            std::size_t local = 0;
+            for (std::size_t i = b; i < e; ++i) {
+                std::int64_t q = uq.quantize(x[i]);
+                if (cfg.mode == QuantMode::Tq) {
+                    local += std::min(cfg.beta,
+                                      termCount(q, cfg.encoding));
+                    q = termQuantizeValue(q, cfg.beta, cfg.encoding);
+                }
+                out[i] = uq.dequantize(q);
             }
-            q = termQuantizeValue(q, cfg.beta, cfg.encoding);
-        }
-        out[i] = uq.dequantize(q);
-    }
-    if (stats)
+            return local;
+        },
+        [](std::size_t acc, std::size_t part) { return acc + part; });
+    if (stats) {
+        if (cfg.mode == QuantMode::Tq)
+            stats->keptTerms += kept;
         stats->units += n;
+    }
     return out;
 }
 
@@ -112,27 +155,33 @@ steBackward(const Tensor& x, const Tensor& dy, float clip, bool is_signed,
 {
     require(x.sameShape(dy), "steBackward: shape mismatch");
     Tensor dx = dy;
-    float cg = 0.0f;
     const std::size_t n = x.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const float v = x[i];
-        if (is_signed) {
-            if (v > clip) {
-                dx[i] = 0.0f;
-                cg += dy[i];
-            } else if (v < -clip) {
-                dx[i] = 0.0f;
-                cg -= dy[i];
+    const float cg = parallelReduce(
+        n, parallelGrain(4), 0.0f,
+        [&](std::size_t b, std::size_t e) {
+            float local = 0.0f;
+            for (std::size_t i = b; i < e; ++i) {
+                const float v = x[i];
+                if (is_signed) {
+                    if (v > clip) {
+                        dx[i] = 0.0f;
+                        local += dy[i];
+                    } else if (v < -clip) {
+                        dx[i] = 0.0f;
+                        local -= dy[i];
+                    }
+                } else {
+                    if (v > clip) {
+                        dx[i] = 0.0f;
+                        local += dy[i];
+                    } else if (v < 0.0f) {
+                        dx[i] = 0.0f;
+                    }
+                }
             }
-        } else {
-            if (v > clip) {
-                dx[i] = 0.0f;
-                cg += dy[i];
-            } else if (v < 0.0f) {
-                dx[i] = 0.0f;
-            }
-        }
-    }
+            return local;
+        },
+        [](float acc, float part) { return acc + part; });
     if (clip_grad)
         *clip_grad += cg;
     return dx;

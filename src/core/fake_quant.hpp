@@ -34,6 +34,14 @@ struct QuantStats
 };
 
 /**
+ * Process-wide count of fakeQuantWeights invocations that actually
+ * executed a projection (QuantMode::None pass-throughs excluded).
+ * Monotonic; callers measure deltas.  Used by tests to verify the
+ * WeightQuantizer projection cache avoids recomputation.
+ */
+std::uint64_t fakeQuantWeightsCallCount();
+
+/**
  * Budget for a (possibly partial) tail group, proportional to its
  * size, at least one term.  Shared by the training-side quantizer and
  * the hardware simulator so both project weights identically.

@@ -9,6 +9,7 @@ MultiResTrainer::MultiResTrainer(Module& model, SubModelLadder ladder,
       rng_(opts.seed)
 {
     require(!ladder_.empty(), "MultiResTrainer: empty sub-model ladder");
+    validateLadder(ladder_);
     opt_.setGradClip(opts_.gradClip);
     model_.setQuantContext(&ctx_);
 }
@@ -33,8 +34,11 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
     stats.teacherLoss = hard(teacher_out, &d_teacher);
     model_.backward(d_teacher);
 
-    // Student pass: randomly drawn sub-model (Steps 4-5); with more
-    // than one sub-model the teacher itself is excluded from the draw.
+    // Student pass: uniform draw over ladder_[0 .. size-2], i.e. every
+    // rung except the teacher (Steps 4-5).  validateLadder() rejected
+    // duplicate rungs at construction, so each distinct sub-model has
+    // equal probability 1/(size-1).  With a single-rung ladder the one
+    // config plays both roles.
     const std::size_t draws =
         ladder_.size() > 1 ? ladder_.size() - 1 : 1;
     stats.studentIndex = rng_.uniformInt(draws);

@@ -62,7 +62,12 @@ class MultiResTrainer
      * @param model  The network; its quantized layers are wired to the
      *               trainer's QuantContext.
      * @param ladder Sub-model configurations, ascending; back() is the
-     *               teacher.
+     *               teacher.  Validated at construction via
+     *               validateLadder(): rungs must be strictly ordered
+     *               (nested term budgets for Tq, increasing bit widths
+     *               for Uq) with no duplicates.  A duplicate rung would
+     *               silently bias the uniform student draw toward that
+     *               configuration.
      * @param opts   Hyperparameters.
      */
     MultiResTrainer(Module& model, SubModelLadder ladder,
@@ -84,6 +89,15 @@ class MultiResTrainer
     /**
      * One Algorithm-1 iteration: teacher pass, student pass with
      * distillation, single optimizer step.
+     *
+     * The student is drawn uniformly from ladder indices
+     * [0, size() - 2] — every rung except the teacher — so each
+     * non-teacher sub-model receives the same share of student
+     * gradient updates.  When the ladder has a single rung, that
+     * config serves as both teacher and student.  Because rungs are
+     * nested (see validateLadder), the weight projections of every
+     * rung reuse the teacher's quantization terms, which is what the
+     * per-iteration projection cache in WeightQuantizer exploits.
      *
      * @param input Batch input tensor.
      * @param hard  Task loss bound to this batch's targets.

@@ -22,6 +22,46 @@ SubModelConfig::name() const
     return os.str();
 }
 
+void
+validateLadder(const SubModelLadder& ladder)
+{
+    require(!ladder.empty(), "validateLadder: empty ladder");
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        const SubModelConfig& lo = ladder[i - 1];
+        const SubModelConfig& hi = ladder[i];
+        require(lo.mode == hi.mode,
+                "validateLadder: mixed quantization modes at rung ", i);
+        switch (hi.mode) {
+          case QuantMode::None:
+            fatal("validateLadder: multiple full-precision rungs (rung ",
+                  i, " duplicates its predecessor)");
+          case QuantMode::Uq:
+            require(hi.bits > lo.bits,
+                    "validateLadder: UQ ladder bits must strictly "
+                    "increase; rung ", i, " has ", hi.bits,
+                    " bits after ", lo.bits);
+            break;
+          case QuantMode::Tq:
+            require(hi.bits == lo.bits && hi.groupSize == lo.groupSize &&
+                        hi.encoding == lo.encoding,
+                    "validateLadder: TQ rungs must share one lattice, "
+                    "group size, and encoding (rung ", i, " differs)");
+            // Nesting: a lower rung's terms must be a prefix of every
+            // higher rung's, so both budgets are non-decreasing...
+            require(hi.alpha >= lo.alpha && hi.beta >= lo.beta,
+                    "validateLadder: rung ", i, " (", hi.name(),
+                    ") shrinks a budget of its predecessor (", lo.name(),
+                    ") — ladder is not nested");
+            // ... and a duplicate rung would bias the student draw.
+            require(hi.alpha > lo.alpha || hi.beta > lo.beta,
+                    "validateLadder: rung ", i, " duplicates ",
+                    lo.name(), " — remove it, duplicates bias the "
+                    "uniform student draw");
+            break;
+        }
+    }
+}
+
 SubModelLadder
 makeTqLadder(std::size_t n, std::size_t alpha_max, std::size_t alpha_step,
              std::size_t beta_hi, std::size_t beta_lo, int bits,

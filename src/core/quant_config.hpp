@@ -52,6 +52,16 @@ struct SubModelConfig
 
     /** Short label like "a20b3" / "uq5" for reports. */
     std::string name() const;
+
+    /** Exact equality of every field (used as a projection-cache key). */
+    bool
+    operator==(const SubModelConfig& o) const
+    {
+        return mode == o.mode && bits == o.bits &&
+               groupSize == o.groupSize && alpha == o.alpha &&
+               beta == o.beta && encoding == o.encoding;
+    }
+    bool operator!=(const SubModelConfig& o) const { return !(*this == o); }
 };
 
 /**
@@ -59,6 +69,17 @@ struct SubModelConfig
  * resolution; back() is the teacher (largest budget).
  */
 using SubModelLadder = std::vector<SubModelConfig>;
+
+/**
+ * Validate that a ladder is strictly ordered and nested: all entries
+ * share one quantization family (and, for TQ, one lattice/group/
+ * encoding), every entry's budgets are >= its predecessor's in every
+ * component (nesting: the low-budget term set is a prefix of the
+ * high-budget set), and consecutive entries are never equal —
+ * duplicates would silently bias the trainer's uniform student draw.
+ * Single-entry ladders are trivially valid.  Throws FatalError.
+ */
+void validateLadder(const SubModelLadder& ladder);
 
 /**
  * Build the paper's standard TQ ladder: @p n sub-models with alpha

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mrq {
 
 namespace {
@@ -95,14 +97,29 @@ networkPerformance(const std::vector<LayerGeometry>& layers,
                    const PackedTermFormat& fmt,
                    const SystemEnergyModel& energy)
 {
-    NetworkPerf net;
-    for (const LayerGeometry& layer : layers) {
-        const LayerPerf perf = layerPerformance(layer, cfg, array, fmt);
-        net.cycles += perf.cycles;
-        net.termPairs += perf.termPairs;
-        net.memEntries += perf.termMemEntries + perf.indexMemEntries +
-                          perf.dataMemEntries;
-    }
+    // Layers are evaluated independently and folded with integer
+    // addition, so the totals do not depend on thread count.
+    NetworkPerf net = parallelReduce(
+        layers.size(), parallelGrain(256), NetworkPerf{},
+        [&](std::size_t l0, std::size_t l1) {
+            NetworkPerf part;
+            for (std::size_t l = l0; l < l1; ++l) {
+                const LayerPerf perf =
+                    layerPerformance(layers[l], cfg, array, fmt);
+                part.cycles += perf.cycles;
+                part.termPairs += perf.termPairs;
+                part.memEntries += perf.termMemEntries +
+                                   perf.indexMemEntries +
+                                   perf.dataMemEntries;
+            }
+            return part;
+        },
+        [](NetworkPerf acc, const NetworkPerf& part) {
+            acc.cycles += part.cycles;
+            acc.termPairs += part.termPairs;
+            acc.memEntries += part.memEntries;
+            return acc;
+        });
     net.latencyMs = static_cast<double>(net.cycles) /
                     (array.clockMhz * 1e6) * 1e3;
     const double kilo_cells =

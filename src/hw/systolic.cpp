@@ -2,6 +2,7 @@
 
 #include "core/fake_quant.hpp"
 #include "hw/perf_model.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace mrq {
 
@@ -38,14 +39,15 @@ MmacSystolicArray::matmul(const std::vector<std::int64_t>& w, std::size_t m,
     // Pre-quantize data terms: top-beta NAF terms per value, exactly
     // what the SDR encoder + term quantizer units deliver (Fig. 9).
     std::vector<std::vector<Term>> data_terms(k * n);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        for (std::size_t j = 0; j < n; ++j) {
-            auto terms = encodeTerms(x[kk * n + j], cfg_.encoding);
+    parallelFor(k * n, parallelGrain(64),
+                [&](std::size_t e0, std::size_t e1) {
+        for (std::size_t e = e0; e < e1; ++e) {
+            auto terms = encodeTerms(x[e], cfg_.encoding);
             if (terms.size() > cfg_.beta)
                 terms.resize(cfg_.beta);
-            data_terms[kk * n + j] = std::move(terms);
+            data_terms[e] = std::move(terms);
         }
-    }
+    });
 
     std::vector<std::int64_t> y(m * n, 0);
     SystolicStats local;
@@ -57,35 +59,59 @@ MmacSystolicArray::matmul(const std::vector<std::int64_t>& w, std::size_t m,
     local.cycles = layerCycles(LayerGeometry{"", m, k, n}, cfg_, rows_,
                                cols_);
 
-    Mmac cell(g, cfg_.alpha, cfg_.beta);
-    std::vector<std::vector<Term>> slice(g);
-    std::vector<std::int64_t> group_vals;
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t q = 0; q < groups_per_row; ++q) {
-            const std::size_t base = q * g;
-            const std::size_t len = std::min(g, k - base);
-            group_vals.assign(w.begin() + i * k + base,
-                              w.begin() + i * k + base + len);
-            const std::size_t budget =
-                scaledGroupBudget(cfg_.alpha, g, len);
-            MultiResGroup group(group_vals, budget, cfg_.encoding);
-            cell.loadWeights(MmacWeightQueues::fromGroup(group, budget));
+    // Output rows are independent: each chunk simulates its own Mmac
+    // cell over a disjoint band of y, and the term-pair / increment
+    // counters are integers, so the totals are exact regardless of
+    // thread count.
+    struct OpCounts
+    {
+        std::uint64_t termPairs = 0;
+        std::uint64_t incrementOps = 0;
+    };
+    const OpCounts counts = parallelReduce(
+        m, parallelGrain(groups_per_row * n * g),
+        OpCounts{},
+        [&](std::size_t i0, std::size_t i1) {
+            OpCounts part;
+            Mmac cell(g, cfg_.alpha, cfg_.beta);
+            std::vector<std::vector<Term>> slice(g);
+            std::vector<std::int64_t> group_vals;
+            for (std::size_t i = i0; i < i1; ++i) {
+                for (std::size_t q = 0; q < groups_per_row; ++q) {
+                    const std::size_t base = q * g;
+                    const std::size_t len = std::min(g, k - base);
+                    group_vals.assign(w.begin() + i * k + base,
+                                      w.begin() + i * k + base + len);
+                    const std::size_t budget =
+                        scaledGroupBudget(cfg_.alpha, g, len);
+                    MultiResGroup group(group_vals, budget, cfg_.encoding);
+                    cell.loadWeights(
+                        MmacWeightQueues::fromGroup(group, budget));
 
-            for (std::size_t j = 0; j < n; ++j) {
-                for (std::size_t s = 0; s < g; ++s) {
-                    if (s < len)
-                        slice[s] = data_terms[(base + s) * n + j];
-                    else
-                        slice[s].clear();
+                    for (std::size_t j = 0; j < n; ++j) {
+                        for (std::size_t s = 0; s < g; ++s) {
+                            if (s < len)
+                                slice[s] = data_terms[(base + s) * n + j];
+                            else
+                                slice[s].clear();
+                        }
+                        const MmacResult r =
+                            cell.computeGroup(slice, y[i * n + j]);
+                        y[i * n + j] = r.value;
+                        part.termPairs += r.termPairs;
+                        part.incrementOps += r.incrementOps;
+                    }
                 }
-                const MmacResult r =
-                    cell.computeGroup(slice, y[i * n + j]);
-                y[i * n + j] = r.value;
-                local.termPairs += r.termPairs;
-                local.incrementOps += r.incrementOps;
             }
-        }
-    }
+            return part;
+        },
+        [](OpCounts acc, const OpCounts& part) {
+            acc.termPairs += part.termPairs;
+            acc.incrementOps += part.incrementOps;
+            return acc;
+        });
+    local.termPairs += counts.termPairs;
+    local.incrementOps += counts.incrementOps;
     if (stats)
         *stats = local;
     return y;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mrq {
 
 BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
@@ -38,7 +40,13 @@ BatchNorm2d::forward(const Tensor& x)
     cachedInvStd_.assign(channels_, 0.0f);
     cachedCount_ = count;
 
-    for (std::size_t c = 0; c < channels_; ++c) {
+    // Channels are fully independent (statistics, running-stat
+    // updates, and output planes), and the per-channel accumulation
+    // order over the batch is unchanged, so this parallel loop is
+    // bit-identical to the serial one.
+    parallelFor(channels_, parallelGrain(count * 8),
+                [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
         float mean, var;
         if (training_) {
             double sum = 0.0, sumsq = 0.0;
@@ -75,6 +83,7 @@ BatchNorm2d::forward(const Tensor& x)
                     y(img, c, i, j) = g * xhat + b;
                 }
     }
+    });
     return y;
 }
 
@@ -88,7 +97,9 @@ BatchNorm2d::backward(const Tensor& dy)
     const float count = static_cast<float>(cachedCount_);
 
     Tensor dx(dy.shape());
-    for (std::size_t c = 0; c < channels_; ++c) {
+    parallelFor(channels_, parallelGrain(cachedCount_ * 8),
+                [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
         double sum_dy = 0.0, sum_dy_xhat = 0.0;
         for (std::size_t img = 0; img < n; ++img)
             for (std::size_t i = 0; i < h; ++i)
@@ -123,6 +134,7 @@ BatchNorm2d::backward(const Tensor& dy)
                              xhat * mean_dy_xhat);
                 }
     }
+    });
     return dx;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/init.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace mrq {
@@ -38,31 +39,35 @@ Conv2d::forward(const Tensor& x)
     const std::size_t ow = convOutSize(inW_, kernel_, stride_, pad_);
 
     cachedCols_ = im2col(x, kernel_, stride_, pad_);
-    cachedWq_ = quantizer_.project(weight_.value);
+    cachedWq_ = quantizer_.project(weight_);
     quantizer_.addMacs(n * outChannels_ * inChannels_ * kernel_ * kernel_ *
                        oh * ow);
 
     Tensor y({n, outChannels_, oh, ow});
     const std::size_t cols_rows = cachedCols_.dim(1);
     const std::size_t cols_cols = cachedCols_.dim(2);
-    for (std::size_t img = 0; img < n; ++img) {
-        // View image's columns as a matrix and multiply.
-        Tensor cols_mat({cols_rows, cols_cols});
-        std::copy(cachedCols_.data() + img * cols_rows * cols_cols,
-                  cachedCols_.data() + (img + 1) * cols_rows * cols_cols,
-                  cols_mat.data());
-        Tensor out = matmul(cachedWq_, cols_mat); // [outC, OH*OW]
-        std::copy(out.data(), out.data() + out.size(),
-                  y.data() + img * outChannels_ * oh * ow);
-    }
-    if (hasBias_) {
-        for (std::size_t img = 0; img < n; ++img)
-            for (std::size_t c = 0; c < outChannels_; ++c) {
-                float* base = y.data() + (img * outChannels_ + c) * oh * ow;
-                for (std::size_t i = 0; i < oh * ow; ++i)
-                    base[i] += bias_.value[c];
+    // Images are independent; the inner matmul runs inline when this
+    // loop is already parallel.
+    parallelFor(n, 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t img = i0; img < i1; ++img) {
+            // View image's columns as a matrix and multiply.
+            Tensor cols_mat({cols_rows, cols_cols});
+            std::copy(cachedCols_.data() + img * cols_rows * cols_cols,
+                      cachedCols_.data() + (img + 1) * cols_rows * cols_cols,
+                      cols_mat.data());
+            Tensor out = matmul(cachedWq_, cols_mat); // [outC, OH*OW]
+            std::copy(out.data(), out.data() + out.size(),
+                      y.data() + img * outChannels_ * oh * ow);
+            if (hasBias_) {
+                for (std::size_t c = 0; c < outChannels_; ++c) {
+                    float* base =
+                        y.data() + (img * outChannels_ + c) * oh * ow;
+                    for (std::size_t i = 0; i < oh * ow; ++i)
+                        base[i] += bias_.value[c];
+                }
             }
-    }
+        }
+    });
     return y;
 }
 
@@ -78,34 +83,66 @@ Conv2d::backward(const Tensor& dy)
     const std::size_t cols_cols = cachedCols_.dim(2);
     require(cols_cols == oh * ow, "Conv2d::backward: spatial mismatch");
 
-    Tensor dw({outChannels_, cols_rows});
     Tensor dcols({n, cols_rows, cols_cols});
 
-    for (std::size_t img = 0; img < n; ++img) {
-        Tensor dy_mat({outChannels_, cols_cols});
-        std::copy(dy.data() + img * outChannels_ * cols_cols,
-                  dy.data() + (img + 1) * outChannels_ * cols_cols,
-                  dy_mat.data());
-        Tensor cols_mat({cols_rows, cols_cols});
-        std::copy(cachedCols_.data() + img * cols_rows * cols_cols,
-                  cachedCols_.data() + (img + 1) * cols_rows * cols_cols,
-                  cols_mat.data());
+    // Per-image contributions to dW (and the bias gradient) are summed
+    // via fixed-boundary chunk partials combined in chunk order, so
+    // the totals are thread-count independent; dcols rows are disjoint
+    // per image.
+    struct GradPartial
+    {
+        Tensor dw;
+        Tensor bias;
+    };
+    GradPartial identity;
+    identity.dw = Tensor({outChannels_, cols_rows});
+    if (hasBias_)
+        identity.bias = Tensor({outChannels_});
 
-        // dW += dy_mat * cols^T.
-        dw += matmulTransB(dy_mat, cols_mat);
-        // dcols = Wq^T * dy_mat.
-        Tensor dc = matmulTransA(cachedWq_, dy_mat);
-        std::copy(dc.data(), dc.data() + dc.size(),
-                  dcols.data() + img * cols_rows * cols_cols);
+    const GradPartial total = parallelReduce(
+        n, std::size_t{1}, identity,
+        [&](std::size_t i0, std::size_t i1) {
+            GradPartial part;
+            part.dw = Tensor({outChannels_, cols_rows});
+            if (hasBias_)
+                part.bias = Tensor({outChannels_});
+            for (std::size_t img = i0; img < i1; ++img) {
+                Tensor dy_mat({outChannels_, cols_cols});
+                std::copy(dy.data() + img * outChannels_ * cols_cols,
+                          dy.data() + (img + 1) * outChannels_ * cols_cols,
+                          dy_mat.data());
+                Tensor cols_mat({cols_rows, cols_cols});
+                std::copy(
+                    cachedCols_.data() + img * cols_rows * cols_cols,
+                    cachedCols_.data() + (img + 1) * cols_rows * cols_cols,
+                    cols_mat.data());
 
-        if (hasBias_) {
-            for (std::size_t c = 0; c < outChannels_; ++c)
-                for (std::size_t i = 0; i < cols_cols; ++i)
-                    bias_.grad[c] += dy_mat(c, i);
-        }
-    }
+                // dW += dy_mat * cols^T.
+                part.dw += matmulTransB(dy_mat, cols_mat);
+                // dcols = Wq^T * dy_mat.
+                Tensor dc = matmulTransA(cachedWq_, dy_mat);
+                std::copy(dc.data(), dc.data() + dc.size(),
+                          dcols.data() + img * cols_rows * cols_cols);
 
-    Tensor dw_master = quantizer_.backward(weight_.value, dw);
+                if (hasBias_) {
+                    for (std::size_t c = 0; c < outChannels_; ++c)
+                        for (std::size_t i = 0; i < cols_cols; ++i)
+                            part.bias[c] += dy_mat(c, i);
+                }
+            }
+            return part;
+        },
+        [&](GradPartial acc, const GradPartial& part) {
+            acc.dw += part.dw;
+            if (hasBias_)
+                acc.bias += part.bias;
+            return acc;
+        });
+
+    if (hasBias_)
+        bias_.grad += total.bias;
+
+    Tensor dw_master = quantizer_.backward(weight_.value, total.dw);
     if (!weight_.grad.sameShape(weight_.value))
         weight_.resetGrad();
     weight_.grad += dw_master;
@@ -149,12 +186,16 @@ DepthwiseConv2d::forward(const Tensor& x)
     const std::size_t ow = convOutSize(w, kernel_, stride_, pad_);
 
     cachedInput_ = x;
-    cachedWq_ = quantizer_.project(weight_.value);
+    cachedWq_ = quantizer_.project(weight_);
     quantizer_.addMacs(n * channels_ * kernel_ * kernel_ * oh * ow);
 
     Tensor y({n, channels_, oh, ow});
-    for (std::size_t img = 0; img < n; ++img) {
-        for (std::size_t c = 0; c < channels_; ++c) {
+    // Each (image, channel) plane is independent.
+    parallelFor(n * channels_, parallelGrain(oh * ow * kernel_ * kernel_),
+                [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t img = p / channels_;
+            const std::size_t c = p % channels_;
             for (std::size_t oy = 0; oy < oh; ++oy) {
                 for (std::size_t ox = 0; ox < ow; ++ox) {
                     float acc = 0.0f;
@@ -180,7 +221,7 @@ DepthwiseConv2d::forward(const Tensor& x)
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -195,38 +236,45 @@ DepthwiseConv2d::backward(const Tensor& dy)
 
     Tensor dw(cachedWq_.shape());
     Tensor dx(x.shape());
-    for (std::size_t img = 0; img < n; ++img) {
-        for (std::size_t c = 0; c < channels_; ++c) {
-            for (std::size_t oy = 0; oy < oh; ++oy) {
-                for (std::size_t ox = 0; ox < ow; ++ox) {
-                    const float g = dy(img, c, oy, ox);
-                    if (g == 0.0f)
-                        continue;
-                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
-                        const long iy =
-                            static_cast<long>(oy * stride_ + ky) -
-                            static_cast<long>(pad_);
-                        if (iy < 0 || iy >= static_cast<long>(h))
+    // Parallel over channels: each channel accumulates its own dw row
+    // and dx planes across all images in the original image order, so
+    // results match the serial loop exactly.
+    parallelFor(channels_,
+                parallelGrain(n * oh * ow * kernel_ * kernel_),
+                [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+            for (std::size_t img = 0; img < n; ++img) {
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const float g = dy(img, c, oy, ox);
+                        if (g == 0.0f)
                             continue;
-                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
-                            const long ix =
-                                static_cast<long>(ox * stride_ + kx) -
+                        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                            const long iy =
+                                static_cast<long>(oy * stride_ + ky) -
                                 static_cast<long>(pad_);
-                            if (ix < 0 || ix >= static_cast<long>(w))
+                            if (iy < 0 || iy >= static_cast<long>(h))
                                 continue;
-                            const auto uy =
-                                static_cast<std::size_t>(iy);
-                            const auto ux =
-                                static_cast<std::size_t>(ix);
-                            dw(c, ky, kx) += g * x(img, c, uy, ux);
-                            dx(img, c, uy, ux) +=
-                                g * cachedWq_(c, ky, kx);
+                            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                                const long ix =
+                                    static_cast<long>(ox * stride_ + kx) -
+                                    static_cast<long>(pad_);
+                                if (ix < 0 || ix >= static_cast<long>(w))
+                                    continue;
+                                const auto uy =
+                                    static_cast<std::size_t>(iy);
+                                const auto ux =
+                                    static_cast<std::size_t>(ix);
+                                dw(c, ky, kx) += g * x(img, c, uy, ux);
+                                dx(img, c, uy, ux) +=
+                                    g * cachedWq_(c, ky, kx);
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
 
     Tensor dw_master = quantizer_.backward(weight_.value, dw);
     if (!weight_.grad.sameShape(weight_.value))

@@ -27,7 +27,7 @@ Linear::forward(const Tensor& x)
             "Linear::forward: expected [batch, ", inFeatures_, "], got ",
             x.shapeString());
     cachedInput_ = x;
-    cachedWq_ = quantizer_.project(weight_.value);
+    cachedWq_ = quantizer_.project(weight_);
     quantizer_.addMacs(x.dim(0) * outFeatures_ * inFeatures_);
     Tensor y = matmulTransB(x, cachedWq_);
     if (hasBias_) {

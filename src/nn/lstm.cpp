@@ -47,8 +47,8 @@ Lstm::forward(const Tensor& x)
     const std::size_t t_len = x.dim(0), n = x.dim(1);
 
     cachedInput_ = x;
-    cachedWxq_ = quantX_.project(wx_.value);
-    cachedWhq_ = quantH_.project(wh_.value);
+    cachedWxq_ = quantX_.project(wx_);
+    cachedWhq_ = quantH_.project(wh_);
     quantX_.addMacs(t_len * n * 4 * hidden_ * input_);
     quantH_.addMacs(t_len * n * 4 * hidden_ * hidden_);
 

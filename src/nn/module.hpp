@@ -41,7 +41,20 @@ struct Parameter
      */
     bool trainable = true;
 
+    /**
+     * Monotonic mutation counter for @ref value.  The optimizer bumps
+     * it on every update, checkpoint loading bumps it on restore, and
+     * anything else that mutates @ref value while quantization is
+     * active must call bumpVersion() — the WeightQuantizer projection
+     * cache keys on it, so a silent mutation would serve stale
+     * projections.
+     */
+    std::uint64_t version = 0;
+
     explicit Parameter(std::string param_name = "") : name(std::move(param_name)) {}
+
+    /** Record that @ref value changed (invalidates projection caches). */
+    void bumpVersion() { ++version; }
 
     /** Allocate the gradient buffer to match the value and zero it. */
     void

@@ -1,6 +1,15 @@
 #include "nn/optim.hpp"
 
+#include "runtime/thread_pool.hpp"
+
 namespace mrq {
+
+namespace {
+
+/** Elementwise update grain (thread-count independent). */
+constexpr std::size_t kUpdateGrain = 1u << 14;
+
+} // namespace
 
 Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
          float weight_decay)
@@ -25,16 +34,24 @@ Sgd::step()
 {
     if (gradClip_ > 0.0f) {
         double norm_sq = 0.0;
-        for (Parameter* p : params_)
-            for (std::size_t i = 0; i < p->grad.size(); ++i)
-                norm_sq += static_cast<double>(p->grad[i]) * p->grad[i];
+        for (Parameter* p : params_) {
+            norm_sq += parallelReduce(
+                p->grad.size(), kUpdateGrain, 0.0,
+                [&](std::size_t b, std::size_t e) {
+                    double local = 0.0;
+                    for (std::size_t i = b; i < e; ++i)
+                        local += static_cast<double>(p->grad[i]) *
+                                 p->grad[i];
+                    return local;
+                },
+                [](double acc, double part) { return acc + part; });
+        }
         const double norm = std::sqrt(norm_sq);
         if (norm > gradClip_) {
             const float scale =
                 gradClip_ / static_cast<float>(norm + 1e-12);
             for (Parameter* p : params_)
-                for (std::size_t i = 0; i < p->grad.size(); ++i)
-                    p->grad[i] *= scale;
+                p->grad *= scale;
         }
     }
 
@@ -45,11 +62,17 @@ Sgd::step()
         if (!v.sameShape(p->value))
             v = Tensor(p->value.shape());
         const float wd = p->decay ? weightDecay_ : 0.0f;
-        for (std::size_t i = 0; i < p->value.size(); ++i) {
-            const float g = p->grad[i] + wd * p->value[i];
-            v[i] = momentum_ * v[i] + g;
-            p->value[i] -= lr_ * v[i];
-        }
+        parallelFor(p->value.size(), kUpdateGrain,
+                    [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                const float g = p->grad[i] + wd * p->value[i];
+                v[i] = momentum_ * v[i] + g;
+                p->value[i] -= lr_ * v[i];
+            }
+        });
+        // The master weights changed: invalidate every projection
+        // cached against the previous version.
+        p->bumpVersion();
     }
 }
 

@@ -1,5 +1,6 @@
 #include "nn/pooling.hpp"
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace mrq {
@@ -22,9 +23,12 @@ MaxPool2d::forward(const Tensor& x)
     inShape_ = x.shape();
     Tensor y({n, c, oh, ow});
     argmax_.assign(y.size(), 0);
-    std::size_t out_idx = 0;
-    for (std::size_t img = 0; img < n; ++img)
-        for (std::size_t ch = 0; ch < c; ++ch)
+    // Each (image, channel) plane writes a disjoint output band.
+    parallelFor(n * c, parallelGrain(oh * ow * kernel_ * kernel_),
+                [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t img = p / c;
+            const std::size_t ch = p % c;
             for (std::size_t oy = 0; oy < oh; ++oy)
                 for (std::size_t ox = 0; ox < ow; ++ox) {
                     float best = -1e30f;
@@ -40,10 +44,13 @@ MaxPool2d::forward(const Tensor& x)
                                     ((img * c + ch) * h + iy) * w + ix;
                             }
                         }
+                    const std::size_t out_idx =
+                        (p * oh + oy) * ow + ox;
                     y[out_idx] = best;
                     argmax_[out_idx] = best_idx;
-                    ++out_idx;
                 }
+        }
+    });
     return y;
 }
 
@@ -54,6 +61,8 @@ MaxPool2d::backward(const Tensor& dy)
     require(dy.size() == argmax_.size(),
             "MaxPool2d::backward: gradient size mismatch");
     Tensor dx(inShape_);
+    // Pooling windows can overlap when stride < kernel, so the
+    // scatter-add stays serial; it is a tiny fraction of a step.
     for (std::size_t i = 0; i < dy.size(); ++i)
         dx[argmax_[i]] += dy[i];
     return dx;
@@ -68,14 +77,18 @@ GlobalAvgPool::forward(const Tensor& x)
     inShape_ = x.shape();
     Tensor y({n, c});
     const float inv = 1.0f / static_cast<float>(h * w);
-    for (std::size_t img = 0; img < n; ++img)
-        for (std::size_t ch = 0; ch < c; ++ch) {
+    parallelFor(n * c, parallelGrain(h * w),
+                [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t img = p / c;
+            const std::size_t ch = p % c;
             double acc = 0.0;
             for (std::size_t i = 0; i < h; ++i)
                 for (std::size_t j = 0; j < w; ++j)
                     acc += x(img, ch, i, j);
             y(img, ch) = static_cast<float>(acc) * inv;
         }
+    });
     return y;
 }
 
@@ -89,13 +102,17 @@ GlobalAvgPool::backward(const Tensor& dy)
             "GlobalAvgPool::backward: gradient shape mismatch");
     Tensor dx(inShape_);
     const float inv = 1.0f / static_cast<float>(h * w);
-    for (std::size_t img = 0; img < n; ++img)
-        for (std::size_t ch = 0; ch < c; ++ch) {
+    parallelFor(n * c, parallelGrain(h * w),
+                [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t img = p / c;
+            const std::size_t ch = p % c;
             const float g = dy(img, ch) * inv;
             for (std::size_t i = 0; i < h; ++i)
                 for (std::size_t j = 0; j < w; ++j)
                     dx(img, ch, i, j) = g;
         }
+    });
     return dx;
 }
 

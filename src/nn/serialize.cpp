@@ -91,6 +91,9 @@ loadCheckpoint(Module& module, const std::string& path)
                                              sizeof(float)));
         require(in.good(), "loadCheckpoint: truncated payload for '",
                 name, "'");
+        // Restored values replace the master weights wholesale, so any
+        // projection cached against the old version is stale.
+        p->bumpVersion();
     }
 }
 

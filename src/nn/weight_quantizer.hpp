@@ -8,12 +8,25 @@
  * learnable symmetric clip; in backward it applies the straight-
  * through estimator (mask out-of-clip elements, accumulate the clip
  * gradient).
+ *
+ * Projections are served from a versioned cache.  The paper's nesting
+ * property (Sec. 4) means one master weight tensor serves every
+ * sub-model, so within a training iteration the teacher and student
+ * passes project the *same* unchanged weights, and an evaluation
+ * ladder over frozen weights projects them once per config total.
+ * The cache keys on (weight Parameter version, clip Parameter
+ * version, SubModelConfig): the optimizer bumps versions on step(),
+ * invalidating every cached projection, and each distinct sub-model
+ * config gets one slot until then.  Kept-term statistics are stored
+ * with each entry and replayed on hits, so term-pair accounting is
+ * identical whether a projection was computed or reused.
  */
 
 #ifndef MRQ_NN_WEIGHT_QUANTIZER_HPP
 #define MRQ_NN_WEIGHT_QUANTIZER_HPP
 
 #include <algorithm>
+#include <vector>
 
 #include "nn/module.hpp"
 
@@ -35,6 +48,7 @@ class WeightQuantizer
     initClip(const Tensor& w)
     {
         clip_.value[0] = std::max(w.maxAbs(), 1e-3f);
+        clip_.bumpVersion();
     }
 
     /** Attach/detach the shared quantization context. */
@@ -65,15 +79,43 @@ class WeightQuantizer
         return ctx_ != nullptr && ctx_->config.mode != QuantMode::None;
     }
 
-    /** Project master weights for the current forward pass. */
-    Tensor
-    project(const Tensor& w)
+    /**
+     * Project master weights for the current forward pass.
+     *
+     * Cached: recomputes only when @p w or the clip changed since the
+     * last projection at this config (tracked via Parameter versions).
+     * Callers that mutate w.value outside the optimizer must call
+     * w.bumpVersion(), or they will be served a stale projection.
+     */
+    const Tensor&
+    project(const Parameter& w)
     {
         if (!active())
-            return w;
-        QuantStats* stats =
-            ctx_->collectStats ? &ctx_->weightStats : nullptr;
-        return fakeQuantWeights(w, clip(), ctx_->config, stats);
+            return w.value;
+        if (w.version != cachedWeightVersion_ ||
+            clip_.version != cachedClipVersion_) {
+            cache_.clear();
+            cachedWeightVersion_ = w.version;
+            cachedClipVersion_ = clip_.version;
+        }
+        const SubModelConfig& cfg = ctx_->config;
+        for (const CacheEntry& e : cache_) {
+            if (e.config == cfg) {
+                // Replay the stored statistics so accounting matches a
+                // fresh projection.
+                if (ctx_->collectStats)
+                    addStats(e.stats);
+                return e.projected;
+            }
+        }
+        CacheEntry entry;
+        entry.config = cfg;
+        entry.projected = fakeQuantWeights(w.value, clip(), cfg,
+                                           &entry.stats);
+        if (ctx_->collectStats)
+            addStats(entry.stats);
+        cache_.push_back(std::move(entry));
+        return cache_.back().projected;
     }
 
     /**
@@ -99,8 +141,30 @@ class WeightQuantizer
     }
 
   private:
+    /** One cached projection at a specific sub-model config. */
+    struct CacheEntry
+    {
+        SubModelConfig config;
+        Tensor projected;
+        QuantStats stats;
+    };
+
+    void
+    addStats(const QuantStats& s)
+    {
+        ctx_->weightStats.keptTerms += s.keptTerms;
+        ctx_->weightStats.units += s.units;
+    }
+
     Parameter clip_;
     QuantContext* ctx_ = nullptr;
+
+    // Projection cache: valid while both versions match; one entry per
+    // distinct sub-model config seen since the last invalidation (the
+    // ladder is small, so linear scan beats hashing).
+    std::vector<CacheEntry> cache_;
+    std::uint64_t cachedWeightVersion_ = ~std::uint64_t{0};
+    std::uint64_t cachedClipVersion_ = ~std::uint64_t{0};
 };
 
 } // namespace mrq

@@ -1,0 +1,180 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace mrq {
+
+namespace {
+
+/** Set while the current thread is executing chunks of a job. */
+thread_local bool t_inside_parallel = false;
+
+std::size_t
+configuredThreads()
+{
+    std::size_t t = std::thread::hardware_concurrency();
+    if (t == 0)
+        t = 1;
+    if (const char* env = std::getenv("MRQ_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            t = static_cast<std::size_t>(v);
+    }
+    return std::max<std::size_t>(1, t);
+}
+
+} // namespace
+
+ThreadPool&
+ThreadPool::instance()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool()
+{
+    start(configuredThreads());
+}
+
+ThreadPool::~ThreadPool()
+{
+    stopWorkers();
+}
+
+void
+ThreadPool::start(std::size_t threads)
+{
+    threads_ = std::max<std::size_t>(1, threads);
+    workers_.reserve(threads_ - 1);
+    // Workers must ignore every job sequence number issued before they
+    // were spawned: jobSeq_ survives resize(), and a fresh worker that
+    // started at seen = 0 would mistake the last finished job (already
+    // cleared to job_ == nullptr) for a new one.  No job can be active
+    // here — start() runs only from the constructor and resize().
+    const std::uint64_t seen = jobSeq_;
+    for (std::size_t i = 1; i < threads_; ++i)
+        workers_.emplace_back([this, i, seen] { workerLoop(i, seen); });
+}
+
+void
+ThreadPool::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    jobCv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+    workers_.clear();
+    stop_ = false;
+}
+
+void
+ThreadPool::resize(std::size_t threads)
+{
+    require(!t_inside_parallel,
+            "ThreadPool::resize: cannot resize from inside a parallel "
+            "region");
+    stopWorkers();
+    start(threads);
+}
+
+void
+ThreadPool::runInline(std::size_t num_chunks,
+                      const std::function<void(std::size_t)>& body)
+{
+    for (std::size_t c = 0; c < num_chunks; ++c)
+        body(c);
+}
+
+void
+ThreadPool::run(std::size_t num_chunks,
+                const std::function<void(std::size_t)>& body)
+{
+    if (num_chunks == 0)
+        return;
+    // Nested regions and the single-thread pool execute the same chunk
+    // sequence inline; chunk boundaries are unchanged, so the results
+    // match the parallel execution bit for bit.
+    if (t_inside_parallel || threads_ == 1 || num_chunks == 1) {
+        runInline(num_chunks, body);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &body;
+        jobChunks_ = num_chunks;
+        doneCount_ = 0;
+        error_ = nullptr;
+        ++jobSeq_;
+    }
+    jobCv_.notify_all();
+
+    // The caller participates as thread 0 of the round-robin.
+    t_inside_parallel = true;
+    for (std::size_t c = 0; c < num_chunks; c += threads_) {
+        try {
+            body(c);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+    }
+    t_inside_parallel = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return doneCount_ == threads_ - 1; });
+    job_ = nullptr;
+    jobChunks_ = 0;
+    if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
+{
+    for (;;) {
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t chunks = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            jobCv_.wait(lock, [&] { return stop_ || jobSeq_ != seen; });
+            if (stop_)
+                return;
+            seen = jobSeq_;
+            body = job_;
+            chunks = jobChunks_;
+        }
+
+        t_inside_parallel = true;
+        for (std::size_t c = index; c < chunks; c += threads_) {
+            try {
+                (*body)(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+        }
+        t_inside_parallel = false;
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++doneCount_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+} // namespace mrq

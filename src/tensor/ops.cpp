@@ -1,5 +1,7 @@
 #include "tensor/ops.hpp"
 
+#include "runtime/thread_pool.hpp"
+
 namespace mrq {
 
 Tensor
@@ -14,18 +16,22 @@ matmul(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    // ikj loop order keeps the inner loop contiguous over both B and C.
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f)
-                continue;
-            const float* brow = pb + kk * n;
-            float* crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += aik * brow[j];
+    // Rows of C are independent; within each row the ikj order keeps
+    // the inner loop contiguous over both B and C, and accumulation
+    // per element stays in ascending-k order on every thread count.
+    parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float aik = pa[i * k + kk];
+                if (aik == 0.0f)
+                    continue;
+                const float* brow = pb + kk * n;
+                float* crow = pc + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += aik * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -41,18 +47,22 @@ matmulTransA(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        const float* arow = pa + kk * m;
-        const float* brow = pb + kk * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float aki = arow[i];
-            if (aki == 0.0f)
-                continue;
+    // i-outer so output rows are independent; each element still
+    // accumulates in ascending-k order, matching the k-outer serial
+    // loop bit for bit.
+    parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
             float* crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += aki * brow[j];
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float aki = pa[kk * m + i];
+                if (aki == 0.0f)
+                    continue;
+                const float* brow = pb + kk * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += aki * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -68,17 +78,19 @@ matmulTransB(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            crow[j] = acc;
+    parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const float* arow = pa + i * k;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float* brow = pb + j * k;
+                float acc = 0.0f;
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                crow[j] = acc;
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -88,9 +100,11 @@ transpose2d(const Tensor& a)
     require(a.rank() == 2, "transpose2d: rank-2 tensor required");
     const std::size_t m = a.dim(0), n = a.dim(1);
     Tensor t({n, m});
-    for (std::size_t i = 0; i < m; ++i)
-        for (std::size_t j = 0; j < n; ++j)
-            t(j, i) = a(i, j);
+    parallelFor(m, parallelGrain(n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                t(j, i) = a(i, j);
+    });
     return t;
 }
 
@@ -105,8 +119,13 @@ im2col(const Tensor& input, std::size_t kernel, std::size_t stride,
     const std::size_t ow = convOutSize(w, kernel, stride, pad);
 
     Tensor cols({n, c * kernel * kernel, oh * ow});
-    for (std::size_t img = 0; img < n; ++img) {
-        for (std::size_t ch = 0; ch < c; ++ch) {
+    // Each (image, channel) pair fills a disjoint band of rows.
+    const std::size_t per_pair = kernel * kernel * oh * ow;
+    parallelFor(n * c, parallelGrain(per_pair),
+                [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t img = p / c;
+            const std::size_t ch = p % c;
             for (std::size_t ky = 0; ky < kernel; ++ky) {
                 for (std::size_t kx = 0; kx < kernel; ++kx) {
                     const std::size_t row = (ch * kernel + ky) * kernel + kx;
@@ -130,7 +149,7 @@ im2col(const Tensor& input, std::size_t kernel, std::size_t stride,
                 }
             }
         }
-    }
+    });
     return cols;
 }
 
@@ -146,8 +165,14 @@ col2im(const Tensor& cols, std::size_t c, std::size_t h, std::size_t w,
             cols.dim(2) == oh * ow, "col2im: column shape mismatch");
 
     Tensor img({n, c, h, w});
-    for (std::size_t im = 0; im < n; ++im) {
-        for (std::size_t ch = 0; ch < c; ++ch) {
+    // Scatter-adds from one (image, channel) pair land only in that
+    // pair's plane, so pairs are independent.
+    const std::size_t per_pair = kernel * kernel * oh * ow;
+    parallelFor(n * c, parallelGrain(per_pair),
+                [&](std::size_t p0, std::size_t p1) {
+        for (std::size_t p = p0; p < p1; ++p) {
+            const std::size_t im = p / c;
+            const std::size_t ch = p % c;
             for (std::size_t ky = 0; ky < kernel; ++ky) {
                 for (std::size_t kx = 0; kx < kernel; ++kx) {
                     const std::size_t row = (ch * kernel + ky) * kernel + kx;
@@ -170,7 +195,7 @@ col2im(const Tensor& cols, std::size_t c, std::size_t h, std::size_t w,
                 }
             }
         }
-    }
+    });
     return img;
 }
 

@@ -2,10 +2,12 @@
  * @file
  * Dense linear-algebra kernels used by the NN layers.
  *
- * All kernels are straightforward single-threaded loops; the library's
- * workloads are sized so these run in seconds on one core.  im2col /
- * col2im implement the standard convolution lowering used by the Conv2d
- * layer.
+ * All kernels run on the shared runtime thread pool (see
+ * src/runtime/thread_pool.hpp): work is chunked over independent
+ * output rows or (image, channel) planes with thread-count-independent
+ * chunk boundaries, so results are bit-identical at any MRQ_THREADS
+ * setting.  im2col / col2im implement the standard convolution
+ * lowering used by the Conv2d layer.
  */
 
 #ifndef MRQ_TENSOR_OPS_HPP

@@ -5,7 +5,19 @@
 #include <numeric>
 #include <sstream>
 
+#include "runtime/thread_pool.hpp"
+
 namespace mrq {
+
+namespace {
+
+/** Elementwise loops below this size are not worth dispatching. */
+constexpr std::size_t kParallelThreshold = 1u << 14;
+
+/** Fixed elementwise grain (thread-count independent). */
+constexpr std::size_t kElementGrain = 1u << 14;
+
+} // namespace
 
 std::size_t
 Tensor::numel(const std::vector<std::size_t>& shape)
@@ -37,7 +49,15 @@ Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
 void
 Tensor::fill(float value)
 {
-    std::fill(data_.begin(), data_.end(), value);
+    if (data_.size() < kParallelThreshold) {
+        std::fill(data_.begin(), data_.end(), value);
+        return;
+    }
+    float* p = data_.data();
+    parallelFor(data_.size(), kElementGrain,
+                [&](std::size_t b, std::size_t e) {
+        std::fill(p + b, p + e, value);
+    });
 }
 
 Tensor
@@ -61,8 +81,16 @@ Tensor::operator+=(const Tensor& rhs)
 {
     require(sameShape(rhs), "Tensor::operator+= shape mismatch: ",
             shapeString(), " vs ", rhs.shapeString());
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] += rhs.data_[i];
+    if (data_.size() < kParallelThreshold) {
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            data_[i] += rhs.data_[i];
+        return *this;
+    }
+    parallelFor(data_.size(), kElementGrain,
+                [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            data_[i] += rhs.data_[i];
+    });
     return *this;
 }
 
@@ -71,16 +99,32 @@ Tensor::operator-=(const Tensor& rhs)
 {
     require(sameShape(rhs), "Tensor::operator-= shape mismatch: ",
             shapeString(), " vs ", rhs.shapeString());
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] -= rhs.data_[i];
+    if (data_.size() < kParallelThreshold) {
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            data_[i] -= rhs.data_[i];
+        return *this;
+    }
+    parallelFor(data_.size(), kElementGrain,
+                [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            data_[i] -= rhs.data_[i];
+    });
     return *this;
 }
 
 Tensor&
 Tensor::operator*=(float s)
 {
-    for (float& v : data_)
-        v *= s;
+    if (data_.size() < kParallelThreshold) {
+        for (float& v : data_)
+            v *= s;
+        return *this;
+    }
+    parallelFor(data_.size(), kElementGrain,
+                [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            data_[i] *= s;
+    });
     return *this;
 }
 
@@ -111,16 +155,37 @@ Tensor::operator*(float s) const
 double
 Tensor::sum() const
 {
-    return std::accumulate(data_.begin(), data_.end(), 0.0);
+    if (data_.size() < kParallelThreshold)
+        return std::accumulate(data_.begin(), data_.end(), 0.0);
+    // Chunked double accumulation combined in chunk order: the chunk
+    // boundaries are fixed, so the value is thread-count independent.
+    return parallelReduce(
+        data_.size(), kElementGrain, 0.0,
+        [&](std::size_t b, std::size_t e) {
+            return std::accumulate(data_.begin() + b, data_.begin() + e,
+                                   0.0);
+        },
+        [](double acc, double part) { return acc + part; });
 }
 
 float
 Tensor::maxAbs() const
 {
-    float m = 0.0f;
-    for (float v : data_)
-        m = std::max(m, std::fabs(v));
-    return m;
+    if (data_.size() < kParallelThreshold) {
+        float m = 0.0f;
+        for (float v : data_)
+            m = std::max(m, std::fabs(v));
+        return m;
+    }
+    return parallelReduce(
+        data_.size(), kElementGrain, 0.0f,
+        [&](std::size_t b, std::size_t e) {
+            float m = 0.0f;
+            for (std::size_t i = b; i < e; ++i)
+                m = std::max(m, std::fabs(data_[i]));
+            return m;
+        },
+        [](float acc, float part) { return std::max(acc, part); });
 }
 
 std::string

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for validateLadder: the trainer rejects ladders that are not
+ * strictly ordered and nested before any training happens.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/quant_config.hpp"
+
+namespace mrq {
+namespace {
+
+SubModelConfig
+tq(std::size_t alpha, std::size_t beta)
+{
+    SubModelConfig c;
+    c.mode = QuantMode::Tq;
+    c.bits = 5;
+    c.groupSize = 16;
+    c.alpha = alpha;
+    c.beta = beta;
+    return c;
+}
+
+TEST(LadderValidation, AcceptsGeneratedLadders)
+{
+    EXPECT_NO_THROW(validateLadder(makeTqLadder(4, 20, 4, 3, 2, 5, 16)));
+    EXPECT_NO_THROW(validateLadder(makeUqLadder(8, 2, 16)));
+}
+
+TEST(LadderValidation, AcceptsSingleRung)
+{
+    EXPECT_NO_THROW(validateLadder({tq(12, 3)}));
+    SubModelConfig fp;
+    fp.mode = QuantMode::None;
+    EXPECT_NO_THROW(validateLadder({fp}));
+}
+
+TEST(LadderValidation, AcceptsEqualAlphaWithGrowingBeta)
+{
+    // Fig. 19-style transition: same alpha, larger data budget.
+    EXPECT_NO_THROW(validateLadder({tq(14, 2), tq(14, 3)}));
+}
+
+TEST(LadderValidation, RejectsEmpty)
+{
+    EXPECT_THROW(validateLadder({}), FatalError);
+}
+
+TEST(LadderValidation, RejectsDuplicateRung)
+{
+    EXPECT_THROW(validateLadder({tq(12, 3), tq(12, 3)}), FatalError);
+}
+
+TEST(LadderValidation, RejectsShrinkingBudget)
+{
+    EXPECT_THROW(validateLadder({tq(14, 3), tq(20, 2)}), FatalError);
+    EXPECT_THROW(validateLadder({tq(20, 3), tq(14, 3)}), FatalError);
+}
+
+TEST(LadderValidation, RejectsMixedModes)
+{
+    SubModelConfig uq;
+    uq.mode = QuantMode::Uq;
+    uq.bits = 5;
+    EXPECT_THROW(validateLadder({tq(12, 3), uq}), FatalError);
+}
+
+TEST(LadderValidation, RejectsMismatchedLattice)
+{
+    SubModelConfig hi = tq(20, 3);
+    hi.bits = 6; // different lattice than its predecessor
+    EXPECT_THROW(validateLadder({tq(12, 3), hi}), FatalError);
+    hi = tq(20, 3);
+    hi.groupSize = 8;
+    EXPECT_THROW(validateLadder({tq(12, 3), hi}), FatalError);
+}
+
+TEST(LadderValidation, RejectsNonIncreasingUqBits)
+{
+    SubModelConfig a, b;
+    a.mode = b.mode = QuantMode::Uq;
+    a.bits = 5;
+    b.bits = 5;
+    EXPECT_THROW(validateLadder({a, b}), FatalError);
+    b.bits = 4;
+    EXPECT_THROW(validateLadder({a, b}), FatalError);
+}
+
+TEST(LadderValidation, RejectsMultipleFullPrecisionRungs)
+{
+    SubModelConfig fp;
+    fp.mode = QuantMode::None;
+    EXPECT_THROW(validateLadder({fp, fp}), FatalError);
+}
+
+} // namespace
+} // namespace mrq

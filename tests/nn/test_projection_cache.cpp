@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the versioned weight-projection cache in WeightQuantizer.
+ *
+ * The cache must (1) return tensors bit-identical to a fresh
+ * projection, (2) project each distinct sub-model config at most once
+ * per weight/clip version — counted via fakeQuantWeightsCallCount() —
+ * (3) invalidate when the optimizer steps or the weights are mutated,
+ * and (4) replay kept-term statistics on hits so accounting is
+ * unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/fake_quant.hpp"
+#include "nn/linear.hpp"
+#include "nn/optim.hpp"
+#include "nn/weight_quantizer.hpp"
+
+namespace mrq {
+namespace {
+
+SubModelConfig
+tq(std::size_t alpha, std::size_t beta)
+{
+    SubModelConfig c;
+    c.mode = QuantMode::Tq;
+    c.bits = 5;
+    c.groupSize = 16;
+    c.alpha = alpha;
+    c.beta = beta;
+    return c;
+}
+
+Parameter
+randomWeights(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Parameter w("w");
+    w.value = Tensor({rows, cols});
+    for (std::size_t i = 0; i < w.value.size(); ++i)
+        w.value[i] = static_cast<float>(rng.normal()) * 0.3f;
+    w.resetGrad();
+    return w;
+}
+
+TEST(ProjectionCache, HitReturnsBitIdenticalProjection)
+{
+    Parameter w = randomWeights(32, 48, 21);
+    WeightQuantizer quant;
+    quant.initClip(w.value);
+    QuantContext ctx;
+    ctx.config = tq(12, 3);
+    quant.setContext(&ctx);
+
+    const Tensor fresh =
+        fakeQuantWeights(w.value, quant.clip(), ctx.config);
+    const Tensor& first = quant.project(w);
+    const Tensor& second = quant.project(w);
+    ASSERT_TRUE(first.sameShape(fresh));
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        ASSERT_EQ(first[i], fresh[i]) << "element " << i;
+        ASSERT_EQ(second[i], fresh[i]) << "element " << i;
+    }
+}
+
+TEST(ProjectionCache, OneProjectionPerConfigPerVersion)
+{
+    Parameter w = randomWeights(16, 32, 22);
+    WeightQuantizer quant;
+    quant.initClip(w.value);
+    QuantContext ctx;
+    quant.setContext(&ctx);
+
+    const SubModelConfig ladder[] = {tq(8, 2), tq(14, 2), tq(20, 3)};
+    const std::uint64_t before = fakeQuantWeightsCallCount();
+    // Two sweeps over the ladder: every config projects exactly once.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        for (const SubModelConfig& cfg : ladder) {
+            ctx.config = cfg;
+            quant.project(w);
+        }
+    }
+    EXPECT_EQ(fakeQuantWeightsCallCount() - before, 3u);
+}
+
+TEST(ProjectionCache, WeightMutationInvalidates)
+{
+    Parameter w = randomWeights(16, 32, 23);
+    WeightQuantizer quant;
+    quant.initClip(w.value);
+    QuantContext ctx;
+    ctx.config = tq(12, 3);
+    quant.setContext(&ctx);
+
+    quant.project(w);
+    w.value[0] += 0.25f;
+    w.bumpVersion();
+    const std::uint64_t before = fakeQuantWeightsCallCount();
+    const Tensor& reprojected = quant.project(w);
+    EXPECT_EQ(fakeQuantWeightsCallCount() - before, 1u);
+
+    const Tensor fresh =
+        fakeQuantWeights(w.value, quant.clip(), ctx.config);
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+        ASSERT_EQ(reprojected[i], fresh[i]) << "element " << i;
+}
+
+TEST(ProjectionCache, ClipMutationInvalidates)
+{
+    Parameter w = randomWeights(16, 32, 24);
+    WeightQuantizer quant;
+    quant.initClip(w.value);
+    QuantContext ctx;
+    ctx.config = tq(12, 3);
+    quant.setContext(&ctx);
+
+    quant.project(w);
+    // Re-deriving the clip bumps the clip parameter's version even if
+    // its value lands on the same number.
+    quant.initClip(w.value);
+    const std::uint64_t before = fakeQuantWeightsCallCount();
+    quant.project(w);
+    EXPECT_EQ(fakeQuantWeightsCallCount() - before, 1u);
+}
+
+TEST(ProjectionCache, StatsReplayedOnHits)
+{
+    Parameter w = randomWeights(16, 32, 25);
+    WeightQuantizer quant;
+    quant.initClip(w.value);
+    QuantContext ctx;
+    ctx.config = tq(10, 2);
+    ctx.collectStats = true;
+    quant.setContext(&ctx);
+
+    quant.project(w); // computes
+    const QuantStats first = ctx.weightStats;
+    EXPECT_GT(first.keptTerms, 0u);
+    EXPECT_GT(first.units, 0u);
+
+    ctx.resetStats();
+    quant.project(w); // cache hit
+    EXPECT_EQ(ctx.weightStats.keptTerms, first.keptTerms);
+    EXPECT_EQ(ctx.weightStats.units, first.units);
+}
+
+TEST(ProjectionCache, NoneModeBypassesCacheAndCounter)
+{
+    Parameter w = randomWeights(8, 16, 26);
+    WeightQuantizer quant;
+    quant.initClip(w.value);
+    QuantContext ctx;
+    ctx.config.mode = QuantMode::None;
+    quant.setContext(&ctx);
+
+    const std::uint64_t before = fakeQuantWeightsCallCount();
+    const Tensor& out = quant.project(w);
+    EXPECT_EQ(fakeQuantWeightsCallCount(), before);
+    EXPECT_EQ(out.data(), w.value.data()); // pass-through, no copy
+}
+
+TEST(ProjectionCache, OptimizerStepInvalidatesThroughLayer)
+{
+    Rng rng(27);
+    Linear layer(24, 12, rng);
+    QuantContext ctx;
+    ctx.config = tq(12, 3);
+    layer.setQuantContext(&ctx);
+    Sgd opt(layer.parameters(), 0.1f);
+
+    Tensor x({4, 24}, 0.5f);
+
+    // Repeated forwards at a fixed config project exactly once...
+    std::uint64_t before = fakeQuantWeightsCallCount();
+    layer.forward(x);
+    layer.forward(x);
+    EXPECT_EQ(fakeQuantWeightsCallCount() - before, 1u);
+
+    // ...until step() updates the weights (and clip), which must force
+    // exactly one fresh projection on the next forward.
+    Tensor dy({4, 12}, 1.0f);
+    layer.backward(dy);
+    opt.step();
+    before = fakeQuantWeightsCallCount();
+    layer.forward(x);
+    layer.forward(x);
+    EXPECT_EQ(fakeQuantWeightsCallCount() - before, 1u);
+}
+
+TEST(ProjectionCache, TeacherStudentIterationProjectsOncePerConfig)
+{
+    // The Algorithm-1 access pattern: teacher forward, student forward,
+    // optimizer step — two projections per iteration (one per config),
+    // regardless of how many times each config's forward runs.
+    Rng rng(28);
+    Linear layer(24, 12, rng);
+    QuantContext ctx;
+    layer.setQuantContext(&ctx);
+    Sgd opt(layer.parameters(), 0.05f);
+
+    const SubModelConfig teacher = tq(20, 3);
+    const SubModelConfig student = tq(8, 2);
+    Tensor x({4, 24}, 0.5f);
+    Tensor dy({4, 12}, 1.0f);
+
+    const std::uint64_t before = fakeQuantWeightsCallCount();
+    for (int iter = 0; iter < 3; ++iter) {
+        opt.zeroGrad();
+        ctx.config = teacher;
+        layer.forward(x);
+        layer.backward(dy);
+        ctx.config = student;
+        layer.forward(x);
+        layer.backward(dy);
+        opt.step();
+    }
+    EXPECT_EQ(fakeQuantWeightsCallCount() - before, 6u);
+}
+
+} // namespace
+} // namespace mrq
