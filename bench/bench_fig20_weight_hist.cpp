@@ -17,6 +17,7 @@
 
 #include "bench_util.hpp"
 #include "core/fake_quant.hpp"
+#include "core/term_accounting.hpp"
 #include "core/uniform_quant.hpp"
 #include "models/classifiers.hpp"
 #include "nn/conv.hpp"
@@ -74,6 +75,27 @@ isPowerOfTwoOrZero(std::int64_t v)
     return v == 0 || (v & (v - 1)) == 0;
 }
 
+/**
+ * Kept-terms-per-group histogram over all conv/linear weights
+ * (keptTermsPerGroup is the same accounting fakeQuantWeights streams
+ * into the metrics layer, so this section doubles as a visual
+ * cross-check of core.tq.weight_kept_terms_per_group).
+ */
+std::vector<std::size_t>
+keptTermHistogram(Sequential& model, const SubModelConfig& cfg)
+{
+    std::vector<std::size_t> hist(cfg.alpha + 1, 0);
+    for (Parameter* p : model.parameters()) {
+        if (p->name != "conv.weight" && p->name != "linear.weight")
+            continue;
+        const float clip = std::max(p->value.maxAbs(), 1e-3f);
+        for (std::size_t kept :
+             keptTermsPerGroup(p->value, clip, cfg))
+            ++hist[std::min(kept, hist.size() - 1)];
+    }
+    return hist;
+}
+
 } // namespace
 
 int
@@ -123,6 +145,21 @@ main()
             std::printf("%lld:%zu ",
                         static_cast<long long>(top[i].second),
                         top[i].first);
+        std::printf("\n");
+    }
+
+    // Kept-terms-per-group distribution (the budget utilisation the
+    // metrics layer reports during training).
+    std::printf("\n%-22s kept-terms-per-group (kept:groups)\n",
+                "sub-model");
+    for (const Row& r : rows) {
+        if (r.cfg.mode != QuantMode::Tq)
+            continue;
+        const auto kept = keptTermHistogram(*model, r.cfg);
+        std::printf("%-22s ", r.label);
+        for (std::size_t k = 0; k < kept.size(); ++k)
+            if (kept[k] > 0)
+                std::printf("%zu:%zu ", k, kept[k]);
         std::printf("\n");
     }
 

@@ -131,6 +131,8 @@ main()
                 identical ? "REPRODUCED" : "FAILED (investigate)");
     bench::row("expected speedup @ T=4", 2.0,
                ">= 2x on a >= 4-core host (overhead-only below)");
-    std::printf("wrote BENCH_runtime.json\n");
-    return identical ? 0 : 1;
+    const bool report_ok = report.flush();
+    if (report_ok)
+        std::printf("wrote BENCH_runtime.json\n");
+    return identical && report_ok ? 0 : 1;
 }

@@ -11,7 +11,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -110,7 +112,9 @@ class RuntimeReport
     {
     }
 
-    ~RuntimeReport() { flush(); }
+    /** Best-effort flush; benches that must notice failures call
+     *  flush() explicitly and check its status instead. */
+    ~RuntimeReport() { (void)flush(); }
 
     void
     add(const std::string& name, std::size_t threads, double millis)
@@ -118,17 +122,36 @@ class RuntimeReport
         records_.push_back(Record{name, threads, millis});
     }
 
-    /** Write all records to @p path_ (idempotent; rewrites the file). */
-    void
+    /**
+     * Write all records to @p path_ (idempotent; rewrites the file),
+     * creating the parent directory if needed.  Returns false — after
+     * printing a diagnostic to stderr — when the report cannot be
+     * written, so benches can exit non-zero instead of silently
+     * dropping their results.
+     */
+    [[nodiscard]] bool
     flush()
     {
         if (records_.empty())
-            return;
+            return true;
+        const std::filesystem::path parent =
+            std::filesystem::path(path_).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+            if (ec) {
+                std::fprintf(stderr,
+                             "RuntimeReport: cannot create %s: %s\n",
+                             parent.string().c_str(),
+                             ec.message().c_str());
+                return false;
+            }
+        }
         std::FILE* f = std::fopen(path_.c_str(), "w");
         if (f == nullptr) {
             std::fprintf(stderr, "RuntimeReport: cannot write %s\n",
                          path_.c_str());
-            return;
+            return false;
         }
         std::fprintf(f, "[\n");
         for (std::size_t i = 0; i < records_.size(); ++i) {
@@ -140,7 +163,14 @@ class RuntimeReport
                          i + 1 < records_.size() ? "," : "");
         }
         std::fprintf(f, "]\n");
-        std::fclose(f);
+        const bool write_ok = std::ferror(f) == 0;
+        const bool close_ok = std::fclose(f) == 0;
+        if (!write_ok || !close_ok) {
+            std::fprintf(stderr, "RuntimeReport: write to %s failed\n",
+                         path_.c_str());
+            return false;
+        }
+        return true;
     }
 
   private:

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/uniform_quant.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -13,6 +14,19 @@ namespace {
 
 /** Projections actually executed (not served from a cache); test hook. */
 std::atomic<std::uint64_t> g_weight_projections{0};
+
+// Per-group/per-value term accounting histograms (Fig. 20's lattice
+// view aggregated the hardware way).  Recorded from parallelReduce
+// bodies into per-thread shards; the bucket counts are integers, so
+// the aggregate is thread-count independent.  Bucket i counts exactly
+// i terms; the last bucket collects everything >= 32 (weight budgets
+// in the paper's ladders top out at alpha = 20).
+obs::IntHistogram h_w_kept("core.tq.weight_kept_terms_per_group", 33);
+obs::IntHistogram h_w_dropped("core.tq.weight_dropped_terms_per_group",
+                              33);
+obs::IntHistogram h_x_kept("core.tq.data_kept_terms_per_value", 9);
+obs::Counter c_w_projections("core.fake_quant.weight_projections");
+obs::Counter c_x_projections("core.fake_quant.data_projections");
 
 } // namespace
 
@@ -43,6 +57,7 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
         return w;
     require(clip > 0.0f, "fakeQuantWeights: clip must be positive");
     g_weight_projections.fetch_add(1, std::memory_order_relaxed);
+    c_w_projections.add(1);
 
     UniformQuantizer uq;
     uq.bits = cfg.bits;
@@ -92,6 +107,9 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
                         termQuantizeGroup(group, budget, cfg.encoding);
                     for (std::size_t i = 0; i < len; ++i)
                         out[base + i] = uq.dequantize(r.values[i]);
+                    h_w_kept.record(r.keptTerms.size());
+                    h_w_dropped.record(r.totalTerms -
+                                       r.keptTerms.size());
                     local.keptTerms += r.keptTerms.size();
                     local.units += 1;
                 }
@@ -125,6 +143,9 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
 
     Tensor out = x;
     const std::size_t n = x.size();
+    c_x_projections.add(1);
+    const bool record_hist =
+        obs::metricsEnabled() && cfg.mode == QuantMode::Tq;
     const std::size_t kept = parallelReduce(
         n, parallelGrain(16), std::size_t{0},
         [&](std::size_t b, std::size_t e) {
@@ -132,8 +153,11 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
             for (std::size_t i = b; i < e; ++i) {
                 std::int64_t q = uq.quantize(x[i]);
                 if (cfg.mode == QuantMode::Tq) {
-                    local += std::min(cfg.beta,
-                                      termCount(q, cfg.encoding));
+                    const std::size_t v_kept = std::min(
+                        cfg.beta, termCount(q, cfg.encoding));
+                    if (record_hist)
+                        h_x_kept.record(v_kept);
+                    local += v_kept;
                     q = termQuantizeValue(q, cfg.beta, cfg.encoding);
                 }
                 out[i] = uq.dequantize(q);

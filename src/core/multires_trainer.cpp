@@ -1,6 +1,20 @@
 #include "core/multires_trainer.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mrq {
+
+namespace {
+
+obs::Counter c_iterations("train.iterations");
+obs::Counter c_single_iterations("train.single_iterations");
+/** Which ladder rung the student draw landed on, per iteration.  One
+ *  bucket per rung index (ladders are small; 16 covers Fig. 24's
+ *  largest sweep), so a biased draw is visible at a glance. */
+obs::IntHistogram h_student_draw("train.student_draw", 17);
+
+} // namespace
 
 MultiResTrainer::MultiResTrainer(Module& model, SubModelLadder ladder,
                                  const TrainerOptions& opts)
@@ -23,16 +37,22 @@ MultiResTrainer::IterStats
 MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
                                 const SoftLossFn& soft)
 {
+    MRQ_TRACE_SPAN("trainer.iteration");
     IterStats stats;
+    c_iterations.add(1);
     opt_.zeroGrad();
 
     // Teacher pass: highest-resolution sub-model, task loss only
     // (Algorithm 1, Steps 2-3, 6-9 for the teacher).
-    ctx_.config = ladder_.back();
-    Tensor teacher_out = model_.forward(input);
-    Tensor d_teacher;
-    stats.teacherLoss = hard(teacher_out, &d_teacher);
-    model_.backward(d_teacher);
+    Tensor teacher_out;
+    {
+        MRQ_TRACE_SPAN("teacher");
+        ctx_.config = ladder_.back();
+        teacher_out = model_.forward(input);
+        Tensor d_teacher;
+        stats.teacherLoss = hard(teacher_out, &d_teacher);
+        model_.backward(d_teacher);
+    }
 
     // Student pass: uniform draw over ladder_[0 .. size-2], i.e. every
     // rung except the teacher (Steps 4-5).  validateLadder() rejected
@@ -42,19 +62,23 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
     const std::size_t draws =
         ladder_.size() > 1 ? ladder_.size() - 1 : 1;
     stats.studentIndex = rng_.uniformInt(draws);
-    ctx_.config = ladder_[stats.studentIndex];
-    Tensor student_out = model_.forward(input);
-    Tensor d_student;
-    stats.studentLoss = hard(student_out, &d_student);
-    if (opts_.useDistillation && soft) {
-        Tensor d_soft;
-        stats.studentLoss +=
-            opts_.distillWeight *
-            soft(student_out, teacher_out, &d_soft);
-        d_soft *= opts_.distillWeight;
-        d_student += d_soft;
+    h_student_draw.record(stats.studentIndex);
+    {
+        MRQ_TRACE_SPAN("student");
+        ctx_.config = ladder_[stats.studentIndex];
+        Tensor student_out = model_.forward(input);
+        Tensor d_student;
+        stats.studentLoss = hard(student_out, &d_student);
+        if (opts_.useDistillation && soft) {
+            Tensor d_soft;
+            stats.studentLoss +=
+                opts_.distillWeight *
+                soft(student_out, teacher_out, &d_soft);
+            d_soft *= opts_.distillWeight;
+            d_student += d_soft;
+        }
+        model_.backward(d_student);
     }
-    model_.backward(d_student);
 
     // One update over the summed gradients (Step 9).
     opt_.step();
@@ -66,6 +90,8 @@ MultiResTrainer::trainIterationSingle(const Tensor& input,
                                       const HardLossFn& hard,
                                       const SubModelConfig& cfg)
 {
+    MRQ_TRACE_SPAN("trainer.iteration_single");
+    c_single_iterations.add(1);
     opt_.zeroGrad();
     ctx_.config = cfg;
     Tensor out = model_.forward(input);

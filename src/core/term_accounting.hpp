@@ -12,7 +12,11 @@
 #ifndef MRQ_CORE_TERM_ACCOUNTING_HPP
 #define MRQ_CORE_TERM_ACCOUNTING_HPP
 
+#include <vector>
+
+#include "core/fake_quant.hpp"
 #include "core/quant_config.hpp"
+#include "core/uniform_quant.hpp"
 #include "nn/module.hpp"
 
 namespace mrq {
@@ -38,6 +42,52 @@ termPairCount(std::size_t macs, const SubModelConfig& cfg)
       }
     }
     return 0;
+}
+
+/**
+ * Kept-term count of every TQ group of one weight tensor, in group
+ * order (row-major within each dim-0 row, the same grouping
+ * fakeQuantWeights uses — never across row boundaries, partial tail
+ * groups with proportionally scaled budgets).
+ *
+ * This is the *reference* recomputation of the per-group accounting
+ * that fakeQuantWeights streams into the metrics layer
+ * (core.tq.weight_kept_terms_per_group) and that
+ * bench_fig20_weight_hist reports: tests compare the two so the
+ * training-side path and this definition cannot drift apart.
+ */
+inline std::vector<std::size_t>
+keptTermsPerGroup(const Tensor& w, float clip, const SubModelConfig& cfg)
+{
+    std::vector<std::size_t> kept;
+    if (cfg.mode != QuantMode::Tq)
+        return kept;
+    UniformQuantizer uq;
+    uq.bits = cfg.bits;
+    uq.clip = clip;
+    uq.isSigned = true;
+
+    const std::size_t n = w.size();
+    const std::size_t g = cfg.groupSize;
+    const std::size_t row_len =
+        w.rank() >= 2 && w.dim(0) > 0 ? n / w.dim(0) : n;
+    const std::size_t rows = row_len > 0 ? n / row_len : 0;
+    std::vector<std::int64_t> group;
+    group.reserve(g);
+    for (std::size_t row = 0; row < rows; ++row) {
+        for (std::size_t off = 0; off < row_len; off += g) {
+            const std::size_t base = row * row_len + off;
+            const std::size_t len = std::min(g, row_len - off);
+            group.clear();
+            for (std::size_t i = 0; i < len; ++i)
+                group.push_back(uq.quantize(w[base + i]));
+            const GroupQuantResult r = termQuantizeGroup(
+                group, scaledGroupBudget(cfg.alpha, g, len),
+                cfg.encoding);
+            kept.push_back(r.keptTerms.size());
+        }
+    }
+    return kept;
 }
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -132,6 +133,18 @@ networkPerformance(const std::vector<LayerGeometry>& layers,
     // Energy units are picojoules; samples/J = 1e12 / pJ-per-sample.
     net.samplesPerJoule =
         net.energyUnits > 0.0 ? 1e12 / net.energyUnits : 0.0;
+
+    // Whole-network accounting (accumulates across sweep calls); the
+    // inputs are integer totals from a deterministic reduction, so
+    // the counters match at any thread count.
+    static obs::Counter c_networks("hw.perf.networks");
+    static obs::Counter c_cycles("hw.perf.cycles");
+    static obs::Counter c_pairs("hw.perf.term_pairs");
+    static obs::Counter c_mem("hw.perf.mem_entries");
+    c_networks.add(1);
+    c_cycles.add(static_cast<std::int64_t>(net.cycles));
+    c_pairs.add(static_cast<std::int64_t>(net.termPairs));
+    c_mem.add(static_cast<std::int64_t>(net.memEntries));
     return net;
 }
 

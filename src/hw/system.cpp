@@ -4,6 +4,8 @@
 
 #include "core/uniform_quant.hpp"
 #include "nn/activations.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/dropout.hpp"
@@ -46,12 +48,40 @@ HwInferenceEngine::arrayMatmul(const std::vector<std::int64_t>& w,
                                const std::vector<std::int64_t>& x,
                                std::size_t n, const std::string& layer_name)
 {
+    MRQ_TRACE_SPAN("hw.array_matmul");
     SystolicStats stats;
     std::vector<std::int64_t> y = array_.matmul(w, m, k, x, n, &stats);
     report_.systolic.cycles += stats.cycles;
     report_.systolic.termPairs += stats.termPairs;
     report_.systolic.incrementOps += stats.incrementOps;
     report_.systolic.tiles += stats.tiles;
+
+    // Per-layer deployment accounting.  Budgeted slots reserve gamma
+    // term pairs per group beat; pairs the straggler-free budget left
+    // unused are idle slots (Sec. 7.4's straggler headroom).  SDR
+    // encoder throughput is one encode per streamed data value.
+    // arrayMatmul runs on the caller thread and the values are exact
+    // integers from the simulator, so the counters are deterministic.
+    if (obs::metricsEnabled()) {
+        const std::uint64_t groups_per_row =
+            (k + cfg_.groupSize - 1) / cfg_.groupSize;
+        const std::uint64_t budgeted = static_cast<std::uint64_t>(m) *
+                                       groups_per_row * n *
+                                       cfg_.gamma();
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+        const std::string base = "hw.layer." + layer_name;
+        reg.addCounterNamed(base + ".cycles",
+                            static_cast<std::int64_t>(stats.cycles));
+        reg.addCounterNamed(base + ".term_pairs",
+                            static_cast<std::int64_t>(stats.termPairs));
+        reg.addCounterNamed(
+            base + ".idle_term_slots",
+            static_cast<std::int64_t>(
+                budgeted > stats.termPairs ? budgeted - stats.termPairs
+                                           : 0));
+        reg.addCounterNamed(base + ".encoded_values",
+                            static_cast<std::int64_t>(k * n));
+    }
 
     LayerGeometry geom{layer_name, m, k, n};
     const LayerPerf perf =

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nn/module.hpp"
+#include "obs/metrics.hpp"
 
 namespace mrq {
 
@@ -92,8 +93,16 @@ class WeightQuantizer
     {
         if (!active())
             return w.value;
+        // Shared across every layer's quantizer: one process-wide
+        // hit/miss/invalidation account of the projection cache.
+        static obs::Counter cache_hits("nn.proj_cache.hits");
+        static obs::Counter cache_misses("nn.proj_cache.misses");
+        static obs::Counter cache_invalidations(
+            "nn.proj_cache.invalidations");
         if (w.version != cachedWeightVersion_ ||
             clip_.version != cachedClipVersion_) {
+            if (!cache_.empty())
+                cache_invalidations.add(1);
             cache_.clear();
             cachedWeightVersion_ = w.version;
             cachedClipVersion_ = clip_.version;
@@ -105,9 +114,11 @@ class WeightQuantizer
                 // fresh projection.
                 if (ctx_->collectStats)
                     addStats(e.stats);
+                cache_hits.add(1);
                 return e.projected;
             }
         }
+        cache_misses.add(1);
         CacheEntry entry;
         entry.config = cfg;
         entry.projected = fakeQuantWeights(w.value, clip(), cfg,

@@ -1,0 +1,91 @@
+#include "obs/manifest.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+#ifndef MRQ_GIT_DESCRIBE
+#define MRQ_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mrq {
+namespace obs {
+
+namespace {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+const char*
+buildGitDescribe()
+{
+    return MRQ_GIT_DESCRIBE;
+}
+
+std::string
+manifestJson(const RunManifest& manifest)
+{
+    std::string out = "{\"type\": \"manifest\", \"run\": \"" +
+                      jsonEscape(manifest.run) + "\", \"seed\": " +
+                      std::to_string(manifest.seed) + ", \"git\": \"" +
+                      jsonEscape(manifest.gitDescribe) + "\"";
+    for (const auto& [key, value] : manifest.entries)
+        out += ", \"" + jsonEscape(key) + "\": \"" + jsonEscape(value) +
+               "\"";
+    out += "}";
+    return out;
+}
+
+RunScope::RunScope(RunManifest manifest, bool verbose)
+    : manifest_(std::move(manifest)), verbose_(verbose)
+{
+    if (manifest_.gitDescribe.empty())
+        manifest_.gitDescribe = buildGitDescribe();
+    const bool sink_live = std::getenv("MRQ_METRICS_OUT") != nullptr ||
+                           traceEnabled() || verbose_;
+    prevVerbose_ = setLogVerbose(verbose_);
+    if (sink_live) {
+        MetricsRegistry::instance().reset();
+        prevEnabled_ = setMetricsEnabled(true);
+    } else {
+        prevEnabled_ = metricsEnabled();
+    }
+}
+
+RunScope::~RunScope()
+{
+    if (metricsEnabled()) {
+        if (const char* path = std::getenv("MRQ_METRICS_OUT")) {
+            if (!MetricsRegistry::instance().writeJsonl(
+                    path, manifestJson(manifest_)))
+                std::fprintf(stderr,
+                             "mrq: metrics for run '%s' were lost\n",
+                             manifest_.run.c_str());
+        }
+        if (verbose_)
+            MetricsRegistry::instance().printSummary(stdout);
+    }
+    setMetricsEnabled(prevEnabled_);
+    setLogVerbose(prevVerbose_);
+}
+
+} // namespace obs
+} // namespace mrq

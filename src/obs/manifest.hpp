@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Run manifests and the RunScope guard that ties a pipeline run to
+ * the metrics sinks.
+ *
+ * A manifest records what was run — task, seed, ladder, options, git
+ * describe of the build — as the first JSONL line of the run, so a
+ * metrics file is self-describing.  It deliberately excludes anything
+ * non-deterministic or thread-count dependent (timestamps, hostnames,
+ * MRQ_THREADS): the whole file must be byte-identical for a fixed
+ * seed at any pool size.
+ *
+ * RunScope is the single integration point pipelines use: on entry it
+ * resets the registry and enables collection when any sink is live
+ * (MRQ_METRICS_OUT set, tracing on, or verbose requested); on exit it
+ * appends the run to the JSONL file and/or prints the summary, then
+ * restores the previous enable/verbose state.  With no sink live it
+ * enables nothing, keeping instrumented hot loops at their disabled
+ * near-zero cost.
+ */
+
+#ifndef MRQ_OBS_MANIFEST_HPP
+#define MRQ_OBS_MANIFEST_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrq {
+namespace obs {
+
+/** Self-description of one run (first line of its JSONL block). */
+struct RunManifest
+{
+    std::string run;        ///< e.g. "classifier.multires".
+    std::uint64_t seed = 0;
+    std::string gitDescribe; ///< From the build; see buildGitDescribe().
+    /** Ordered option/ladder entries, e.g. {"ladder", "a8b2,a20b3"}. */
+    std::vector<std::pair<std::string, std::string>> entries;
+
+    void
+    add(std::string key, std::string value)
+    {
+        entries.emplace_back(std::move(key), std::move(value));
+    }
+};
+
+/** `git describe` of the tree this library was configured from. */
+const char* buildGitDescribe();
+
+/** Render the manifest as a single JSON object line. */
+std::string manifestJson(const RunManifest& manifest);
+
+/** Scoped run: reset-and-enable on entry, flush sinks on exit. */
+class RunScope
+{
+  public:
+    /**
+     * @param manifest Run description written ahead of the metrics.
+     * @param verbose  Route obs::logf() to stdout and print the
+     *                 end-of-run summary.
+     */
+    RunScope(RunManifest manifest, bool verbose);
+    ~RunScope();
+
+    RunScope(const RunScope&) = delete;
+    RunScope& operator=(const RunScope&) = delete;
+
+  private:
+    RunManifest manifest_;
+    bool verbose_ = false;
+    bool prevEnabled_ = false;
+    bool prevVerbose_ = false;
+};
+
+} // namespace obs
+} // namespace mrq
+
+#endif // MRQ_OBS_MANIFEST_HPP

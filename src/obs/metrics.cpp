@@ -1,0 +1,522 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mrq {
+namespace obs {
+
+namespace detail {
+
+namespace {
+
+bool
+envTruthy(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
+std::atomic<bool> g_metrics_enabled{std::getenv("MRQ_METRICS_OUT") !=
+                                        nullptr ||
+                                    envTruthy("MRQ_TRACE")};
+std::atomic<bool> g_trace_enabled{envTruthy("MRQ_TRACE")};
+
+} // namespace detail
+
+bool
+setMetricsEnabled(bool on)
+{
+    return detail::g_metrics_enabled.exchange(on,
+                                              std::memory_order_relaxed);
+}
+
+bool
+setTraceEnabled(bool on)
+{
+    return detail::g_trace_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+namespace {
+
+/**
+ * Per-thread value store.  Owned by the registry (so values survive
+ * worker-thread exit, e.g. across ThreadPool::resize) but written by
+ * exactly one thread; vectors are indexed by metric id and grown on
+ * demand by the owning thread only.
+ */
+struct Shard
+{
+    std::vector<std::int64_t> counters;
+    std::vector<std::vector<std::int64_t>> hists;
+    std::vector<std::int64_t> histWeighted; ///< Sum of recorded values.
+    std::vector<TimingTotal> timings;
+};
+
+struct SeriesRecord
+{
+    std::string name;
+    std::int64_t step;
+    double value;
+};
+
+/** Deterministic double rendering (shared by JSONL and tests). */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mutex;
+
+    std::vector<std::string> counterNames;
+    std::vector<std::string> histNames;
+    std::vector<std::string> timingNames;
+    std::unordered_map<std::string, int> counterIds;
+    std::unordered_map<std::string, int> histIds;
+    std::unordered_map<std::string, int> timingIds;
+
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    std::vector<std::pair<std::string, double>> gauges;
+    std::unordered_map<std::string, std::size_t> gaugeIds;
+    std::vector<SeriesRecord> series;
+
+    Shard&
+    threadShard()
+    {
+        thread_local struct Slot
+        {
+            Impl* owner = nullptr;
+            Shard* shard = nullptr;
+        } slot;
+        // One shard per (thread, registry); the registry is a process
+        // singleton, so the owner check only guards test scenarios
+        // that re-create the registry (not supported; defensive).
+        if (slot.owner != this) {
+            std::lock_guard<std::mutex> lock(mutex);
+            shards.push_back(std::make_unique<Shard>());
+            slot.shard = shards.back().get();
+            slot.owner = this;
+        }
+        return *slot.shard;
+    }
+
+    static int
+    internName(const std::string& name, std::vector<std::string>* names,
+               std::unordered_map<std::string, int>* ids)
+    {
+        auto it = ids->find(name);
+        if (it != ids->end())
+            return it->second;
+        const int id = static_cast<int>(names->size());
+        names->push_back(name);
+        ids->emplace(name, id);
+        return id;
+    }
+};
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+MetricsRegistry::Impl&
+MetricsRegistry::impl() const
+{
+    static Impl impl;
+    return impl;
+}
+
+int
+MetricsRegistry::counterId(const std::string& name)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return Impl::internName(name, &im.counterNames, &im.counterIds);
+}
+
+int
+MetricsRegistry::histogramId(const std::string& name)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return Impl::internName(name, &im.histNames, &im.histIds);
+}
+
+int
+MetricsRegistry::timingId(const std::string& name)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return Impl::internName(name, &im.timingNames, &im.timingIds);
+}
+
+void
+MetricsRegistry::addCounter(int id, std::int64_t n)
+{
+    Shard& s = impl().threadShard();
+    if (s.counters.size() <= static_cast<std::size_t>(id))
+        s.counters.resize(id + 1, 0);
+    s.counters[id] += n;
+}
+
+void
+MetricsRegistry::recordHistogram(int id, std::size_t buckets,
+                                 std::size_t value)
+{
+    Shard& s = impl().threadShard();
+    if (s.hists.size() <= static_cast<std::size_t>(id)) {
+        s.hists.resize(id + 1);
+        s.histWeighted.resize(id + 1, 0);
+    }
+    std::vector<std::int64_t>& h = s.hists[id];
+    if (h.size() < buckets)
+        h.resize(buckets, 0);
+    ++h[std::min(value, h.size() - 1)];
+    s.histWeighted[id] += static_cast<std::int64_t>(value);
+}
+
+void
+MetricsRegistry::recordTiming(int id, std::int64_t ns)
+{
+    Shard& s = impl().threadShard();
+    if (s.timings.size() <= static_cast<std::size_t>(id))
+        s.timings.resize(id + 1);
+    TimingTotal& t = s.timings[id];
+    if (t.count == 0) {
+        t.minNs = ns;
+        t.maxNs = ns;
+    } else {
+        t.minNs = std::min(t.minNs, ns);
+        t.maxNs = std::max(t.maxNs, ns);
+    }
+    ++t.count;
+    t.totalNs += ns;
+}
+
+void
+MetricsRegistry::addCounterNamed(const std::string& name, std::int64_t n)
+{
+    addCounter(counterId(name), n);
+}
+
+void
+MetricsRegistry::setGauge(const std::string& name, double value)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    auto it = im.gaugeIds.find(name);
+    if (it != im.gaugeIds.end()) {
+        im.gauges[it->second].second = value;
+        return;
+    }
+    im.gaugeIds.emplace(name, im.gauges.size());
+    im.gauges.emplace_back(name, value);
+}
+
+void
+MetricsRegistry::recordSeries(const std::string& name, std::int64_t step,
+                              double value)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.series.push_back(SeriesRecord{name, step, value});
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    Snapshot snap;
+
+    // Aggregate shards: all sharded values are integers, so the sum
+    // is independent of how work was distributed over threads.
+    std::vector<std::int64_t> counters(im.counterNames.size(), 0);
+    std::vector<std::vector<std::int64_t>> hists(im.histNames.size());
+    std::vector<std::int64_t> weighted(im.histNames.size(), 0);
+    std::vector<TimingTotal> timings(im.timingNames.size());
+    for (const auto& shard : im.shards) {
+        for (std::size_t i = 0; i < shard->counters.size(); ++i)
+            counters[i] += shard->counters[i];
+        for (std::size_t i = 0; i < shard->hists.size(); ++i) {
+            const auto& h = shard->hists[i];
+            if (hists[i].size() < h.size())
+                hists[i].resize(h.size(), 0);
+            for (std::size_t b = 0; b < h.size(); ++b)
+                hists[i][b] += h[b];
+            weighted[i] += shard->histWeighted[i];
+        }
+        for (std::size_t i = 0; i < shard->timings.size(); ++i) {
+            const TimingTotal& t = shard->timings[i];
+            if (t.count == 0)
+                continue;
+            TimingTotal& acc = timings[i];
+            if (acc.count == 0) {
+                acc = t;
+                continue;
+            }
+            acc.count += t.count;
+            acc.totalNs += t.totalNs;
+            acc.minNs = std::min(acc.minNs, t.minNs);
+            acc.maxNs = std::max(acc.maxNs, t.maxNs);
+        }
+    }
+
+    for (std::size_t i = 0; i < counters.size(); ++i)
+        snap.counters.push_back({im.counterNames[i], counters[i]});
+    for (const auto& [name, value] : im.gauges)
+        snap.gauges.push_back({name, value});
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+        Snapshot::HistValue h;
+        h.name = im.histNames[i];
+        h.counts = hists[i];
+        for (std::int64_t c : h.counts)
+            h.total += c;
+        h.weighted = weighted[i];
+        snap.histograms.push_back(std::move(h));
+    }
+    for (const SeriesRecord& r : im.series)
+        snap.series.push_back({r.name, r.step, r.value});
+    for (std::size_t i = 0; i < timings.size(); ++i)
+        if (timings[i].count > 0)
+            snap.timings.push_back({im.timingNames[i], timings[i]});
+
+    auto byName = [](const auto& a, const auto& b) {
+        return a.name < b.name;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), byName);
+    std::sort(snap.timings.begin(), snap.timings.end(), byName);
+    return snap;
+}
+
+bool
+MetricsRegistry::writeJsonl(const std::string& path,
+                            const std::string& manifest_json, bool append)
+{
+    const Snapshot snap = snapshot();
+
+    const std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+
+    std::FILE* f = std::fopen(path.c_str(), append ? "a" : "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "mrq: metrics: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+
+    if (!manifest_json.empty())
+        std::fprintf(f, "%s\n", manifest_json.c_str());
+    for (const auto& c : snap.counters)
+        std::fprintf(f,
+                     "{\"type\": \"counter\", \"name\": \"%s\", "
+                     "\"value\": %lld}\n",
+                     jsonEscape(c.name).c_str(),
+                     static_cast<long long>(c.value));
+    for (const auto& g : snap.gauges)
+        std::fprintf(f,
+                     "{\"type\": \"gauge\", \"name\": \"%s\", "
+                     "\"value\": %s}\n",
+                     jsonEscape(g.name).c_str(),
+                     formatDouble(g.value).c_str());
+    for (const auto& h : snap.histograms) {
+        std::fprintf(f,
+                     "{\"type\": \"hist\", \"name\": \"%s\", "
+                     "\"counts\": [",
+                     jsonEscape(h.name).c_str());
+        for (std::size_t b = 0; b < h.counts.size(); ++b)
+            std::fprintf(f, "%s%lld", b ? ", " : "",
+                         static_cast<long long>(h.counts[b]));
+        std::fprintf(f, "], \"total\": %lld, \"sum\": %lld}\n",
+                     static_cast<long long>(h.total),
+                     static_cast<long long>(h.weighted));
+    }
+    for (const auto& s : snap.series)
+        std::fprintf(f,
+                     "{\"type\": \"series\", \"name\": \"%s\", "
+                     "\"step\": %lld, \"value\": %s}\n",
+                     jsonEscape(s.name).c_str(),
+                     static_cast<long long>(s.step),
+                     formatDouble(s.value).c_str());
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+void
+MetricsRegistry::printSummary(std::FILE* out) const
+{
+    const Snapshot snap = snapshot();
+    if (snap.counters.empty() && snap.gauges.empty() &&
+        snap.histograms.empty() && snap.series.empty() &&
+        snap.timings.empty())
+        return;
+    std::fprintf(out, "---- mrq run summary ----\n");
+    for (const auto& c : snap.counters)
+        std::fprintf(out, "  %-44s %lld\n", c.name.c_str(),
+                     static_cast<long long>(c.value));
+    for (const auto& g : snap.gauges)
+        std::fprintf(out, "  %-44s %.6g\n", g.name.c_str(), g.value);
+    for (const auto& h : snap.histograms) {
+        const double mean =
+            h.total > 0 ? static_cast<double>(h.weighted) /
+                              static_cast<double>(h.total)
+                        : 0.0;
+        std::fprintf(out, "  %-44s n=%lld mean=%.3f [", h.name.c_str(),
+                     static_cast<long long>(h.total), mean);
+        for (std::size_t b = 0; b < h.counts.size(); ++b)
+            std::fprintf(out, "%s%lld", b ? " " : "",
+                         static_cast<long long>(h.counts[b]));
+        std::fprintf(out, "]\n");
+    }
+    // Series: print the last point of each name (full curves live in
+    // the JSONL sink).
+    std::vector<std::string> seen;
+    for (auto it = snap.series.rbegin(); it != snap.series.rend(); ++it) {
+        if (std::find(seen.begin(), seen.end(), it->name) != seen.end())
+            continue;
+        seen.push_back(it->name);
+        std::fprintf(out, "  %-44s last(step=%lld)=%.6g\n",
+                     it->name.c_str(),
+                     static_cast<long long>(it->step), it->value);
+    }
+    // Wall-clock rows only when the user opted in via MRQ_TRACE: the
+    // verbose summary of a deterministic run must itself be
+    // deterministic (quickstart stdout is diffed across MRQ_THREADS),
+    // and timing aggregates never are.
+    if (traceEnabled())
+        for (const auto& t : snap.timings)
+            std::fprintf(
+                out,
+                "  %-44s n=%lld total=%.3fms mean=%.1fus "
+                "min=%.1fus max=%.1fus\n",
+                t.name.c_str(), static_cast<long long>(t.t.count),
+                static_cast<double>(t.t.totalNs) * 1e-6,
+                static_cast<double>(t.t.totalNs) /
+                    static_cast<double>(t.t.count) * 1e-3,
+                static_cast<double>(t.t.minNs) * 1e-3,
+                static_cast<double>(t.t.maxNs) * 1e-3);
+    std::fprintf(out, "-------------------------\n");
+}
+
+void
+MetricsRegistry::reset()
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    for (const auto& shard : im.shards) {
+        std::fill(shard->counters.begin(), shard->counters.end(), 0);
+        for (auto& h : shard->hists)
+            std::fill(h.begin(), h.end(), 0);
+        std::fill(shard->histWeighted.begin(), shard->histWeighted.end(),
+                  0);
+        std::fill(shard->timings.begin(), shard->timings.end(),
+                  TimingTotal{});
+    }
+    im.gauges.clear();
+    im.gaugeIds.clear();
+    im.series.clear();
+}
+
+std::size_t
+MetricsRegistry::debugShardCount() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return im.shards.size();
+}
+
+std::size_t
+MetricsRegistry::debugMetricCount() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return im.counterNames.size() + im.histNames.size() +
+           im.timingNames.size() + im.gauges.size() + im.series.size();
+}
+
+// ---------------------------------------------------------------------
+// Structured run log.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_log_verbose{false};
+} // namespace
+
+bool
+setLogVerbose(bool on)
+{
+    return g_log_verbose.exchange(on, std::memory_order_relaxed);
+}
+
+bool
+logVerbose()
+{
+    return g_log_verbose.load(std::memory_order_relaxed);
+}
+
+void
+logf(const char* fmt, ...)
+{
+    if (!logVerbose())
+        return;
+    std::fputs("[mrq] ", stdout);
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::fputc('\n', stdout);
+}
+
+} // namespace obs
+} // namespace mrq

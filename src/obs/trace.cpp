@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <vector>
+
+namespace mrq {
+namespace obs {
+
+namespace {
+
+/** Open span names of the current thread (innermost last). */
+thread_local std::vector<const char*> t_span_stack;
+
+/** Path prefix inherited from the thread that dispatched our job. */
+thread_local std::string t_inherited_path;
+
+std::string
+joinPath()
+{
+    std::string path = t_inherited_path;
+    for (const char* name : t_span_stack) {
+        if (!path.empty())
+            path += '/';
+        path += name;
+    }
+    return path;
+}
+
+} // namespace
+
+TraceSpan::TraceSpan(const char* name)
+{
+    if (!traceEnabled())
+        return;
+    active_ = true;
+    t_span_stack.push_back(name);
+    startNs_ = nowNs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    const std::int64_t elapsed = nowNs() - startNs_;
+    // The path includes this span (still on the stack) and every
+    // enclosing span, so nested spans aggregate under distinct keys.
+    const std::string path = joinPath();
+    t_span_stack.pop_back();
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    reg.recordTiming(reg.timingId("span:" + path), elapsed);
+}
+
+std::string
+currentTracePath()
+{
+    if (!traceEnabled())
+        return {};
+    return joinPath();
+}
+
+InheritedTracePath::InheritedTracePath(const std::string& path)
+{
+    if (path.empty())
+        return;
+    installed_ = true;
+    previous_ = std::move(t_inherited_path);
+    t_inherited_path = path;
+}
+
+InheritedTracePath::~InheritedTracePath()
+{
+    if (installed_)
+        t_inherited_path = std::move(previous_);
+}
+
+} // namespace obs
+} // namespace mrq

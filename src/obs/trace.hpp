@@ -1,0 +1,84 @@
+/**
+ * @file
+ * RAII trace spans with thread-pool-aware nesting.
+ *
+ * A TraceSpan pushes its name onto a thread-local span stack on
+ * construction and, on destruction, records its wall time under its
+ * full slash-joined path ("pipeline.fp_epoch/trainer.iteration/...")
+ * as a timing aggregate in the MetricsRegistry.  Paths, not
+ * individual events, are aggregated — a span that runs a thousand
+ * times is one summary row.
+ *
+ * Nesting across runtime::ThreadPool chunks: ThreadPool::run captures
+ * the caller's current span path and installs it as the *inherited
+ * prefix* on every worker executing that job's chunks (via
+ * InheritedTracePath), so spans opened inside parallelFor bodies
+ * parent to the span that launched the loop even though they run on a
+ * different thread.
+ *
+ * Spans are active only when traceEnabled() (MRQ_TRACE=1 or
+ * setTraceEnabled); when disabled, construction is a relaxed atomic
+ * load and a branch.  Span timings go to the summary sink only —
+ * wall times are inherently non-deterministic, and the JSONL sink
+ * must stay byte-identical across MRQ_THREADS.
+ */
+
+#ifndef MRQ_OBS_TRACE_HPP
+#define MRQ_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace mrq {
+namespace obs {
+
+/** Scoped timer; records under its nesting path on destruction. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char* name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+  private:
+    bool active_ = false;
+    std::int64_t startNs_ = 0;
+};
+
+/**
+ * Current thread's full span path (inherited prefix + open spans),
+ * empty when tracing is off or no span is open.  Captured by
+ * ThreadPool::run to parent worker-side spans.
+ */
+std::string currentTracePath();
+
+/** Installs an inherited path prefix for the current thread (RAII). */
+class InheritedTracePath
+{
+  public:
+    explicit InheritedTracePath(const std::string& path);
+    ~InheritedTracePath();
+
+    InheritedTracePath(const InheritedTracePath&) = delete;
+    InheritedTracePath& operator=(const InheritedTracePath&) = delete;
+
+  private:
+    std::string previous_;
+    bool installed_ = false;
+};
+
+} // namespace obs
+} // namespace mrq
+
+#define MRQ_OBS_CONCAT2(a, b) a##b
+#define MRQ_OBS_CONCAT(a, b) MRQ_OBS_CONCAT2(a, b)
+
+/** Open a scoped trace span for the rest of the enclosing block. */
+#define MRQ_TRACE_SPAN(name)                                             \
+    ::mrq::obs::TraceSpan MRQ_OBS_CONCAT(mrq_trace_span_, __LINE__)(name)
+
+#endif // MRQ_OBS_TRACE_HPP

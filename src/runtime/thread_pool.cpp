@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrq {
 
@@ -10,6 +12,18 @@ namespace {
 
 /** Set while the current thread is executing chunks of a job. */
 thread_local bool t_inside_parallel = false;
+
+// Pool activity metrics.  The counters are recorded at the top of
+// run() — before the inline-vs-parallel branch — so their values
+// depend only on chunk geometry, never on the pool size, and stay
+// byte-identical in the JSONL sink at any MRQ_THREADS.  The timings
+// (queue wait, per-executor busy time whose min/max spread is the
+// chunk imbalance) are wall-clock and surface in the summary sink
+// only.
+obs::Counter c_regions("runtime.pool.regions");
+obs::Counter c_chunks("runtime.pool.chunks");
+obs::TimingStat t_queue_wait("runtime.pool.queue_wait");
+obs::TimingStat t_executor_busy("runtime.pool.executor_busy");
 
 std::size_t
 configuredThreads()
@@ -98,6 +112,8 @@ ThreadPool::run(std::size_t num_chunks,
 {
     if (num_chunks == 0)
         return;
+    c_regions.add(1);
+    c_chunks.add(static_cast<std::int64_t>(num_chunks));
     // Nested regions and the single-thread pool execute the same chunk
     // sequence inline; chunk boundaries are unchanged, so the results
     // match the parallel execution bit for bit.
@@ -106,10 +122,18 @@ ThreadPool::run(std::size_t num_chunks,
         return;
     }
 
+    const bool obs_on = obs::metricsEnabled();
+    // Workers inherit the caller's span path so spans opened inside
+    // chunk bodies nest under the span that launched the loop; the
+    // string outlives the job (run() blocks until all workers report
+    // done).
+    const std::string trace_path = obs::currentTracePath();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &body;
         jobChunks_ = num_chunks;
+        jobTracePath_ = &trace_path;
+        jobPublishNs_ = obs_on ? obs::nowNs() : 0;
         doneCount_ = 0;
         error_ = nullptr;
         ++jobSeq_;
@@ -117,6 +141,7 @@ ThreadPool::run(std::size_t num_chunks,
     jobCv_.notify_all();
 
     // The caller participates as thread 0 of the round-robin.
+    const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
     t_inside_parallel = true;
     for (std::size_t c = 0; c < num_chunks; c += threads_) {
         try {
@@ -128,11 +153,14 @@ ThreadPool::run(std::size_t num_chunks,
         }
     }
     t_inside_parallel = false;
+    if (obs_on)
+        t_executor_busy.record(obs::nowNs() - busy0);
 
     std::unique_lock<std::mutex> lock(mutex_);
     doneCv_.wait(lock, [&] { return doneCount_ == threads_ - 1; });
     job_ = nullptr;
     jobChunks_ = 0;
+    jobTracePath_ = nullptr;
     if (error_) {
         std::exception_ptr err = error_;
         error_ = nullptr;
@@ -147,6 +175,8 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
     for (;;) {
         const std::function<void(std::size_t)>* body = nullptr;
         std::size_t chunks = 0;
+        const std::string* trace_path = nullptr;
+        std::int64_t publish_ns = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             jobCv_.wait(lock, [&] { return stop_ || jobSeq_ != seen; });
@@ -155,19 +185,31 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
             seen = jobSeq_;
             body = job_;
             chunks = jobChunks_;
+            trace_path = jobTracePath_;
+            publish_ns = jobPublishNs_;
         }
 
-        t_inside_parallel = true;
-        for (std::size_t c = index; c < chunks; c += threads_) {
-            try {
-                (*body)(c);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (!error_)
-                    error_ = std::current_exception();
+        const bool obs_on = obs::metricsEnabled();
+        if (obs_on && publish_ns != 0)
+            t_queue_wait.record(obs::nowNs() - publish_ns);
+        const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
+        {
+            obs::InheritedTracePath trace_guard(
+                trace_path != nullptr ? *trace_path : std::string());
+            t_inside_parallel = true;
+            for (std::size_t c = index; c < chunks; c += threads_) {
+                try {
+                    (*body)(c);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                }
             }
+            t_inside_parallel = false;
         }
-        t_inside_parallel = false;
+        if (obs_on)
+            t_executor_busy.record(obs::nowNs() - busy0);
 
         {
             std::lock_guard<std::mutex> lock(mutex_);

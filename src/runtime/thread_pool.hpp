@@ -32,6 +32,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -86,6 +87,11 @@ class ThreadPool
     std::condition_variable doneCv_;
     const std::function<void(std::size_t)>* job_ = nullptr;
     std::size_t jobChunks_ = 0;
+    /** Caller's span path at dispatch (workers inherit it); owned by
+     *  run()'s frame, valid until every worker reports done. */
+    const std::string* jobTracePath_ = nullptr;
+    /** steady_clock ns at job publish (queue-wait accounting). */
+    std::int64_t jobPublishNs_ = 0;
     std::uint64_t jobSeq_ = 0;
     std::size_t doneCount_ = 0;
     std::exception_ptr error_;

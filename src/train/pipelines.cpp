@@ -2,10 +2,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/term_accounting.hpp"
 #include "data/batcher.hpp"
 #include "nn/loss.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrq {
 
@@ -17,6 +22,68 @@ double
 seconds(Clock::time_point from, Clock::time_point to)
 {
     return std::chrono::duration<double>(to - from).count();
+}
+
+std::string
+formatOpt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** Self-describing manifest for one pipeline run (JSONL line 1). */
+obs::RunManifest
+pipelineManifest(const char* run, const PipelineOptions& opts,
+                 const SubModelLadder& ladder)
+{
+    obs::RunManifest m;
+    m.run = run;
+    m.seed = opts.seed;
+    m.add("fp_epochs", std::to_string(opts.fpEpochs));
+    m.add("mr_epochs", std::to_string(opts.mrEpochs));
+    m.add("batch_size", std::to_string(opts.batchSize));
+    m.add("fp_lr", formatOpt(opts.fpLr));
+    m.add("mr_lr", formatOpt(opts.mrLr));
+    m.add("momentum", formatOpt(opts.momentum));
+    m.add("weight_decay", formatOpt(opts.weightDecay));
+    m.add("distill_weight", formatOpt(opts.distillWeight));
+    m.add("distill_temperature", formatOpt(opts.distillTemperature));
+    m.add("distillation", opts.useDistillation ? "on" : "off");
+    m.add("bptt", std::to_string(opts.bptt));
+    std::string rungs;
+    for (const SubModelConfig& cfg : ladder) {
+        if (!rungs.empty())
+            rungs += ',';
+        rungs += cfg.name();
+    }
+    m.add("ladder", rungs);
+    return m;
+}
+
+/** Record one evaluated rung: gauges keyed by rung name + a curve. */
+void
+recordSubModelEval(std::size_t index, const SubModelResult& r)
+{
+    if (!obs::metricsEnabled())
+        return;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    const std::string base = "train.eval." + r.config.name();
+    reg.setGauge(base + ".metric", r.metric);
+    reg.setGauge(base + ".term_pairs",
+                 static_cast<double>(r.termPairs));
+    reg.recordSeries("train.eval.metric",
+                     static_cast<std::int64_t>(index), r.metric);
+}
+
+/** Record one epoch's mean loss on the named curve. */
+void
+recordEpoch(const char* series, std::size_t epoch, double mean_loss)
+{
+    if (!obs::metricsEnabled())
+        return;
+    obs::MetricsRegistry::instance().recordSeries(
+        series, static_cast<std::int64_t>(epoch), mean_loss);
 }
 
 TrainerOptions
@@ -99,6 +166,12 @@ classifierPipeline(Sequential& model, const SynthImages& data,
                    const SubModelConfig* single_cfg)
 {
     PipelineResult result;
+    obs::RunScope obs_run(
+        pipelineManifest(multires ? "classifier.multires"
+                         : single_cfg != nullptr ? "classifier.single"
+                                                 : "classifier.post_training",
+                         opts, ladder),
+        opts.verbose);
     MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
     Batcher batcher(data.trainImages().dim(0), opts.batchSize, opts.seed);
     const std::size_t batches = batcher.batchesPerEpoch();
@@ -115,6 +188,7 @@ classifierPipeline(Sequential& model, const SynthImages& data,
 
     // Phase 1: full-precision pretraining.
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        MRQ_TRACE_SPAN("pipeline.fp_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.fpLr, static_cast<int>(epoch),
@@ -128,42 +202,65 @@ classifierPipeline(Sequential& model, const SynthImages& data,
                                                  fpConfig());
         }
         result.fpEpochSeconds += seconds(t0, Clock::now());
-        if (opts.verbose)
-            std::printf("  [fp   epoch %zu] loss %.4f\n", epoch,
-                        loss / batches);
+        recordEpoch("train.fp.loss", epoch, loss / batches);
+        obs::logf("phase=fp epoch=%zu loss=%.4f", epoch, loss / batches);
     }
     if (opts.fpEpochs > 0)
         result.fpEpochSeconds /= static_cast<double>(opts.fpEpochs);
     model.calibrateWeightClips();
     result.fp32Metric = evalClassifier(trainer, data, fpConfig());
+    if (obs::metricsEnabled())
+        obs::MetricsRegistry::instance().setGauge("train.eval.fp32.metric",
+                                                  result.fp32Metric);
+    obs::logf("phase=eval rung=fp32 metric=%.4f", result.fp32Metric);
 
     // Phase 2: fine-tuning (multi-resolution, single config, or none).
     const bool post_training = !multires && single_cfg == nullptr;
     if (!post_training) {
         for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+            MRQ_TRACE_SPAN("pipeline.tune_epoch");
             const auto t0 = Clock::now();
             trainer.optimizer().setLr(
                 cosineLr(opts.mrLr, static_cast<int>(epoch),
                          static_cast<int>(opts.mrEpochs)));
             double loss = 0.0;
+            double teacher_loss = 0.0;
+            std::vector<double> rung_loss(ladder.size(), 0.0);
+            std::vector<std::size_t> rung_count(ladder.size(), 0);
             for (std::size_t b = 0; b < batches; ++b) {
                 const auto idx = batcher.next();
                 const Tensor input = data.gatherImages(idx);
                 const std::vector<int> labels = data.gatherLabels(idx);
                 if (multires) {
-                    loss += trainer
-                                .trainIteration(input, make_hard(labels),
-                                                soft)
-                                .studentLoss;
+                    const MultiResTrainer::IterStats st =
+                        trainer.trainIteration(input, make_hard(labels),
+                                               soft);
+                    loss += st.studentLoss;
+                    teacher_loss += st.teacherLoss;
+                    rung_loss[st.studentIndex] += st.studentLoss;
+                    rung_count[st.studentIndex] += 1;
                 } else {
                     loss += trainer.trainIterationSingle(
                         input, make_hard(labels), *single_cfg);
                 }
             }
             result.mrEpochSeconds += seconds(t0, Clock::now());
-            if (opts.verbose)
-                std::printf("  [tune epoch %zu] loss %.4f\n", epoch,
-                            loss / batches);
+            recordEpoch("train.tune.loss", epoch, loss / batches);
+            if (multires) {
+                recordEpoch("train.tune.teacher_loss", epoch,
+                            teacher_loss / batches);
+                for (std::size_t r = 0; r < ladder.size(); ++r)
+                    if (rung_count[r] > 0)
+                        recordEpoch(("train.tune.loss." +
+                                     ladder[r].name())
+                                        .c_str(),
+                                    epoch,
+                                    rung_loss[r] /
+                                        static_cast<double>(
+                                            rung_count[r]));
+            }
+            obs::logf("phase=tune epoch=%zu loss=%.4f", epoch,
+                      loss / batches);
         }
         if (opts.mrEpochs > 0)
             result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
@@ -179,19 +276,20 @@ classifierPipeline(Sequential& model, const SynthImages& data,
     model.setQuantContext(&trainer.context());
 
     // Evaluation across the ladder (or the single config).
-    if (single_cfg != nullptr) {
-        SubModelResult r;
-        r.config = *single_cfg;
-        r.metric = evalClassifier(trainer, data, *single_cfg);
-        r.termPairs = termPairCount(macs, *single_cfg);
-        result.subModels.push_back(r);
-    } else {
-        for (const SubModelConfig& cfg : ladder) {
+    {
+        MRQ_TRACE_SPAN("pipeline.eval");
+        const SubModelLadder eval_set =
+            single_cfg != nullptr ? SubModelLadder{*single_cfg} : ladder;
+        for (std::size_t i = 0; i < eval_set.size(); ++i) {
+            const SubModelConfig& cfg = eval_set[i];
             SubModelResult r;
             r.config = cfg;
             r.metric = evalClassifier(trainer, data, cfg);
             r.termPairs = termPairCount(macs, cfg);
-            result.subModels.push_back(r);
+            recordSubModelEval(i, r);
+            obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
+                      cfg.name().c_str(), r.metric, r.termPairs);
+            result.subModels.push_back(std::move(r));
         }
     }
     return result;
@@ -244,6 +342,11 @@ lmPipeline(LstmLm& model, const SynthText& data,
            const SubModelConfig* single_cfg)
 {
     PipelineResult result;
+    obs::RunScope obs_run(
+        pipelineManifest(single_cfg != nullptr ? "lm.single"
+                                               : "lm.multires",
+                         opts, ladder),
+        opts.verbose);
     MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
     trainer.optimizer().setGradClip(1.0f);
 
@@ -278,40 +381,66 @@ lmPipeline(LstmLm& model, const SynthText& data,
 
     // Phase 1: full-precision pretraining.
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        MRQ_TRACE_SPAN("pipeline.fp_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.fpLr, static_cast<int>(epoch),
                      static_cast<int>(opts.fpEpochs)));
+        double loss = 0.0;
         for (std::size_t w = 0; w < windows; ++w) {
             Tensor input;
             make_batch(w, &input);
-            trainer.trainIterationSingle(input, hard, fpConfig());
+            loss += trainer.trainIterationSingle(input, hard, fpConfig());
         }
         result.fpEpochSeconds += seconds(t0, Clock::now());
-        if (opts.verbose)
-            std::printf("  [fp   epoch %zu] ppl %.2f\n", epoch,
-                        lmPerplexity(model, data.valid(), opts.bptt));
+        recordEpoch("train.fp.loss", epoch, loss / windows);
+        obs::logf("phase=fp epoch=%zu loss=%.4f", epoch, loss / windows);
     }
     if (opts.fpEpochs > 0)
         result.fpEpochSeconds /= static_cast<double>(opts.fpEpochs);
     model.calibrateWeightClips();
     result.fp32Metric = evalLm(trainer, model, data, fpConfig(), opts.bptt);
+    if (obs::metricsEnabled())
+        obs::MetricsRegistry::instance().setGauge("train.eval.fp32.metric",
+                                                  result.fp32Metric);
+    obs::logf("phase=eval rung=fp32 metric=%.4f", result.fp32Metric);
 
     // Phase 2: fine-tuning (multi-resolution or single-config).
     for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+        MRQ_TRACE_SPAN("pipeline.tune_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.mrLr, static_cast<int>(epoch),
                      static_cast<int>(opts.mrEpochs)));
+        double loss = 0.0;
+        std::vector<double> rung_loss(ladder.size(), 0.0);
+        std::vector<std::size_t> rung_count(ladder.size(), 0);
         for (std::size_t w = 0; w < windows; ++w) {
             Tensor input;
             make_batch(w, &input);
-            if (single_cfg)
-                trainer.trainIterationSingle(input, hard, *single_cfg);
-            else
-                trainer.trainIteration(input, hard, soft);
+            if (single_cfg) {
+                loss += trainer.trainIterationSingle(input, hard,
+                                                     *single_cfg);
+            } else {
+                const MultiResTrainer::IterStats st =
+                    trainer.trainIteration(input, hard, soft);
+                loss += st.studentLoss;
+                rung_loss[st.studentIndex] += st.studentLoss;
+                rung_count[st.studentIndex] += 1;
+            }
         }
         result.mrEpochSeconds += seconds(t0, Clock::now());
+        recordEpoch("train.tune.loss", epoch, loss / windows);
+        if (single_cfg == nullptr)
+            for (std::size_t r = 0; r < ladder.size(); ++r)
+                if (rung_count[r] > 0)
+                    recordEpoch(
+                        ("train.tune.loss." + ladder[r].name()).c_str(),
+                        epoch,
+                        rung_loss[r] /
+                            static_cast<double>(rung_count[r]));
+        obs::logf("phase=tune epoch=%zu loss=%.4f", epoch,
+                  loss / windows);
     }
     if (opts.mrEpochs > 0)
         result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
@@ -330,14 +459,19 @@ lmPipeline(LstmLm& model, const SynthText& data,
     model.setTraining(true);
     model.setQuantContext(&trainer.context());
 
+    MRQ_TRACE_SPAN("pipeline.eval");
     const SubModelLadder eval_set =
         single_cfg ? SubModelLadder{*single_cfg} : ladder;
-    for (const SubModelConfig& cfg : eval_set) {
+    for (std::size_t i = 0; i < eval_set.size(); ++i) {
+        const SubModelConfig& cfg = eval_set[i];
         SubModelResult r;
         r.config = cfg;
         r.metric = evalLm(trainer, model, data, cfg, opts.bptt);
         r.termPairs = termPairCount(macs_per_token, cfg);
-        result.subModels.push_back(r);
+        recordSubModelEval(i, r);
+        obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
+                  cfg.name().c_str(), r.metric, r.termPairs);
+        result.subModels.push_back(std::move(r));
     }
     return result;
 }
@@ -410,6 +544,11 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
              const SubModelConfig* single_cfg)
 {
     PipelineResult result;
+    obs::RunScope obs_run(
+        pipelineManifest(single_cfg != nullptr ? "yolo.single"
+                                               : "yolo.multires",
+                         opts, ladder),
+        opts.verbose);
     MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
     Batcher batcher(data.trainImages().dim(0), opts.batchSize, opts.seed);
     const std::size_t batches = batcher.batchesPerEpoch();
@@ -437,6 +576,7 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     };
 
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        MRQ_TRACE_SPAN("pipeline.fp_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.fpLr, static_cast<int>(epoch),
@@ -448,29 +588,53 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
             loss += trainer.trainIterationSingle(input, hard, fpConfig());
         }
         result.fpEpochSeconds += seconds(t0, Clock::now());
-        if (opts.verbose)
-            std::printf("  [fp   epoch %zu] loss %.4f\n", epoch,
-                        loss / batches);
+        recordEpoch("train.fp.loss", epoch, loss / batches);
+        obs::logf("phase=fp epoch=%zu loss=%.4f", epoch, loss / batches);
     }
     if (opts.fpEpochs > 0)
         result.fpEpochSeconds /= static_cast<double>(opts.fpEpochs);
     model.calibrateWeightClips();
     result.fp32Metric = evalYolo(trainer, data, fpConfig());
+    if (obs::metricsEnabled())
+        obs::MetricsRegistry::instance().setGauge("train.eval.fp32.metric",
+                                                  result.fp32Metric);
+    obs::logf("phase=eval rung=fp32 metric=%.4f", result.fp32Metric);
 
     for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+        MRQ_TRACE_SPAN("pipeline.tune_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.mrLr, static_cast<int>(epoch),
                      static_cast<int>(opts.mrEpochs)));
+        double loss = 0.0;
+        std::vector<double> rung_loss(ladder.size(), 0.0);
+        std::vector<std::size_t> rung_count(ladder.size(), 0);
         for (std::size_t b = 0; b < batches; ++b) {
             Tensor input;
             make_batch(&input);
-            if (single_cfg)
-                trainer.trainIterationSingle(input, hard, *single_cfg);
-            else
-                trainer.trainIteration(input, hard, soft);
+            if (single_cfg) {
+                loss += trainer.trainIterationSingle(input, hard,
+                                                     *single_cfg);
+            } else {
+                const MultiResTrainer::IterStats st =
+                    trainer.trainIteration(input, hard, soft);
+                loss += st.studentLoss;
+                rung_loss[st.studentIndex] += st.studentLoss;
+                rung_count[st.studentIndex] += 1;
+            }
         }
         result.mrEpochSeconds += seconds(t0, Clock::now());
+        recordEpoch("train.tune.loss", epoch, loss / batches);
+        if (single_cfg == nullptr)
+            for (std::size_t r = 0; r < ladder.size(); ++r)
+                if (rung_count[r] > 0)
+                    recordEpoch(
+                        ("train.tune.loss." + ladder[r].name()).c_str(),
+                        epoch,
+                        rung_loss[r] /
+                            static_cast<double>(rung_count[r]));
+        obs::logf("phase=tune epoch=%zu loss=%.4f", epoch,
+                  loss / batches);
     }
     if (opts.mrEpochs > 0)
         result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
@@ -483,14 +647,19 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     model.setTraining(true);
     model.setQuantContext(&trainer.context());
 
+    MRQ_TRACE_SPAN("pipeline.eval");
     const SubModelLadder eval_set =
         single_cfg ? SubModelLadder{*single_cfg} : ladder;
-    for (const SubModelConfig& cfg : eval_set) {
+    for (std::size_t i = 0; i < eval_set.size(); ++i) {
+        const SubModelConfig& cfg = eval_set[i];
         SubModelResult r;
         r.config = cfg;
         r.metric = evalYolo(trainer, data, cfg);
         r.termPairs = termPairCount(macs, cfg);
-        result.subModels.push_back(r);
+        recordSubModelEval(i, r);
+        obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
+                  cfg.name().c_str(), r.metric, r.termPairs);
+        result.subModels.push_back(std::move(r));
     }
     return result;
 }

@@ -11,6 +11,7 @@
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
 
 namespace mrq {
 namespace {
@@ -80,6 +81,47 @@ TEST(TermAccounting, CountingDetachesContext)
     Linear* lin = dynamic_cast<Linear*>(net.child(0));
     ASSERT_NE(lin, nullptr);
     EXPECT_FALSE(lin->quantizer().active());
+}
+
+TEST(TermAccounting, KeptTermsMatchMetricsHistogram)
+{
+    // The metrics layer streams a kept-terms-per-group histogram out
+    // of fakeQuantWeights; keptTermsPerGroup is the independent
+    // reference recomputation (also used by bench_fig20_weight_hist).
+    // The two must agree bucket for bucket.
+    Rng rng(7);
+    Tensor w({4, 40}); // 40 = two full groups of 16 + one tail of 8
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(rng.normal()) * 0.4f;
+    const SubModelConfig cfg = tqConfig(8, 2);
+    const float clip = 1.0f;
+
+    const bool prev = obs::setMetricsEnabled(true);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    reg.reset();
+    fakeQuantWeights(w, clip, cfg);
+    const obs::Snapshot snap = reg.snapshot();
+    obs::setMetricsEnabled(prev);
+
+    const std::vector<std::size_t> ref =
+        keptTermsPerGroup(w, clip, cfg);
+    ASSERT_EQ(ref.size(), 4u * 3u); // 3 groups per row
+
+    const obs::Snapshot::HistValue* hist = nullptr;
+    for (const auto& hv : snap.histograms)
+        if (hv.name == "core.tq.weight_kept_terms_per_group")
+            hist = &hv;
+    ASSERT_NE(hist, nullptr);
+
+    std::vector<std::int64_t> expected(hist->counts.size(), 0);
+    std::int64_t expected_weighted = 0;
+    for (std::size_t kept : ref) {
+        ++expected[std::min(kept, expected.size() - 1)];
+        expected_weighted += static_cast<std::int64_t>(kept);
+    }
+    EXPECT_EQ(hist->counts, expected);
+    EXPECT_EQ(hist->total, static_cast<std::int64_t>(ref.size()));
+    EXPECT_EQ(hist->weighted, expected_weighted);
 }
 
 // ---------------------------------------------------------------------

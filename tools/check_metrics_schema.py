@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate an mrq metrics JSONL file (stdlib only).
+
+Usage: check_metrics_schema.py FILE [FILE ...]
+
+Schema (one JSON object per line):
+  line 1          {"type": "manifest", "run": str, "seed": int,
+                   "git": str, ...}   (string-valued extras allowed)
+  counter lines   {"type": "counter", "name": str, "value": int}
+  gauge lines     {"type": "gauge", "name": str, "value": number}
+  hist lines      {"type": "hist", "name": str,
+                   "counts": [int >= 0, ...],
+                   "total": int == sum(counts), "sum": int}
+  series lines    {"type": "series", "name": str, "step": int,
+                   "value": number}
+
+A RunScope appends one block per run, so a file may contain several
+manifest lines; each starts a new block.  Timings must never appear
+(they are wall-clock and would break cross-thread-count byte
+identity).  Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, lineno, message):
+    print(f"{path}:{lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_name(path, lineno, obj):
+    name = obj.get("name")
+    if not isinstance(name, str) or not name:
+        fail(path, lineno, f"missing/empty name: {obj}")
+    return name
+
+
+def check_file(path):
+    lines = 0
+    manifests = 0
+    kinds = {"counter": 0, "gauge": 0, "hist": 0, "series": 0}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                fail(path, lineno, "blank line")
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as e:
+                fail(path, lineno, f"invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(path, lineno, "line is not a JSON object")
+            lines += 1
+            kind = obj.get("type")
+
+            if kind == "manifest":
+                manifests += 1
+                if lineno == 1 and manifests != 1:
+                    fail(path, lineno, "unreachable")
+                if manifests == 1 and lineno != 1:
+                    fail(path, lineno, "manifest must be the first line")
+                if not isinstance(obj.get("run"), str) or not obj["run"]:
+                    fail(path, lineno, "manifest missing run name")
+                if not isinstance(obj.get("seed"), int):
+                    fail(path, lineno, "manifest missing integer seed")
+                if not isinstance(obj.get("git"), str):
+                    fail(path, lineno, "manifest missing git describe")
+            elif kind == "counter":
+                kinds[kind] += 1
+                check_name(path, lineno, obj)
+                if not isinstance(obj.get("value"), int):
+                    fail(path, lineno, f"counter value not int: {obj}")
+            elif kind == "gauge":
+                kinds[kind] += 1
+                check_name(path, lineno, obj)
+                if not isinstance(obj.get("value"), (int, float)):
+                    fail(path, lineno, f"gauge value not numeric: {obj}")
+            elif kind == "hist":
+                kinds[kind] += 1
+                check_name(path, lineno, obj)
+                counts = obj.get("counts")
+                if not isinstance(counts, list) or not all(
+                    isinstance(c, int) and c >= 0 for c in counts
+                ):
+                    fail(path, lineno,
+                         f"hist counts must be non-negative ints: {obj}")
+                if obj.get("total") != sum(counts):
+                    fail(path, lineno,
+                         f"hist total != sum(counts): {obj}")
+                if not isinstance(obj.get("sum"), int):
+                    fail(path, lineno, f"hist sum not int: {obj}")
+            elif kind == "series":
+                kinds[kind] += 1
+                check_name(path, lineno, obj)
+                if not isinstance(obj.get("step"), int):
+                    fail(path, lineno, f"series step not int: {obj}")
+                if not isinstance(obj.get("value"), (int, float)):
+                    fail(path, lineno,
+                         f"series value not numeric: {obj}")
+            elif kind == "timing":
+                fail(path, lineno,
+                     "timing lines are forbidden in JSONL (wall-clock)")
+            else:
+                fail(path, lineno, f"unknown type: {kind!r}")
+
+    if lines == 0:
+        fail(path, 0, "empty metrics file")
+    if manifests == 0:
+        fail(path, 0, "no manifest line")
+    summary = ", ".join(f"{k}={v}" for k, v in kinds.items())
+    print(f"{path}: OK ({lines} lines, {manifests} manifest(s), "
+          f"{summary})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
