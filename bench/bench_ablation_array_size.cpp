@@ -9,16 +9,13 @@
  * configuration.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "hw/perf_model.hpp"
 
-int
-main()
+MRQ_BENCH(ablation_array_size, "Ablation",
+          "array size design-space sweep")
 {
     using namespace mrq;
-    bench::header("Ablation", "array size design-space sweep");
 
     SubModelConfig cfg;
     cfg.mode = QuantMode::Tq;
@@ -30,9 +27,9 @@ main()
     const SystemEnergyModel energy;
     const auto layers = referenceNetwork("resnet18");
 
-    std::printf("ResNet-18 at (alpha, beta) = (20, 3), 150 MHz:\n\n");
-    std::printf("%-10s %-14s %-14s %-16s %s\n", "array", "latency(ms)",
-                "frames/J", "cells", "latency x cells");
+    ctx.printf("ResNet-18 at (alpha, beta) = (20, 3), 150 MHz:\n\n");
+    ctx.printf("%-10s %-14s %-14s %-16s %s\n", "array", "latency(ms)",
+               "frames/J", "cells", "latency x cells");
     double lat128 = 0.0;
     for (std::size_t side : {32u, 64u, 128u, 192u, 256u}) {
         const SystolicArrayConfig array{side, side, 150.0};
@@ -41,15 +38,14 @@ main()
         if (side == 128)
             lat128 = perf.latencyMs;
         const double cells = static_cast<double>(side * side);
-        std::printf("%zux%-7zu %-14.2f %-14.1f %-16.0f %.0f\n", side,
-                    side, perf.latencyMs, perf.samplesPerJoule, cells,
-                    perf.latencyMs * cells);
+        ctx.printf("%zux%-7zu %-14.2f %-14.1f %-16.0f %.0f\n", side,
+                   side, perf.latencyMs, perf.samplesPerJoule, cells,
+                   perf.latencyMs * cells);
     }
 
-    std::printf("\n");
-    bench::row("128x128 latency (ms)", lat128,
-               "3.98 (the paper's deployment point)");
-    bench::row("larger arrays hit diminishing returns", 1.0,
-               "yes: small layers underfill wide arrays");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("128x128 latency (ms)", lat128,
+            "3.98 (the paper's deployment point)");
+    ctx.row("larger arrays hit diminishing returns", 1.0,
+            "yes: small layers underfill wide arrays");
 }

@@ -11,16 +11,13 @@
  * on weight traffic, which is why the paper deploys it.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "hw/systolic_os.hpp"
 
-int
-main()
+MRQ_BENCH(ablation_dataflow, "Ablation",
+          "weight- vs output-stationary dataflow")
 {
     using namespace mrq;
-    bench::header("Ablation", "weight- vs output-stationary dataflow");
 
     SubModelConfig cfg;
     cfg.mode = QuantMode::Tq;
@@ -31,10 +28,9 @@ main()
     const SystolicArrayConfig array{128, 128, 150.0};
     const PackedTermFormat fmt;
 
-    std::printf("(alpha, beta) = (20, 3), 128x128 array\n\n");
-    std::printf("%-14s %-14s %-14s %-16s %s\n", "network",
-                "WS cycles", "OS cycles", "WS mem entries",
-                "OS mem entries");
+    ctx.printf("(alpha, beta) = (20, 3), 128x128 array\n\n");
+    ctx.printf("%-14s %-14s %-14s %-16s %s\n", "network", "WS cycles",
+               "OS cycles", "WS mem entries", "OS mem entries");
 
     double ws_better_mem = 0.0;
     for (const char* name : {"resnet18", "resnet50", "mobilenet-v2",
@@ -52,19 +48,18 @@ main()
             os_mem += os.termMemEntries + os.indexMemEntries +
                       os.dataMemEntries;
         }
-        std::printf("%-14s %-14llu %-14llu %-16llu %llu\n", name,
-                    static_cast<unsigned long long>(ws_cycles),
-                    static_cast<unsigned long long>(os_cycles),
-                    static_cast<unsigned long long>(ws_mem),
-                    static_cast<unsigned long long>(os_mem));
+        ctx.printf("%-14s %-14llu %-14llu %-16llu %llu\n", name,
+                   static_cast<unsigned long long>(ws_cycles),
+                   static_cast<unsigned long long>(os_cycles),
+                   static_cast<unsigned long long>(ws_mem),
+                   static_cast<unsigned long long>(os_mem));
         ws_better_mem += ws_mem < os_mem ? 1.0 : 0.0;
     }
 
-    std::printf("\n");
-    bench::row("networks where WS needs less memory traffic",
-               ws_better_mem,
-               "most/all (CNN layers have many positions per row)");
-    bench::row("functional results identical", 1.0,
-               "same TQ projection on both dataflows (tested)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("networks where WS needs less memory traffic",
+            ws_better_mem,
+            "most/all (CNN layers have many positions per row)");
+    ctx.row("functional results identical", 1.0,
+            "same TQ projection on both dataflows (tested)");
 }

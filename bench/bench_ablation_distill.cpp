@@ -9,61 +9,56 @@
  * quantifies the soft-label contribution.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "models/classifiers.hpp"
 
-int
-main()
+MRQ_BENCH_HEAVY(ablation_distill, "Ablation",
+                "distillation term of Algorithm 1")
 {
     using namespace mrq;
-    bench::header("Ablation", "distillation term of Algorithm 1");
 
-    SynthImages data = bench::standardImages(97);
+    SynthImages data = bench::standardImages(ctx, 97);
     // Reach into very aggressive budgets (down to ~0.3 terms/value):
     // saturated rungs carry no signal for the distillation term.
     const SubModelLadder ladder = makeTqLadder(6, 20, 3, 3, 2, 5, 16);
 
-    PipelineOptions with = bench::standardOptions(101);
+    PipelineOptions with = bench::standardOptions(ctx, 101);
     with.useDistillation = true;
     PipelineOptions without = with;
     without.useDistillation = false;
 
-    std::printf("[with distillation] training...\n");
+    ctx.printf("[with distillation] training...\n");
     Rng rng_a(1);
     auto model_a = buildResNetTiny(rng_a, data.numClasses());
     const auto kd = runClassifierMultiRes(*model_a, data, ladder, with);
 
-    std::printf("[hard labels only] training...\n");
+    ctx.printf("[hard labels only] training...\n");
     Rng rng_b(1);
     auto model_b = buildResNetTiny(rng_b, data.numClasses());
     const auto hard =
         runClassifierMultiRes(*model_b, data, ladder, without);
 
-    std::printf("\n%-8s %-14s %-14s %s\n", "config", "with KD",
-                "hard only", "KD effect");
+    ctx.printf("\n%-8s %-14s %-14s %s\n", "config", "with KD",
+               "hard only", "KD effect");
     double kd_mean = 0.0, hard_mean = 0.0;
     for (std::size_t i = 0; i < ladder.size(); ++i) {
         kd_mean += kd.subModels[i].metric;
         hard_mean += hard.subModels[i].metric;
-        std::printf("%-8s %-14.1f %-14.1f %+.1f pp\n",
-                    ladder[i].name().c_str(),
-                    100.0 * kd.subModels[i].metric,
-                    100.0 * hard.subModels[i].metric,
-                    100.0 * (kd.subModels[i].metric -
-                             hard.subModels[i].metric));
+        ctx.printf("%-8s %-14.1f %-14.1f %+.1f pp\n",
+                   ladder[i].name().c_str(),
+                   100.0 * kd.subModels[i].metric,
+                   100.0 * hard.subModels[i].metric,
+                   100.0 * (kd.subModels[i].metric -
+                            hard.subModels[i].metric));
     }
-    kd_mean /= ladder.size();
-    hard_mean /= ladder.size();
+    kd_mean /= static_cast<double>(ladder.size());
+    hard_mean /= static_cast<double>(ladder.size());
 
-    std::printf("\n");
-    bench::row("mean accuracy with KD (%)", 100.0 * kd_mean,
-               "(Algorithm 1 as published)");
-    bench::row("mean accuracy hard-only (%)", 100.0 * hard_mean,
-               "(ablated)");
-    bench::row("mean KD contribution (pp)",
-               100.0 * (kd_mean - hard_mean),
-               ">= 0 expected; KD aligns students with the teacher");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("mean accuracy with KD (%)", 100.0 * kd_mean,
+            "(Algorithm 1 as published)");
+    ctx.row("mean accuracy hard-only (%)", 100.0 * hard_mean,
+            "(ablated)");
+    ctx.row("mean KD contribution (pp)", 100.0 * (kd_mean - hard_mean),
+            ">= 0 expected; KD aligns students with the teacher");
 }

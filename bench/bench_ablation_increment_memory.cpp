@@ -11,23 +11,20 @@
  * both effects for the Fig. 19 budget ladder.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/packed_storage.hpp"
 
-int
-main()
+MRQ_BENCH(ablation_increment_memory, "Ablation",
+          "increment memory layout (Sec. 5.4)")
 {
     using namespace mrq;
-    bench::header("Ablation", "increment memory layout (Sec. 5.4)");
 
     const std::vector<std::size_t> ladder{8, 10, 12, 14, 16, 18, 20};
     const PackedTermFormat fmt;
     Rng rng(7);
 
-    const std::size_t n_groups = 2000;
+    const std::size_t n_groups = bench::sampleCount(ctx, 2000, 400);
     std::vector<PackedGroup> packed;
     packed.reserve(n_groups);
     for (std::size_t i = 0; i < n_groups; ++i) {
@@ -38,20 +35,21 @@ main()
                             fmt);
     }
 
-    std::printf("%zu weight groups (g = 16), budgets 8..20:\n\n",
-                n_groups);
-    std::printf("%-8s %-22s %-22s %s\n", "alpha", "increment reads",
-                "flat reads (full rec)", "saving");
+    ctx.printf("%zu weight groups (g = 16), budgets 8..20:\n\n",
+               n_groups);
+    ctx.printf("%-8s %-22s %-22s %s\n", "alpha", "increment reads",
+               "flat reads (full rec)", "saving");
     for (std::size_t alpha : ladder) {
         std::size_t inc_reads = 0, flat_reads = 0;
         for (const PackedGroup& g : packed) {
-            inc_reads += g.termEntriesFor(alpha) + g.indexEntriesFor(alpha);
+            inc_reads +=
+                g.termEntriesFor(alpha) + g.indexEntriesFor(alpha);
             flat_reads += g.termEntriesFor(ladder.back()) +
                           g.indexEntriesFor(ladder.back());
         }
-        std::printf("%-8zu %-22zu %-22zu %.2fx\n", alpha, inc_reads,
-                    flat_reads,
-                    static_cast<double>(flat_reads) / inc_reads);
+        ctx.printf("%-8zu %-22zu %-22zu %.2fx\n", alpha, inc_reads,
+                   flat_reads,
+                   static_cast<double>(flat_reads) / inc_reads);
     }
 
     // Storage: one shared record vs one record per sub-model.
@@ -63,21 +61,20 @@ main()
     const double flat_total =
         per_submodel_bits * static_cast<double>(ladder.size());
 
-    std::printf("\nstorage for %zu sub-models:\n", ladder.size());
-    std::printf("  shared increments: %.2f Mbit (one copy)\n",
-                static_cast<double>(shared_bits) / 1e6);
-    std::printf("  flat per-sub-model: %.2f Mbit\n", flat_total / 1e6);
+    ctx.printf("\nstorage for %zu sub-models:\n", ladder.size());
+    ctx.printf("  shared increments: %.2f Mbit (one copy)\n",
+               static_cast<double>(shared_bits) / 1e6);
+    ctx.printf("  flat per-sub-model: %.2f Mbit\n", flat_total / 1e6);
 
-    std::printf("\n");
-    bench::row("storage saving vs flat copies",
-               flat_total / static_cast<double>(shared_bits),
-               "7x for 7 sub-models (term sharing, Sec. 5.4)");
-    bench::row("traffic saving at alpha=8",
-               static_cast<double>(packed[0].termEntriesFor(20)) /
-                   packed[0].termEntriesFor(8),
-               "~2.5x (only the prefix is read, Fig. 17)");
-    bench::row("bits/weight of stored model",
-               storageBitsPerWeight(20, 16, fmt),
-               "10 (Sec. 5.4 arithmetic) => 1.25 bits/sub-model");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("storage saving vs flat copies",
+            flat_total / static_cast<double>(shared_bits),
+            "7x for 7 sub-models (term sharing, Sec. 5.4)");
+    ctx.row("traffic saving at alpha=8",
+            static_cast<double>(packed[0].termEntriesFor(20)) /
+                packed[0].termEntriesFor(8),
+            "~2.5x (only the prefix is read, Fig. 17)");
+    ctx.row("bits/weight of stored model",
+            storageBitsPerWeight(20, 16, fmt),
+            "10 (Sec. 5.4 arithmetic) => 1.25 bits/sub-model");
 }

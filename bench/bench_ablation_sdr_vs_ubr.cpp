@@ -6,17 +6,17 @@
  * means fewer term-pair cycles at the same fidelity.
  */
 
-#include <cstdio>
+#include <algorithm>
+#include <cmath>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/term_quant.hpp"
 
-int
-main()
+MRQ_BENCH(ablation_sdr_vs_ubr, "Ablation",
+          "SDR (NAF) vs UBR term counts")
 {
     using namespace mrq;
-    bench::header("Ablation", "SDR (NAF) vs UBR term counts");
 
     // Exhaustive over the 5-bit lattice.
     double sdr_total = 0.0, ubr_total = 0.0, booth_total = 0.0;
@@ -31,22 +31,23 @@ main()
         sdr_worst = std::max(sdr_worst, s);
         ubr_worst = std::max(ubr_worst, u);
     }
-    std::printf("5-bit lattice (values 0..31):\n");
-    std::printf("  %-10s %-14s %s\n", "encoding", "mean terms",
-                "worst case");
-    std::printf("  %-10s %-14.2f %zu\n", "UBR", ubr_total / 32.0,
-                ubr_worst);
-    std::printf("  %-10s %-14.2f %zu\n", "SDR/NAF", sdr_total / 32.0,
-                sdr_worst);
-    std::printf("  %-10s %-14.2f %s\n", "Booth r4", booth_total / 32.0,
-                "(Laconic assumption: <= 3)");
+    ctx.printf("5-bit lattice (values 0..31):\n");
+    ctx.printf("  %-10s %-14s %s\n", "encoding", "mean terms",
+               "worst case");
+    ctx.printf("  %-10s %-14.2f %zu\n", "UBR", ubr_total / 32.0,
+               ubr_worst);
+    ctx.printf("  %-10s %-14.2f %zu\n", "SDR/NAF", sdr_total / 32.0,
+               sdr_worst);
+    ctx.printf("  %-10s %-14.2f %s\n", "Booth r4", booth_total / 32.0,
+               "(Laconic assumption: <= 3)");
 
     // Quantized-weight distribution: terms per group under both
     // encodings for normal weights on the lattice (the operational
     // quantity the mMAC sees).
     Rng rng(5);
     double sdr_group = 0.0, ubr_group = 0.0;
-    const int trials = 3000;
+    const int trials =
+        static_cast<int>(bench::sampleCount(ctx, 3000, 500));
     for (int t = 0; t < trials; ++t) {
         std::vector<std::int64_t> group(16);
         for (auto& v : group) {
@@ -61,18 +62,17 @@ main()
             termQuantizeGroup(group, 10000, TermEncoding::Ubr)
                 .totalTerms);
     }
-    std::printf("\nN(0, 0.25) weights quantized to the 5-bit lattice, "
-                "g = 16:\n");
-    std::printf("  mean UBR terms/group: %.2f\n", ubr_group / trials);
-    std::printf("  mean SDR terms/group: %.2f\n", sdr_group / trials);
+    ctx.printf("\nN(0, 0.25) weights quantized to the 5-bit lattice, "
+               "g = 16:\n");
+    ctx.printf("  mean UBR terms/group: %.2f\n", ubr_group / trials);
+    ctx.printf("  mean SDR terms/group: %.2f\n", sdr_group / trials);
 
-    std::printf("\n");
-    bench::row("SDR / UBR term ratio (lattice mean)",
-               sdr_total / ubr_total,
-               "< 1 (SDR is minimum-weight; Sec. 2.4)");
-    bench::row("SDR / UBR term ratio (weight groups)",
-               sdr_group / ubr_group, "< 1 (fewer mMAC cycles)");
-    bench::row("example: 27", 3.0,
-               "UBR 11011 has 4 terms; SDR 100-10-1 has 3 (paper)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("SDR / UBR term ratio (lattice mean)",
+            sdr_total / ubr_total,
+            "< 1 (SDR is minimum-weight; Sec. 2.4)");
+    ctx.row("SDR / UBR term ratio (weight groups)",
+            sdr_group / ubr_group, "< 1 (fewer mMAC cycles)");
+    ctx.row("example: 27", 3.0,
+            "UBR 11011 has 4 terms; SDR 100-10-1 has 3 (paper)");
 }

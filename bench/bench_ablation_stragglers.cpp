@@ -13,7 +13,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -38,15 +37,12 @@ unboundedPairs(const std::vector<std::int64_t>& w,
 
 } // namespace
 
-int
-main()
+MRQ_BENCH(ablation_stragglers, "Ablation",
+          "straggler mitigation via the term-pair budget")
 {
-    bench::header("Ablation",
-                  "straggler mitigation via the term-pair budget");
-
     Rng rng(11);
     const std::size_t g = 16;
-    const std::size_t samples = 20000;
+    const std::size_t samples = bench::sampleCount(ctx, 20000, 4000);
 
     std::vector<std::size_t> pairs;
     pairs.reserve(samples);
@@ -55,7 +51,8 @@ main()
         for (std::size_t i = 0; i < g; ++i) {
             // Weights ~ N(0, 0.25) clipped to the 5-bit lattice; data
             // uniform in [0, 1] on the same lattice (post-PACT).
-            const double wf = std::clamp(rng.normal(0.0, 0.25), -1.0, 1.0);
+            const double wf =
+                std::clamp(rng.normal(0.0, 0.25), -1.0, 1.0);
             w[i] = static_cast<std::int64_t>(std::lround(wf * 31.0));
             x[i] = static_cast<std::int64_t>(
                 std::lround(rng.uniform() * 31.0));
@@ -73,13 +70,14 @@ main()
         mean += static_cast<double>(v);
     mean /= static_cast<double>(pairs.size());
 
-    std::printf("unbounded SDR term pairs per group (g = 16):\n");
-    std::printf("  mean %.1f | p50 %zu | p99 %zu | max %zu\n\n", mean,
-                pct(0.50), pct(0.99), pairs.back());
+    ctx.printf("unbounded SDR term pairs per group (g = 16):\n");
+    ctx.printf("  mean %.1f | p50 %zu | p99 %zu | max %zu\n\n", mean,
+               pct(0.50), pct(0.99), pairs.back());
 
     // Synchronous row of 128 cells: beat = max over 128 groups.
     Rng row_rng(13);
-    const std::size_t rows = 2000, width = 128;
+    const std::size_t rows = bench::sampleCount(ctx, 2000, 300);
+    const std::size_t width = 128;
     double beat_sum = 0.0;
     std::size_t beat_max = 0;
     for (std::size_t r = 0; r < rows; ++r) {
@@ -100,18 +98,18 @@ main()
     const double mean_beat = beat_sum / static_cast<double>(rows);
 
     const std::size_t gamma = 60; // (alpha, beta) = (20, 3)
-    std::printf("synchronous row of %zu cells, unbounded SDR:\n", width);
-    std::printf("  mean row beat %.1f cycles | worst %zu cycles\n",
-                mean_beat, beat_max);
-    std::printf("mMAC with TQ budget: every beat is exactly gamma = %zu "
-                "cycles\n\n",
-                gamma);
+    ctx.printf("synchronous row of %zu cells, unbounded SDR:\n", width);
+    ctx.printf("  mean row beat %.1f cycles | worst %zu cycles\n",
+               mean_beat, beat_max);
+    ctx.printf("mMAC with TQ budget: every beat is exactly gamma = %zu "
+               "cycles\n\n",
+               gamma);
 
-    bench::row("mean work per group (pairs)", mean,
-               "< gamma (typical groups are cheap)");
-    bench::row("unbudgeted row beat / gamma", mean_beat / gamma,
-               "> 1 (stragglers dominate a synchronous row)");
-    bench::row("beat variance removed", 1.0,
-               "TQ pins the beat at gamma (Sec. 7.4)");
-    return 0;
+    ctx.row("mean work per group (pairs)", mean,
+            "< gamma (typical groups are cheap)");
+    ctx.row("unbudgeted row beat / gamma",
+            mean_beat / static_cast<double>(gamma),
+            "> 1 (stragglers dominate a synchronous row)");
+    ctx.row("beat variance removed", 1.0,
+            "TQ pins the beat at gamma (Sec. 7.4)");
 }

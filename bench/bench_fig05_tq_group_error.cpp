@@ -10,18 +10,16 @@
  */
 
 #include <cmath>
-#include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/term_quant.hpp"
 #include "models/classifiers.hpp"
 #include "nn/conv.hpp"
 
-int
-main()
+MRQ_BENCH(fig05_tq_group_error, "Figure 5",
+          "TQ group error vs group size")
 {
     using namespace mrq;
-    bench::header("Figure 5", "TQ group error vs group size");
 
     // (a) Weight distribution: fit sigma on a freshly initialized and
     // briefly trained conv layer of the ResNet stand-in.
@@ -39,29 +37,31 @@ main()
             }
         }
         const double sigma = std::sqrt(sumsq / count);
-        std::printf("(a) conv-weight MLE sigma: %.4f  "
-                    "(paper: 0.01-0.04 across ResNet-18 layers)\n\n",
-                    sigma);
+        ctx.printf("(a) conv-weight MLE sigma: %.4f  "
+                   "(paper: 0.01-0.04 across ResNet-18 layers)\n\n",
+                   sigma);
+        ctx.value("conv_weight_sigma", sigma);
     }
 
     // (b) Error vs group size at 1 average term per value.
-    std::printf("(b) N(0, 0.03) samples, 1 term/value average:\n");
-    std::printf("  %-6s %-14s %s\n", "g", "mse", "relative to g=1");
-    const double base = tqGroupError(0.03, 1, 1.0, 200000, 99);
+    const std::size_t samples = bench::sampleCount(ctx, 200000, 20000);
+    ctx.printf("(b) N(0, 0.03) samples, 1 term/value average:\n");
+    ctx.printf("  %-6s %-14s %s\n", "g", "mse", "relative to g=1");
+    const double base = tqGroupError(0.03, 1, 1.0, samples, 99);
     double prev = 1e9;
     bool monotone = true;
     for (std::size_t g = 1; g <= 15; ++g) {
-        const double err = tqGroupError(0.03, g, 1.0, 200000, 99);
-        std::printf("  %-6zu %-14.3e %.3f\n", g, err, err / base);
+        const double err = tqGroupError(0.03, g, 1.0, samples, 99);
+        ctx.printf("  %-6zu %-14.3e %.3f\n", g, err, err / base);
         if (g > 1 && err > prev * 1.02)
             monotone = false;
         prev = err;
     }
-    std::printf("\nshape check: steep drop g=1..4, flattening by g=15 "
-                "-> %s\n",
-                monotone ? "REPRODUCED" : "NOT MONOTONE (investigate)");
-    const double g4 = tqGroupError(0.03, 4, 1.0, 200000, 99);
-    bench::row("error(g=4) / error(g=1)", g4 / base,
-               "large drop (paper: most benefit by g=4)");
-    return 0;
+    ctx.printf("\nshape check: steep drop g=1..4, flattening by g=15\n");
+    ctx.require(monotone, "group error monotone non-increasing");
+    const double g4 = tqGroupError(0.03, 4, 1.0, samples, 99);
+    ctx.row("error(g=4) / error(g=1)", g4 / base,
+            "large drop (paper: most benefit by g=4)");
+    const double g15 = tqGroupError(0.03, 15, 1.0, samples, 99);
+    ctx.value("error_g15_over_g1", g15 / base);
 }

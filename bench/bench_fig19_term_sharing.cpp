@@ -8,63 +8,63 @@
  * points with a small gap (paper: 0.25% - 1.25%, largest at the most
  * aggressive setting).
  *
- * Runtime: ~10 minutes (9 training runs on one core).
+ * Runtime: ~10 minutes full tier (9 training runs on one core);
+ * seconds in the quick tier.
  */
 
 #include <algorithm>
-#include <cstdio>
 
 #include "bench_util.hpp"
 #include "models/classifiers.hpp"
 
-int
-main()
+MRQ_BENCH_HEAVY(fig19_term_sharing, "Figure 19",
+                "term sharing vs individually trained sub-models")
 {
     using namespace mrq;
-    bench::header("Figure 19",
-                  "term sharing vs individually trained sub-models");
 
-    SynthImages data = bench::standardImages();
+    SynthImages data = bench::standardImages(ctx);
     const SubModelLadder ladder = bench::figure19Ladder();
-    const PipelineOptions opts = bench::standardOptions();
+    const PipelineOptions opts = bench::standardOptions(ctx);
 
     // One joint multi-resolution model.
-    std::printf("[multi-resolution] training 1 model, 8 sub-models...\n");
+    ctx.printf("[multi-resolution] training 1 model, 8 sub-models...\n");
     Rng rng_mr(1);
     auto model_mr = buildResNetTiny(rng_mr, data.numClasses());
     const auto mr = runClassifierMultiRes(*model_mr, data, ladder, opts);
 
     // Each setting trained on its own (dark-green points).
-    std::printf("[individual] training 8 separate models...\n");
+    ctx.printf("[individual] training 8 separate models...\n");
     std::vector<double> individual;
     for (const SubModelConfig& cfg : ladder) {
         Rng rng(1);
-        auto model = buildClassifier("resnet-tiny", rng,
-                                     data.numClasses());
+        auto model =
+            buildClassifier("resnet-tiny", rng, data.numClasses());
         const auto res = runClassifierSingle(*model, data, cfg, opts);
         individual.push_back(res.subModels.front().metric);
-        std::printf("  %-7s done (acc %.1f%%)\n", cfg.name().c_str(),
-                    100.0 * res.subModels.front().metric);
+        ctx.printf("  %-7s done (acc %.1f%%)\n", cfg.name().c_str(),
+                   100.0 * res.subModels.front().metric);
     }
 
-    std::printf("\n%-8s %-18s %-12s %-12s %s\n", "config",
-                "term-pairs/sample", "multi-res", "individual", "gap");
+    ctx.printf("\n%-8s %-18s %-12s %-12s %s\n", "config",
+               "term-pairs/sample", "multi-res", "individual", "gap");
     double max_gap = -1.0, sum_gap = 0.0;
     for (std::size_t i = 0; i < ladder.size(); ++i) {
-        const double gap =
-            individual[i] - mr.subModels[i].metric;
+        const double gap = individual[i] - mr.subModels[i].metric;
         max_gap = std::max(max_gap, gap);
         sum_gap += gap;
-        std::printf("%-8s %-18zu %-12.1f %-12.1f %+.1f%%\n",
-                    ladder[i].name().c_str(), mr.subModels[i].termPairs,
-                    100.0 * mr.subModels[i].metric,
-                    100.0 * individual[i], 100.0 * gap);
+        ctx.printf("%-8s %-18zu %-12.1f %-12.1f %+.1f%%\n",
+                   ladder[i].name().c_str(), mr.subModels[i].termPairs,
+                   100.0 * mr.subModels[i].metric,
+                   100.0 * individual[i], 100.0 * gap);
+        ctx.value("acc_multires_" + ladder[i].name(),
+                  mr.subModels[i].metric);
+        ctx.value("term_pairs_" + ladder[i].name(),
+                  static_cast<double>(mr.subModels[i].termPairs));
     }
-    std::printf("\n");
-    bench::row("max accuracy gap (pp)", 100.0 * max_gap,
-               "<= 1.25 pp (worst at most aggressive setting)");
-    bench::row("mean accuracy gap (pp)",
-               100.0 * sum_gap / ladder.size(), "0.25 - 1.25 pp");
-    bench::row("fp32 accuracy", 100.0 * mr.fp32Metric, "(reference)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("max accuracy gap (pp)", 100.0 * max_gap,
+            "<= 1.25 pp (worst at most aggressive setting)");
+    ctx.row("mean accuracy gap (pp)", 100.0 * sum_gap / ladder.size(),
+            "0.25 - 1.25 pp");
+    ctx.row("fp32 accuracy", 100.0 * mr.fp32Metric, "(reference)");
 }

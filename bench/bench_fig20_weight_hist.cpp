@@ -11,7 +11,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -89,8 +88,7 @@ keptTermHistogram(Sequential& model, const SubModelConfig& cfg)
         if (p->name != "conv.weight" && p->name != "linear.weight")
             continue;
         const float clip = std::max(p->value.maxAbs(), 1e-3f);
-        for (std::size_t kept :
-             keptTermsPerGroup(p->value, clip, cfg))
+        for (std::size_t kept : keptTermsPerGroup(p->value, clip, cfg))
             ++hist[std::min(kept, hist.size() - 1)];
     }
     return hist;
@@ -98,18 +96,15 @@ keptTermHistogram(Sequential& model, const SubModelConfig& cfg)
 
 } // namespace
 
-int
-main()
+MRQ_BENCH_HEAVY(fig20_weight_hist, "Figure 20",
+                "weight-value histograms across sub-models")
 {
-    bench::header("Figure 20",
-                  "weight-value histograms across sub-models");
-
-    SynthImages data = bench::standardImages(11);
+    SynthImages data = bench::standardImages(ctx, 11);
     Rng rng(2);
     auto model = buildResNetTiny(rng, data.numClasses());
     const SubModelLadder ladder = bench::figure19Ladder();
-    PipelineOptions opts = bench::standardOptions(13);
-    std::printf("training the multi-resolution model...\n\n");
+    PipelineOptions opts = bench::standardOptions(ctx, 13);
+    ctx.printf("training the multi-resolution model...\n\n");
     runClassifierMultiRes(*model, data, ladder, opts);
 
     // Three sub-models + plain UQ, as in the paper's panel.
@@ -128,13 +123,13 @@ main()
         {"5-bit UQ  reference", uq5},
     };
 
-    std::printf("%-22s %-8s %-12s %s\n", "sub-model", "zeros",
-                "pow2-or-0", "top lattice levels (level:count)");
+    ctx.printf("%-22s %-8s %-12s %s\n", "sub-model", "zeros",
+               "pow2-or-0", "top lattice levels (level:count)");
     for (const Row& r : rows) {
         const auto hist = latticeHistogram(*model, r.cfg);
-        std::printf("%-22s %-8.2f %-12.2f ", r.label,
-                    fractionAt(hist, isZero),
-                    fractionAt(hist, isPowerOfTwoOrZero));
+        ctx.printf("%-22s %-8.2f %-12.2f ", r.label,
+                   fractionAt(hist, isZero),
+                   fractionAt(hist, isPowerOfTwoOrZero));
         // Show the five most populated nonzero levels.
         std::vector<std::pair<std::size_t, std::int64_t>> top;
         for (const auto& [level, count] : hist)
@@ -142,37 +137,36 @@ main()
                 top.push_back({count, level});
         std::sort(top.rbegin(), top.rend());
         for (std::size_t i = 0; i < top.size() && i < 5; ++i)
-            std::printf("%lld:%zu ",
-                        static_cast<long long>(top[i].second),
-                        top[i].first);
-        std::printf("\n");
+            ctx.printf("%lld:%zu ",
+                       static_cast<long long>(top[i].second),
+                       top[i].first);
+        ctx.printf("\n");
     }
 
     // Kept-terms-per-group distribution (the budget utilisation the
     // metrics layer reports during training).
-    std::printf("\n%-22s kept-terms-per-group (kept:groups)\n",
-                "sub-model");
+    ctx.printf("\n%-22s kept-terms-per-group (kept:groups)\n",
+               "sub-model");
     for (const Row& r : rows) {
         if (r.cfg.mode != QuantMode::Tq)
             continue;
         const auto kept = keptTermHistogram(*model, r.cfg);
-        std::printf("%-22s ", r.label);
+        ctx.printf("%-22s ", r.label);
         for (std::size_t k = 0; k < kept.size(); ++k)
             if (kept[k] > 0)
-                std::printf("%zu:%zu ", k, kept[k]);
-        std::printf("\n");
+                ctx.printf("%zu:%zu ", k, kept[k]);
+        ctx.printf("\n");
     }
 
     const auto aggressive = latticeHistogram(*model, ladder[0]);
     const auto largest = latticeHistogram(*model, ladder.back());
-    std::printf("\n");
-    bench::row("aggressive zeros fraction", fractionAt(aggressive, isZero),
-               "~0.5 (paper: almost 50% zeros at (8,2))");
-    bench::row("aggressive pow2-or-0 fraction",
-               fractionAt(aggressive, isPowerOfTwoOrZero),
-               "close to 1 (log-quantization-like)");
-    bench::row("largest pow2-or-0 fraction",
-               fractionAt(largest, isPowerOfTwoOrZero),
-               "clearly below aggressive (5-bit-UQ-like spread)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("aggressive zeros fraction", fractionAt(aggressive, isZero),
+            "~0.5 (paper: almost 50% zeros at (8,2))");
+    ctx.row("aggressive pow2-or-0 fraction",
+            fractionAt(aggressive, isPowerOfTwoOrZero),
+            "close to 1 (log-quantization-like)");
+    ctx.row("largest pow2-or-0 fraction",
+            fractionAt(largest, isPowerOfTwoOrZero),
+            "clearly below aggressive (5-bit-UQ-like spread)");
 }

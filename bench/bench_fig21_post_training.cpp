@@ -7,10 +7,8 @@
  * Expected shape: multi-resolution training wins at every setting,
  * with the gap widening at aggressive budgets.
  *
- * Runtime: ~4 training runs, several minutes on one core.
+ * Runtime: ~4 training runs, several minutes on one core (full tier).
  */
-
-#include <cstdio>
 
 #include "bench_util.hpp"
 #include "models/classifiers.hpp"
@@ -18,25 +16,29 @@
 namespace {
 
 using namespace mrq;
+using mrq::bench::BenchContext;
 
 void
-runArch(const char* arch, const SynthImages& data,
-        const SubModelLadder& ladder, const PipelineOptions& opts)
+runArch(BenchContext& ctx, const char* arch)
 {
+    SynthImages data = bench::standardImages(ctx, 17);
+    const SubModelLadder ladder = bench::figure19Ladder();
+    const PipelineOptions opts = bench::standardOptions(ctx, 19);
+
     Rng rng_a(1);
     auto model_mr = buildClassifier(arch, rng_a, data.numClasses());
-    std::printf("[%s] multi-resolution training...\n", arch);
+    ctx.printf("[%s] multi-resolution training...\n", arch);
     const auto mr = runClassifierMultiRes(*model_mr, data, ladder, opts);
 
     Rng rng_b(1);
     auto model_pt = buildClassifier(arch, rng_b, data.numClasses());
-    std::printf("[%s] post-training TQ (fp training only)...\n", arch);
+    ctx.printf("[%s] post-training TQ (fp training only)...\n", arch);
     const auto pt =
         runClassifierPostTraining(*model_pt, data, ladder, opts);
 
-    std::printf("\n%-8s %-18s %-12s %-14s %s\n", "config",
-                "term-pairs/sample", "multi-res", "post-training",
-                "advantage");
+    ctx.printf("\n%-8s %-18s %-12s %-14s %s\n", "config",
+               "term-pairs/sample", "multi-res", "post-training",
+               "advantage");
     std::size_t wins = 0;
     double aggressive_gap = 0.0, largest_gap = 0.0;
     for (std::size_t i = 0; i < ladder.size(); ++i) {
@@ -47,35 +49,34 @@ runArch(const char* arch, const SynthImages& data,
             aggressive_gap = gap;
         if (i + 1 == ladder.size())
             largest_gap = gap;
-        std::printf("%-8s %-18zu %-12.1f %-14.1f %+.1f pp\n",
-                    ladder[i].name().c_str(), mr.subModels[i].termPairs,
-                    100.0 * mr.subModels[i].metric,
-                    100.0 * pt.subModels[i].metric, 100.0 * gap);
+        ctx.printf("%-8s %-18zu %-12.1f %-14.1f %+.1f pp\n",
+                   ladder[i].name().c_str(), mr.subModels[i].termPairs,
+                   100.0 * mr.subModels[i].metric,
+                   100.0 * pt.subModels[i].metric, 100.0 * gap);
+        ctx.value("acc_multires_" + ladder[i].name(),
+                  mr.subModels[i].metric);
+        ctx.value("acc_posttrain_" + ladder[i].name(),
+                  pt.subModels[i].metric);
     }
-    std::printf("\n");
-    bench::row("settings where multi-res wins",
-               static_cast<double>(wins),
-               "all settings (paper Fig. 21)");
-    bench::row("advantage at most aggressive (pp)",
-               100.0 * aggressive_gap,
-               "largest gap at aggressive budgets");
-    bench::row("advantage at largest budget (pp)", 100.0 * largest_gap,
-               "small (post-training is near-lossless there)");
-    std::printf("\n");
+    ctx.printf("\n");
+    ctx.row("settings where multi-res wins", static_cast<double>(wins),
+            "all settings (paper Fig. 21)");
+    ctx.row("advantage at most aggressive (pp)", 100.0 * aggressive_gap,
+            "largest gap at aggressive budgets");
+    ctx.row("advantage at largest budget (pp)", 100.0 * largest_gap,
+            "small (post-training is near-lossless there)");
 }
 
 } // namespace
 
-int
-main()
+MRQ_BENCH_HEAVY(fig21_resnet_tiny, "Figure 21",
+                "multi-res training vs post-training TQ (resnet-tiny)")
 {
-    bench::header("Figure 21",
-                  "multi-resolution training vs post-training TQ");
-    SynthImages data = bench::standardImages(17);
-    const SubModelLadder ladder = bench::figure19Ladder();
-    const PipelineOptions opts = bench::standardOptions(19);
+    runArch(ctx, "resnet-tiny");
+}
 
-    runArch("resnet-tiny", data, ladder, opts);
-    runArch("resnet-mid", data, ladder, opts);
-    return 0;
+MRQ_BENCH_HEAVY(fig21_resnet_mid, "Figure 21",
+                "multi-res training vs post-training TQ (resnet-mid)")
+{
+    runArch(ctx, "resnet-mid");
 }

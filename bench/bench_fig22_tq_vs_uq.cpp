@@ -3,16 +3,15 @@
  * Figure 22 reproduction: term-quantization (TQ) term sharing vs
  * uniform-quantization (UQ) bit sharing across three domains —
  * CNNs on images (left), an LSTM on text (middle), and YOLO on
- * detection (right).
+ * detection (right).  One registered case per panel.
  *
  * Expected shape in every panel: the TQ ladder reaches equal or
  * better quality at substantially fewer term-pair multiplications
  * than the UQ ladder, and degrades more gracefully.
  *
- * Runtime: ~10-15 minutes on one core (six training runs).
+ * Runtime: ~10-15 minutes on one core full tier (six training runs);
+ * seconds per panel in the quick tier.
  */
-
-#include <cstdio>
 
 #include "bench_util.hpp"
 #include "data/synth_text.hpp"
@@ -23,22 +22,27 @@
 namespace {
 
 using namespace mrq;
+using mrq::bench::BenchContext;
 
 void
-printPanel(const char* name, const PipelineResult& tq,
+printPanel(BenchContext& ctx, const char* name, const PipelineResult& tq,
            const PipelineResult& uq, const char* metric,
            bool lower_better)
 {
-    std::printf("\n--- %s (%s%s) ---\n", name, metric,
-                lower_better ? ", lower is better" : "");
-    std::printf("%-6s %-8s %-18s %s\n", "mode", "config",
-                "term-pairs/sample", metric);
-    for (const auto& sub : tq.subModels)
-        std::printf("%-6s %-8s %-18zu %.3f\n", "TQ",
-                    sub.config.name().c_str(), sub.termPairs, sub.metric);
-    for (const auto& sub : uq.subModels)
-        std::printf("%-6s %-8s %-18zu %.3f\n", "UQ",
-                    sub.config.name().c_str(), sub.termPairs, sub.metric);
+    ctx.printf("\n--- %s (%s%s) ---\n", name, metric,
+               lower_better ? ", lower is better" : "");
+    ctx.printf("%-6s %-8s %-18s %s\n", "mode", "config",
+               "term-pairs/sample", metric);
+    for (const auto& sub : tq.subModels) {
+        ctx.printf("%-6s %-8s %-18zu %.3f\n", "TQ",
+                   sub.config.name().c_str(), sub.termPairs, sub.metric);
+        ctx.value("tq_" + sub.config.name(), sub.metric);
+    }
+    for (const auto& sub : uq.subModels) {
+        ctx.printf("%-6s %-8s %-18zu %.3f\n", "UQ",
+                   sub.config.name().c_str(), sub.termPairs, sub.metric);
+        ctx.value("uq_" + sub.config.name(), sub.metric);
+    }
 
     // Headline: best TQ point vs best UQ point and the cost at which
     // each is achieved.
@@ -58,93 +62,93 @@ printPanel(const char* name, const PipelineResult& tq,
     };
     const auto [tq_best, tq_cost] = best(tq);
     const auto [uq_best, uq_cost] = best(uq);
-    std::printf("best TQ %.3f @ %zu pairs | best UQ %.3f @ %zu pairs "
-                "-> TQ cost ratio %.2fx\n",
-                tq_best, tq_cost, uq_best, uq_cost,
-                uq_cost > 0 ? static_cast<double>(tq_cost) / uq_cost
-                            : 0.0);
+    ctx.printf("best TQ %.3f @ %zu pairs | best UQ %.3f @ %zu pairs "
+               "-> TQ cost ratio %.2fx\n",
+               tq_best, tq_cost, uq_best, uq_cost,
+               uq_cost > 0 ? static_cast<double>(tq_cost) / uq_cost
+                           : 0.0);
+    ctx.row("best TQ metric", tq_best, "matches or beats best UQ");
+    ctx.row("best UQ metric", uq_best, "(reference)");
 }
 
 } // namespace
 
-int
-main()
+MRQ_BENCH_HEAVY(fig22_images, "Figure 22 (left)",
+                "TQ term sharing vs UQ bit sharing: images")
 {
-    bench::header("Figure 22", "TQ term sharing vs UQ bit sharing");
+    using namespace mrq;
+    SynthImages data = bench::standardImages(ctx, 23);
+    const PipelineOptions opts = bench::standardOptions(ctx, 29);
+    Rng rng_a(1);
+    auto model_tq = buildResNetTiny(rng_a, data.numClasses());
+    ctx.printf("[images/TQ] training...\n");
+    const auto tq = runClassifierMultiRes(*model_tq, data,
+                                          bench::figure19Ladder(), opts);
+    Rng rng_b(1);
+    auto model_uq = buildResNetTiny(rng_b, data.numClasses());
+    ctx.printf("[images/UQ] training...\n");
+    const auto uq = runClassifierMultiRes(*model_uq, data,
+                                          makeUqLadder(5, 2, 16), opts);
+    printPanel(ctx, "ImageNet stand-in (ResNet-tiny)", tq, uq,
+               "accuracy", false);
+}
 
-    // ---------------- Left panel: image classification ----------------
-    {
-        SynthImages data = bench::standardImages(23);
-        const PipelineOptions opts = bench::standardOptions(29);
-        Rng rng_a(1);
-        auto model_tq = buildResNetTiny(rng_a, data.numClasses());
-        std::printf("[images/TQ] training...\n");
-        const auto tq = runClassifierMultiRes(
-            *model_tq, data, bench::figure19Ladder(), opts);
-        Rng rng_b(1);
-        auto model_uq = buildResNetTiny(rng_b, data.numClasses());
-        std::printf("[images/UQ] training...\n");
-        const auto uq = runClassifierMultiRes(*model_uq, data,
-                                              makeUqLadder(5, 2, 16), opts);
-        printPanel("ImageNet stand-in (ResNet-tiny)", tq, uq, "accuracy",
-                   false);
-    }
+MRQ_BENCH_HEAVY(fig22_lstm, "Figure 22 (middle)",
+                "TQ term sharing vs UQ bit sharing: LSTM LM")
+{
+    using namespace mrq;
+    SynthText data(32, bench::sampleCount(ctx, 24000, 4000),
+                   bench::sampleCount(ctx, 5000, 800), 31);
+    PipelineOptions opts;
+    opts.fpEpochs = ctx.quick() ? 1 : 3;
+    opts.mrEpochs = ctx.quick() ? 1 : 3;
+    opts.batchSize = 8;
+    opts.bptt = 16;
+    opts.fpLr = 0.5f;
+    opts.mrLr = 0.1f;
+    opts.seed = 37;
 
-    // ---------------- Middle panel: LSTM language model ----------------
-    {
-        SynthText data(32, 24000, 5000, 31);
-        PipelineOptions opts;
-        opts.fpEpochs = 3;
-        opts.mrEpochs = 3;
-        opts.batchSize = 8;
-        opts.bptt = 16;
-        opts.fpLr = 0.5f;
-        opts.mrLr = 0.1f;
-        opts.seed = 37;
+    Rng rng_a(1);
+    LstmLm model_tq(data.vocab(), 24, 48, 0.2f, rng_a);
+    ctx.printf("[lstm/TQ] training...\n");
+    const auto tq = runLmMultiRes(model_tq, data,
+                                  makeTqLadder(4, 20, 4, 3, 2, 5, 16),
+                                  opts);
+    Rng rng_b(1);
+    LstmLm model_uq(data.vocab(), 24, 48, 0.2f, rng_b);
+    ctx.printf("[lstm/UQ] training...\n");
+    const auto uq =
+        runLmMultiRes(model_uq, data, makeUqLadder(5, 2, 16), opts);
+    printPanel(ctx, "Wikitext-2 stand-in (LSTM)", tq, uq, "perplexity",
+               true);
+}
 
-        Rng rng_a(1);
-        LstmLm model_tq(data.vocab(), 24, 48, 0.2f, rng_a);
-        std::printf("[lstm/TQ] training...\n");
-        const auto tq = runLmMultiRes(model_tq, data,
-                                      makeTqLadder(4, 20, 4, 3, 2, 5, 16),
-                                      opts);
-        Rng rng_b(1);
-        LstmLm model_uq(data.vocab(), 24, 48, 0.2f, rng_b);
-        std::printf("[lstm/UQ] training...\n");
-        const auto uq = runLmMultiRes(model_uq, data,
-                                      makeUqLadder(5, 2, 16), opts);
-        printPanel("Wikitext-2 stand-in (LSTM)", tq, uq, "perplexity",
-                   true);
-    }
+MRQ_BENCH_HEAVY(fig22_yolo, "Figure 22 (right)",
+                "TQ term sharing vs UQ bit sharing: detection")
+{
+    using namespace mrq;
+    SynthDetect data(bench::sampleCount(ctx, 350, 60),
+                     bench::sampleCount(ctx, 100, 30), 41);
+    PipelineOptions opts;
+    opts.fpEpochs = ctx.quick() ? 2 : 10;
+    opts.mrEpochs = ctx.quick() ? 1 : 5;
+    opts.batchSize = 32;
+    opts.fpLr = 0.05f;
+    opts.mrLr = 0.01f;
+    opts.seed = 43;
 
-    // ---------------- Right panel: object detection ----------------
-    {
-        SynthDetect data(350, 100, 41);
-        PipelineOptions opts;
-        opts.fpEpochs = 10;
-        opts.mrEpochs = 5;
-        opts.batchSize = 32;
-        opts.fpLr = 0.05f;
-        opts.mrLr = 0.01f;
-        opts.seed = 43;
-
-        Rng rng_a(1);
-        TinyYolo model_tq(rng_a);
-        std::printf("[yolo/TQ] training...\n");
-        // Detection lattice: 8-bit, budgets alpha 23..38 / beta 4..5
-        // (the paper's COCO settings, Sec. 6.4.3).
-        const auto tq = runYoloMultiRes(
-            model_tq, data, makeTqLadder(4, 38, 5, 5, 4, 8, 16), opts);
-        Rng rng_b(1);
-        TinyYolo model_uq(rng_b);
-        std::printf("[yolo/UQ] training...\n");
-        const auto uq = runYoloMultiRes(model_uq, data,
-                                        makeUqLadder(8, 5, 16), opts);
-        printPanel("COCO stand-in (TinyYolo)", tq, uq, "mAP@0.5", false);
-    }
-
-    std::printf("\nPaper claim: TQ wins every panel by roughly 5pp\n"
-                "accuracy (CNNs) / a wide perplexity margin (LSTM) at\n"
-                "fewer term-pair multiplications.\n");
-    return 0;
+    Rng rng_a(1);
+    TinyYolo model_tq(rng_a);
+    ctx.printf("[yolo/TQ] training...\n");
+    // Detection lattice: 8-bit, budgets alpha 23..38 / beta 4..5
+    // (the paper's COCO settings, Sec. 6.4.3).
+    const auto tq = runYoloMultiRes(
+        model_tq, data, makeTqLadder(4, 38, 5, 5, 4, 8, 16), opts);
+    Rng rng_b(1);
+    TinyYolo model_uq(rng_b);
+    ctx.printf("[yolo/UQ] training...\n");
+    const auto uq =
+        runYoloMultiRes(model_uq, data, makeUqLadder(8, 5, 16), opts);
+    printPanel(ctx, "COCO stand-in (TinyYolo)", tq, uq, "mAP@0.5",
+               false);
 }

@@ -5,23 +5,22 @@
  * average term budget per weight; larger groups give equal or better
  * accuracy at the same term-pair count, with g = 16 close to g = 32.
  *
- * Runtime: three training runs, several minutes on one core.
+ * Runtime: three training runs, several minutes on one core (full
+ * tier).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "models/classifiers.hpp"
 
-int
-main()
+MRQ_BENCH_HEAVY(fig23_group_size, "Figure 23",
+                "group-size sensitivity (g = 8/16/32)")
 {
     using namespace mrq;
-    bench::header("Figure 23", "group-size sensitivity (g = 8/16/32)");
 
-    SynthImages data = bench::standardImages(47);
-    const PipelineOptions opts = bench::standardOptions(53);
+    SynthImages data = bench::standardImages(ctx, 47);
+    const PipelineOptions opts = bench::standardOptions(ctx, 53);
 
     // Equal average budgets: alpha scales with g so alpha/g matches
     // across models (paper: 20..8 at g=16 vs 10..4 at g=8).  The
@@ -37,7 +36,7 @@ main()
 
     std::vector<PipelineResult> results;
     for (const Setting& s : settings) {
-        std::printf("[g=%zu] training 7 sub-models...\n", s.g);
+        ctx.printf("[g=%zu] training 7 sub-models...\n", s.g);
         const auto ladder =
             makeTqLadder(7, s.alpha_max, s.alpha_step, 3, 2, 5, s.g);
         Rng rng(1);
@@ -46,19 +45,19 @@ main()
             runClassifierMultiRes(*model, data, ladder, opts));
     }
 
-    std::printf("\n%-10s", "avg terms");
+    ctx.printf("\n%-10s", "avg terms");
     for (const Setting& s : settings)
-        std::printf("g=%-10zu", s.g);
-    std::printf("\n");
+        ctx.printf("g=%-10zu", s.g);
+    ctx.printf("\n");
     const std::size_t rungs = results[0].subModels.size();
     for (std::size_t r = 0; r < rungs; ++r) {
         const double avg_terms =
             static_cast<double>(results[1].subModels[r].config.alpha) /
             16.0;
-        std::printf("%-10.3f", avg_terms);
+        ctx.printf("%-10.3f", avg_terms);
         for (const auto& res : results)
-            std::printf("%-12.1f", 100.0 * res.subModels[r].metric);
-        std::printf("\n");
+            ctx.printf("%-12.1f", 100.0 * res.subModels[r].metric);
+        ctx.printf("\n");
     }
 
     // Shape: mean accuracy should be non-decreasing in g, with g=16
@@ -67,16 +66,15 @@ main()
     for (int i = 0; i < 3; ++i) {
         for (const auto& sub : results[i].subModels)
             means[i] += sub.metric;
-        means[i] /= rungs;
+        means[i] /= static_cast<double>(rungs);
     }
-    std::printf("\n");
-    bench::row("mean acc g=8 (%)", 100.0 * means[0], "lowest curve");
-    bench::row("mean acc g=16 (%)", 100.0 * means[1],
-               "close to g=32 (chosen by the paper)");
-    bench::row("mean acc g=32 (%)", 100.0 * means[2], "highest curve");
-    bench::row("g16 - g8 (pp)", 100.0 * (means[1] - means[0]),
-               ">= 0 (larger groups help)");
-    bench::row("g32 - g16 (pp)", 100.0 * (means[2] - means[1]),
-               "small (diminishing returns)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("mean acc g=8 (%)", 100.0 * means[0], "lowest curve");
+    ctx.row("mean acc g=16 (%)", 100.0 * means[1],
+            "close to g=32 (chosen by the paper)");
+    ctx.row("mean acc g=32 (%)", 100.0 * means[2], "highest curve");
+    ctx.row("g16 - g8 (pp)", 100.0 * (means[1] - means[0]),
+            ">= 0 (larger groups help)");
+    ctx.row("g32 - g16 (pp)", 100.0 * (means[2] - means[1]),
+            "small (diminishing returns)");
 }

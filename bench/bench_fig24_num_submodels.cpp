@@ -6,23 +6,22 @@
  * trade-off with only a small accuracy penalty (paper: the 12-model
  * ladder stays within ~1pp of the 4-model ladder).
  *
- * Runtime: three training runs, several minutes on one core.
+ * Runtime: three training runs, several minutes on one core (full
+ * tier).
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "models/classifiers.hpp"
 
-int
-main()
+MRQ_BENCH_HEAVY(fig24_num_submodels, "Figure 24",
+                "scalability in number of sub-models")
 {
     using namespace mrq;
-    bench::header("Figure 24", "scalability in number of sub-models");
 
-    SynthImages data = bench::standardImages(59);
-    const PipelineOptions opts = bench::standardOptions(61);
+    SynthImages data = bench::standardImages(ctx, 59);
+    const PipelineOptions opts = bench::standardOptions(ctx, 61);
 
     // All ladders span alpha 8..20-ish so the endpoints align.
     struct Setting
@@ -34,7 +33,7 @@ main()
     std::vector<SubModelLadder> ladders;
     std::vector<PipelineResult> results;
     for (const Setting& s : settings) {
-        std::printf("[%zu sub-models] training...\n", s.n);
+        ctx.printf("[%zu sub-models] training...\n", s.n);
         ladders.push_back(
             makeTqLadder(s.n, s.alpha_max, s.alpha_step, 3, 2, 5, 16));
         Rng rng(1);
@@ -44,28 +43,27 @@ main()
     }
 
     for (std::size_t i = 0; i < results.size(); ++i) {
-        std::printf("\n-- %zu sub-models --\n", settings[i].n);
-        std::printf("%-8s %-18s %s\n", "config", "term-pairs/sample",
-                    "accuracy");
+        ctx.printf("\n-- %zu sub-models --\n", settings[i].n);
+        ctx.printf("%-8s %-18s %s\n", "config", "term-pairs/sample",
+                   "accuracy");
         for (const auto& sub : results[i].subModels)
-            std::printf("%-8s %-18zu %.1f%%\n",
-                        sub.config.name().c_str(), sub.termPairs,
-                        100.0 * sub.metric);
+            ctx.printf("%-8s %-18zu %.1f%%\n",
+                       sub.config.name().c_str(), sub.termPairs,
+                       100.0 * sub.metric);
     }
 
     // Compare the most aggressive rung across ladder sizes (the
     // regime where per-sub-model training dilution shows).
-    std::printf("\n");
+    ctx.printf("\n");
     const double acc4 = results[0].subModels.front().metric;
     const double acc12 = results[2].subModels.front().metric;
-    bench::row("aggressive rung, 4 sub-models (%)", 100.0 * acc4,
-               "(reference curve)");
-    bench::row("aggressive rung, 12 sub-models (%)", 100.0 * acc12,
-               "within ~1pp of the 4-model curve");
-    bench::row("dilution penalty (pp)", 100.0 * (acc4 - acc12),
-               "<= ~1pp (paper Fig. 24)");
-    bench::row("trade-off points offered",
-               static_cast<double>(results[2].subModels.size()),
-               "12 (finer-grained than 4)");
-    return 0;
+    ctx.row("aggressive rung, 4 sub-models (%)", 100.0 * acc4,
+            "(reference curve)");
+    ctx.row("aggressive rung, 12 sub-models (%)", 100.0 * acc12,
+            "within ~1pp of the 4-model curve");
+    ctx.row("dilution penalty (pp)", 100.0 * (acc4 - acc12),
+            "<= ~1pp (paper Fig. 24)");
+    ctx.row("trade-off points offered",
+            static_cast<double>(results[2].subModels.size()),
+            "12 (finer-grained than 4)");
 }

@@ -12,17 +12,13 @@
  * raises energy efficiency ~3.25x on average.
  */
 
-#include <cstdio>
-#include <vector>
-
 #include "bench_util.hpp"
 #include "hw/perf_model.hpp"
 
-int
-main()
+MRQ_BENCH(fig26_system_sweep, "Figure 26",
+          "system latency/energy across gamma")
 {
     using namespace mrq;
-    bench::header("Figure 26", "system latency/energy across gamma");
 
     const SystolicArrayConfig array{128, 128, 150.0};
     const PackedTermFormat fmt;
@@ -35,16 +31,16 @@ main()
     // The Fig. 19/22 budget ladder: gamma 16, 24, 28, 42, 48, 60.
     const Budget budgets[] = {{8, 2},  {12, 2}, {14, 2},
                               {14, 3}, {16, 3}, {20, 3}};
-    const char* nets[] = {"resnet18", "resnet50", "mobilenet-v2", "lstm",
-                          "yolo-v5s"};
+    const char* nets[] = {"resnet18", "resnet50", "mobilenet-v2",
+                          "lstm", "yolo-v5s"};
 
     double lat_ratio_sum = 0.0, eff_ratio_sum = 0.0;
     for (const char* net : nets) {
         const auto layers = referenceNetwork(net);
-        std::printf("\n-- %s --\n", net);
-        std::printf("%-8s %-7s %-12s %-14s %-12s %s\n", "config",
-                    "gamma", "latency(ms)", "samples/J", "lat(norm)",
-                    "eff(norm)");
+        ctx.printf("\n-- %s --\n", net);
+        ctx.printf("%-8s %-7s %-12s %-14s %-12s %s\n", "config",
+                   "gamma", "latency(ms)", "samples/J", "lat(norm)",
+                   "eff(norm)");
         NetworkPerf base{};
         for (const Budget& b : budgets) {
             SubModelConfig cfg;
@@ -57,11 +53,11 @@ main()
                 networkPerformance(layers, cfg, array, fmt, energy);
             if (b.alpha == 8)
                 base = perf;
-            std::printf("%-8s %-7zu %-12.3f %-14.1f %-12.2f %.2f\n",
-                        cfg.name().c_str(), cfg.gamma(), perf.latencyMs,
-                        perf.samplesPerJoule,
-                        perf.latencyMs / base.latencyMs,
-                        perf.samplesPerJoule / base.samplesPerJoule);
+            ctx.printf("%-8s %-7zu %-12.3f %-14.1f %-12.2f %.2f\n",
+                       cfg.name().c_str(), cfg.gamma(), perf.latencyMs,
+                       perf.samplesPerJoule,
+                       perf.latencyMs / base.latencyMs,
+                       perf.samplesPerJoule / base.samplesPerJoule);
             if (b.alpha == 20) {
                 lat_ratio_sum += perf.latencyMs / base.latencyMs;
                 eff_ratio_sum +=
@@ -71,10 +67,9 @@ main()
     }
 
     const double n_nets = 5.0;
-    std::printf("\n");
-    bench::row("latency(gamma=60)/latency(gamma=16), mean",
-               lat_ratio_sum / n_nets, "~3.1x (paper average)");
-    bench::row("eff(gamma=16)/eff(gamma=60), mean",
-               eff_ratio_sum / n_nets, "~3.25x (paper average)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("latency(gamma=60)/latency(gamma=16), mean",
+            lat_ratio_sum / n_nets, "~3.1x (paper average)");
+    ctx.row("eff(gamma=16)/eff(gamma=60), mean",
+            eff_ratio_sum / n_nets, "~3.25x (paper average)");
 }

@@ -2,8 +2,9 @@
  * @file
  * Runtime-layer scaling bench: wall time of the hot kernels at pool
  * sizes 1/2/4/8, with a bit-identity check across sizes (the thread
- * pool's determinism contract).  Results are printed and recorded to
- * BENCH_runtime.json.
+ * pool's determinism contract).  Per-kernel timings land in the
+ * trajectory JSON as timing values (`<kernel>_t<threads>_ms`); stdout
+ * reports only the deterministic bit-identity outcome.
  *
  * Expected shape: near-linear speedup for matmul and conv up to the
  * physical core count — at least 2x at 4 threads on a >= 4-core host.
@@ -12,9 +13,8 @@
  */
 
 #include <algorithm>
-#include <cstdio>
 #include <functional>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -44,7 +44,7 @@ bestOf3(Fn&& fn)
 {
     double best = 1e30;
     for (int rep = 0; rep < 3; ++rep)
-        best = std::min(best, bench::wallTimeMs(fn));
+        best = std::min(best, mrq::bench::wallTimeMs(fn));
     return best;
 }
 
@@ -61,14 +61,9 @@ bitIdentical(const Tensor& a, const Tensor& b)
 
 } // namespace
 
-int
-main()
+MRQ_BENCH(runtime_scaling, "Runtime layer",
+          "kernel wall time vs thread-pool size")
 {
-    bench::header("Runtime layer",
-                  "kernel wall time vs thread-pool size");
-    std::printf("hardware threads available: %u\n\n",
-                std::thread::hardware_concurrency());
-
     Rng rng(123);
     const Tensor a = randomTensor({256, 512}, rng);
     const Tensor b = randomTensor({512, 256}, rng);
@@ -96,43 +91,36 @@ main()
         {"conv2d_fwd_8x16x32x32", [&] { return conv.forward(x); }},
     };
 
-    bench::RuntimeReport report;
     const std::vector<std::size_t> pool_sizes = {1, 2, 4, 8};
     bool identical = true;
 
-    std::printf("  %-24s", "kernel");
+    ctx.printf("  %-24s pool sizes", "kernel");
     for (std::size_t t : pool_sizes)
-        std::printf(" T=%-2zu ms  ", t);
-    std::printf(" speedup@4\n");
+        ctx.printf(" T=%zu", t);
+    ctx.printf(" (timings in BENCH json)\n");
 
     for (const Workload& wl : workloads) {
         ThreadPool::instance().resize(1);
         const Tensor reference = wl.run();
 
-        std::printf("  %-24s", wl.name);
-        double t1 = 0.0, t4 = 0.0;
+        ctx.printf("  %-24s", wl.name);
         for (std::size_t threads : pool_sizes) {
             ThreadPool::instance().resize(threads);
-            if (!bitIdentical(wl.run(), reference))
-                identical = false;
+            const bool same = bitIdentical(wl.run(), reference);
+            identical = identical && same;
             const double ms = bestOf3([&] { wl.run(); });
-            report.add(wl.name, threads, ms);
-            if (threads == 1)
-                t1 = ms;
-            if (threads == 4)
-                t4 = ms;
-            std::printf(" %-9.3f", ms);
+            ctx.timingValue(std::string(wl.name) + "_t" +
+                                std::to_string(threads) + "_ms",
+                            ms);
+            ctx.printf(" %s", same ? "ok" : "DIFF");
         }
-        std::printf(" %.2fx\n", t4 > 0.0 ? t1 / t4 : 0.0);
+        ctx.printf("\n");
     }
 
     ThreadPool::instance().resize(1);
-    std::printf("\nbit-identity across pool sizes: %s\n",
-                identical ? "REPRODUCED" : "FAILED (investigate)");
-    bench::row("expected speedup @ T=4", 2.0,
-               ">= 2x on a >= 4-core host (overhead-only below)");
-    const bool report_ok = report.flush();
-    if (report_ok)
-        std::printf("wrote BENCH_runtime.json\n");
-    return identical && report_ok ? 0 : 1;
+    ctx.printf("\nbit-identity across pool sizes: %s\n",
+               identical ? "REPRODUCED" : "FAILED (investigate)");
+    ctx.require(identical, "bit-identity across pool sizes");
+    ctx.row("expected speedup @ T=4", 2.0,
+            ">= 2x on a >= 4-core host (overhead-only below)");
 }

@@ -10,26 +10,24 @@
  * reproduces the paper's 2.7x efficiency gap.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/laconic.hpp"
 #include "hw/mmac.hpp"
 
-int
-main()
+MRQ_BENCH(sec72_laconic, "Sec. 7.2",
+          "mMAC vs Laconic Processing Element")
 {
     using namespace mrq;
-    bench::header("Sec. 7.2", "mMAC vs Laconic Processing Element");
 
     // Functional check + activity statistics over random workloads.
     Rng rng(1);
     LaconicPe laconic;
     std::size_t active_pairs = 0, bucket_adds = 0;
     bool exact = true;
-    const int trials = 200;
+    const int trials =
+        static_cast<int>(bench::sampleCount(ctx, 200, 50));
     for (int t = 0; t < trials; ++t) {
         std::vector<std::int64_t> w(16), x(16);
         for (auto& v : w)
@@ -44,23 +42,25 @@ main()
         active_pairs += r.termPairsActive;
         bucket_adds += r.bucketAdds;
     }
-    std::printf("Laconic functional check: %s\n", exact ? "PASS" : "FAIL");
-    std::printf("Laconic mean active term pairs: %.1f of %u budgeted\n",
-                static_cast<double>(active_pairs) / trials, 144u);
-    std::printf("Laconic mean bucket updates: %.1f\n\n",
-                static_cast<double>(bucket_adds) / trials);
+    ctx.require(exact, "Laconic functional check exact");
+    ctx.printf("Laconic mean active term pairs: %.1f of %u budgeted\n",
+               static_cast<double>(active_pairs) / trials, 144u);
+    ctx.printf("Laconic mean bucket updates: %.1f\n\n",
+               static_cast<double>(bucket_adds) / trials);
+    ctx.value("laconic_mean_active_pairs",
+              static_cast<double>(active_pairs) / trials);
 
-    std::printf("%-28s %-12s %s\n", "design", "pairs/dot", "energy units");
-    std::printf("%-28s %-12u %.1f\n", "Laconic PE (no groups)", 144u,
-                laconicEnergyPerDotProduct());
-    std::printf("%-28s %-12u %.1f\n", "mMAC (g=16, gamma=60)", 60u,
-                mmacEnergyPerDotProduct(60));
+    ctx.printf("%-28s %-12s %s\n", "design", "pairs/dot",
+               "energy units");
+    ctx.printf("%-28s %-12u %.1f\n", "Laconic PE (no groups)", 144u,
+               laconicEnergyPerDotProduct());
+    ctx.printf("%-28s %-12u %.1f\n", "mMAC (g=16, gamma=60)", 60u,
+               mmacEnergyPerDotProduct(60));
 
-    std::printf("\n");
-    bench::row("mMAC energy-efficiency advantage",
-               laconicEnergyPerDotProduct() / mmacEnergyPerDotProduct(60),
-               "2.7x (paper Sec. 7.2 at 69.8% ImageNet accuracy)");
-    bench::row("budget reduction from grouping", 144.0 / 60.0,
-               "144 -> 60 term pairs (the straggler-bound argument)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("mMAC energy-efficiency advantage",
+            laconicEnergyPerDotProduct() / mmacEnergyPerDotProduct(60),
+            "2.7x (paper Sec. 7.2 at 69.8% ImageNet accuracy)");
+    ctx.row("budget reduction from grouping", 144.0 / 60.0,
+            "144 -> 60 term pairs (the straggler-bound argument)");
 }

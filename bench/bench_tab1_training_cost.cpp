@@ -9,10 +9,15 @@
  * epoch (paper: 1.92x on average), independent of how many
  * sub-models the ladder holds.
  *
- * Runtime: a few minutes on one core.
+ * Wall-clock epoch seconds and the per-model ratios are recorded as
+ * timing values in BENCH_<suite>.json (not printed, so stdout stays
+ * deterministic across machines and tiers).
+ *
+ * Runtime: a few minutes on one core (full tier).
  */
 
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "data/synth_detect.hpp"
@@ -33,12 +38,12 @@ struct RowResult
 };
 
 RowResult
-classifierRow(const char* arch, const SynthImages& data,
-              const SubModelLadder& ladder)
+classifierRow(const mrq::bench::BenchContext& ctx, const char* arch,
+              const SynthImages& data, const SubModelLadder& ladder)
 {
-    PipelineOptions opts = bench::standardOptions(71);
+    PipelineOptions opts = bench::standardOptions(ctx, 71);
     opts.fpEpochs = 0; // timing only; skip pretraining
-    opts.mrEpochs = 2;
+    opts.mrEpochs = ctx.quick() ? 1 : 2;
 
     Rng rng_a(1);
     auto model_mr = buildClassifier(arch, rng_a, data.numClasses());
@@ -55,28 +60,30 @@ classifierRow(const char* arch, const SynthImages& data,
 
 } // namespace
 
-int
-main()
+MRQ_BENCH_HEAVY(tab1_training_cost, "Table 1",
+                "multi-resolution training complexity")
 {
-    bench::header("Table 1", "multi-resolution training complexity");
+    using namespace mrq;
 
     std::vector<RowResult> rows;
     {
-        SynthImages data = bench::standardImages(73);
+        SynthImages data = bench::standardImages(ctx, 73);
         const auto ladder = bench::figure19Ladder();
-        std::printf("timing resnet-tiny...\n");
-        rows.push_back(classifierRow("resnet-tiny", data, ladder));
-        std::printf("timing resnet-mid...\n");
-        rows.push_back(classifierRow("resnet-mid", data, ladder));
-        std::printf("timing mobilenet-tiny...\n");
-        rows.push_back(classifierRow("mobilenet-tiny", data, ladder));
+        ctx.printf("timing resnet-tiny...\n");
+        rows.push_back(classifierRow(ctx, "resnet-tiny", data, ladder));
+        ctx.printf("timing resnet-mid...\n");
+        rows.push_back(classifierRow(ctx, "resnet-mid", data, ladder));
+        ctx.printf("timing mobilenet-tiny...\n");
+        rows.push_back(
+            classifierRow(ctx, "mobilenet-tiny", data, ladder));
     }
     {
-        std::printf("timing lstm...\n");
-        SynthText data(32, 16000, 2000, 79);
+        ctx.printf("timing lstm...\n");
+        SynthText data(32, bench::sampleCount(ctx, 16000, 3000),
+                       bench::sampleCount(ctx, 2000, 400), 79);
         PipelineOptions opts;
         opts.fpEpochs = 0;
-        opts.mrEpochs = 2;
+        opts.mrEpochs = ctx.quick() ? 1 : 2;
         opts.batchSize = 8;
         opts.bptt = 16;
         const auto ladder = makeTqLadder(8, 22, 2, 3, 2, 5, 16);
@@ -88,15 +95,17 @@ main()
         LstmLm model_single(data.vocab(), 24, 48, 0.2f, rng_b);
         const auto single =
             runLmSingle(model_single, data, ladder.back(), opts);
-        rows.push_back(RowResult{"lstm", ladder.size(), mr.mrEpochSeconds,
+        rows.push_back(RowResult{"lstm", ladder.size(),
+                                 mr.mrEpochSeconds,
                                  single.mrEpochSeconds});
     }
     {
-        std::printf("timing tiny-yolo...\n");
-        SynthDetect data(256, 40, 83);
+        ctx.printf("timing tiny-yolo...\n");
+        SynthDetect data(bench::sampleCount(ctx, 256, 48),
+                         bench::sampleCount(ctx, 40, 16), 83);
         PipelineOptions opts;
         opts.fpEpochs = 0;
-        opts.mrEpochs = 2;
+        opts.mrEpochs = ctx.quick() ? 1 : 2;
         opts.batchSize = 32;
         const auto ladder = makeTqLadder(10, 38, 2, 5, 4, 8, 16);
 
@@ -112,21 +121,30 @@ main()
                                  single.mrEpochSeconds});
     }
 
-    std::printf("\n%-16s %-12s %-16s %-16s %s\n", "model", "sub-models",
-                "multi-res epoch", "single epoch", "ratio");
+    // Epoch seconds are wall clock: record them as timing values so
+    // the stdout table stays machine-independent.
+    ctx.printf("\n%-16s %-12s %s\n", "model", "sub-models",
+               "timings recorded in BENCH json");
     double ratio_sum = 0.0;
     for (const RowResult& r : rows) {
         const double ratio =
             r.single_epoch > 0 ? r.mr_epoch / r.single_epoch : 0.0;
         ratio_sum += ratio;
-        std::printf("%-16s %-12zu %-16.2f %-16.2f %.2fx\n", r.name,
-                    r.sub_models, r.mr_epoch, r.single_epoch, ratio);
+        ctx.printf("%-16s %-12zu %s\n", r.name, r.sub_models,
+                   "mr_epoch_s / single_epoch_s / ratio");
+        const std::string base(r.name);
+        ctx.timingValue("mr_epoch_s_" + base, r.mr_epoch);
+        ctx.timingValue("single_epoch_s_" + base, r.single_epoch);
+        ctx.timingValue("epoch_ratio_" + base, ratio);
     }
-    std::printf("\n");
-    bench::row("mean multi-res / single epoch ratio",
-               ratio_sum / rows.size(),
-               "1.92x (paper Table 1; two sub-models per iteration)");
-    bench::row("ratio independent of ladder size", 1.0,
-               "yes: only two sub-models train per iteration");
-    return 0;
+    ctx.timingValue("mean_epoch_ratio",
+                    ratio_sum / static_cast<double>(rows.size()));
+    ctx.printf("\n");
+    ctx.row("models timed", static_cast<double>(rows.size()),
+            "5 families (paper Table 1)");
+    ctx.row("expected mean multi-res / single epoch ratio", 1.92,
+            "1.92x (paper Table 1; two sub-models per iteration); "
+            "measured value in timing_values.mean_epoch_ratio");
+    ctx.row("ratio independent of ladder size", 1.0,
+            "yes: only two sub-models train per iteration");
 }

@@ -8,35 +8,31 @@
  * fewer FFs than pMAC).
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "hw/cost_model.hpp"
 
-int
-main()
+MRQ_BENCH(tab2_mac_resources, "Table 2",
+          "FPGA resource consumption of MAC designs")
 {
     using namespace mrq;
-    bench::header("Table 2", "FPGA resource consumption of MAC designs");
 
     const MacDesign designs[] = {MacDesign::PMac, MacDesign::BMac,
                                  MacDesign::Mmac};
-    std::printf("%-8s %-6s %s\n", "", "LUT", "FF");
+    ctx.printf("%-8s %-6s %s\n", "", "LUT", "FF");
     for (MacDesign d : designs) {
         const MacResources r = macResources(d);
-        std::printf("%-8s %-6zu %zu\n", macDesignName(d).c_str(), r.luts,
-                    r.ffs);
+        ctx.printf("%-8s %-6zu %zu\n", macDesignName(d).c_str(), r.luts,
+                   r.ffs);
     }
 
     const MacResources p = macResources(MacDesign::PMac);
     const MacResources m = macResources(MacDesign::Mmac);
     const MacResources b = macResources(MacDesign::BMac);
-    std::printf("\n");
-    bench::row("pMAC/mMAC LUT ratio",
-               static_cast<double>(p.luts) / m.luts, "2.8x (Sec. 7.1)");
-    bench::row("pMAC/mMAC FF ratio", static_cast<double>(p.ffs) / m.ffs,
-               "1.8x (Sec. 7.1)");
-    bench::row("bMAC smallest (LUT)", static_cast<double>(b.luts),
-               "12 (but 16x the cycles)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("pMAC/mMAC LUT ratio",
+            static_cast<double>(p.luts) / m.luts, "2.8x (Sec. 7.1)");
+    ctx.row("pMAC/mMAC FF ratio", static_cast<double>(p.ffs) / m.ffs,
+            "1.8x (Sec. 7.1)");
+    ctx.row("bMAC smallest (LUT)", static_cast<double>(b.luts),
+            "12 (but 16x the cycles)");
 }

@@ -10,7 +10,7 @@
  * three designs compute identical results on random group workloads.
  */
 
-#include <cstdio>
+#include <cmath>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -18,11 +18,10 @@
 #include "hw/cost_model.hpp"
 #include "hw/mmac.hpp"
 
-int
-main()
+MRQ_BENCH(tab3_mac_energy, "Table 3",
+          "MAC energy efficiency vs gamma")
 {
     using namespace mrq;
-    bench::header("Table 3", "MAC energy efficiency vs gamma");
 
     // Functional sanity: same numeric results from all designs.
     {
@@ -30,7 +29,8 @@ main()
         PMac pmac;
         BMac bmac;
         bool all_match = true;
-        for (int trial = 0; trial < 50; ++trial) {
+        const int trials = static_cast<int>(bench::sampleCount(ctx, 50, 10));
+        for (int trial = 0; trial < trials; ++trial) {
             std::vector<std::int64_t> w(16), x(16);
             for (auto& v : w)
                 v = static_cast<std::int64_t>(rng.uniformInt(63)) - 31;
@@ -48,8 +48,9 @@ main()
             all_match = all_match && rp.value == rb.value &&
                         rb.value == rm.value;
         }
-        std::printf("functional cross-check (pMAC == bMAC == mMAC): %s\n\n",
-                    all_match ? "PASS" : "FAIL");
+        ctx.printf("functional cross-check (pMAC == bMAC == mMAC)\n\n");
+        ctx.require(all_match,
+                    "pMAC/bMAC/mMAC functional results identical");
     }
 
     const std::size_t gammas[] = {16, 20, 24, 28, 42, 48, 54, 60};
@@ -58,44 +59,44 @@ main()
     const double paper_pmac[] = {0.17, 0.22, 0.27, 0.31,
                                  0.47, 0.53, 0.61, 0.66};
 
-    std::printf("%-8s", "gamma");
+    ctx.printf("%-8s", "gamma");
     for (std::size_t g : gammas)
-        std::printf("%-8zu", g);
-    std::printf("\n%-8s", "bMAC");
+        ctx.printf("%-8zu", g);
+    ctx.printf("\n%-8s", "bMAC");
     double bmac_err = 0.0, pmac_err = 0.0;
     for (int i = 0; i < 8; ++i) {
         const double v =
             macRelativeEfficiency(MacDesign::BMac, 16, gammas[i]);
         bmac_err += std::abs(v - paper_bmac[i]);
-        std::printf("%-8.2f", v);
+        ctx.printf("%-8.2f", v);
     }
-    std::printf("  (paper: 0.15 .. 0.56)\n%-8s", "pMAC");
+    ctx.printf("  (paper: 0.15 .. 0.56)\n%-8s", "pMAC");
     for (int i = 0; i < 8; ++i) {
         const double v =
             macRelativeEfficiency(MacDesign::PMac, 16, gammas[i]);
         pmac_err += std::abs(v - paper_pmac[i]);
-        std::printf("%-8.2f", v);
+        ctx.printf("%-8.2f", v);
     }
-    std::printf("  (paper: 0.17 .. 0.66)\n%-8s", "mMAC");
+    ctx.printf("  (paper: 0.17 .. 0.66)\n%-8s", "mMAC");
     for (int i = 0; i < 8; ++i)
-        std::printf("%-8.2f",
-                    macRelativeEfficiency(MacDesign::Mmac, 16, gammas[i]));
-    std::printf("  (reference)\n\n");
+        ctx.printf("%-8.2f",
+                   macRelativeEfficiency(MacDesign::Mmac, 16,
+                                         gammas[i]));
+    ctx.printf("  (reference)\n\n");
 
-    bench::row("mean |bMAC cell - paper|", bmac_err / 8.0,
-               "< 0.03 (predicted from one calibration cell)");
-    bench::row("mean |pMAC cell - paper|", pmac_err / 8.0,
-               "< 0.05 (predicted from one calibration cell)");
+    ctx.row("mean |bMAC cell - paper|", bmac_err / 8.0,
+            "< 0.03 (predicted from one calibration cell)");
+    ctx.row("mean |pMAC cell - paper|", pmac_err / 8.0,
+            "< 0.05 (predicted from one calibration cell)");
 
     double p_adv = 0.0, b_adv = 0.0;
     for (std::size_t g : gammas) {
         p_adv += 1.0 / macRelativeEfficiency(MacDesign::PMac, 16, g);
         b_adv += 1.0 / macRelativeEfficiency(MacDesign::BMac, 16, g);
     }
-    bench::row("mean advantage vs pMAC", p_adv / 8.0,
-               "3.1x (paper text; matches its table)");
-    bench::row("mean advantage vs bMAC", b_adv / 8.0,
-               "paper text says 5.6x, but its own table implies 3.7x "
-               "(see EXPERIMENTS.md)");
-    return 0;
+    ctx.row("mean advantage vs pMAC", p_adv / 8.0,
+            "3.1x (paper text; matches its table)");
+    ctx.row("mean advantage vs bMAC", b_adv / 8.0,
+            "paper text says 5.6x, but its own table implies 3.7x "
+            "(see EXPERIMENTS.md)");
 }

@@ -12,16 +12,13 @@
  * efficiency of the set.
  */
 
-#include <cstdio>
-
 #include "bench_util.hpp"
 #include "hw/perf_model.hpp"
 
-int
-main()
+MRQ_BENCH(tab4_fpga_comparison, "Table 4",
+          "full-system comparison on ResNet-18")
 {
     using namespace mrq;
-    bench::header("Table 4", "full-system comparison on ResNet-18");
 
     struct PublishedRow
     {
@@ -50,15 +47,15 @@ main()
         networkPerformance(referenceNetwork("resnet18"), cfg, array,
                            PackedTermFormat{}, SystemEnergyModel{});
 
-    std::printf("%-22s %-10s %-8s %-14s %s\n", "design", "chip", "MHz",
-                "latency (ms)", "energy eff. (frames/J)");
+    ctx.printf("%-22s %-10s %-8s %-14s %s\n", "design", "chip", "MHz",
+               "latency (ms)", "energy eff. (frames/J)");
     for (const PublishedRow& r : published)
-        std::printf("%-22s %-10s %-8.0f %-14.2f %.2f   [published]\n",
-                    r.name, r.chip, r.mhz, r.latency_ms,
-                    r.frames_per_joule);
-    std::printf("%-22s %-10s %-8.0f %-14.2f %.2f   [our model]\n",
-                "Ours (mMAC system)", "VC707", array.clockMhz,
-                ours.latencyMs, ours.samplesPerJoule);
+        ctx.printf("%-22s %-10s %-8.0f %-14.2f %.2f   [published]\n",
+                   r.name, r.chip, r.mhz, r.latency_ms,
+                   r.frames_per_joule);
+    ctx.printf("%-22s %-10s %-8.0f %-14.2f %.2f   [our model]\n",
+               "Ours (mMAC system)", "VC707", array.clockMhz,
+               ours.latencyMs, ours.samplesPerJoule);
 
     // Shape checks against the paper's claims.
     bool best_eff = true;
@@ -68,16 +65,14 @@ main()
         lat_adv += r.latency_ms / ours.latencyMs;
         eff_adv += ours.samplesPerJoule / r.frames_per_joule;
     }
-    std::printf("\n");
-    bench::row("latency (ms)", ours.latencyMs,
-               "3.98 (paper's measured system)");
-    bench::row("energy efficiency (frames/J)", ours.samplesPerJoule,
-               "71.48 (paper's measured system)");
-    bench::row("best energy efficiency of the set",
-               best_eff ? 1.0 : 0.0, "yes (paper: highest of Table 4)");
-    bench::row("mean latency advantage", lat_adv / 4.0,
-               "1.7x (paper average vs others)");
-    bench::row("mean energy-efficiency advantage", eff_adv / 4.0,
-               "3.28x (paper average vs others)");
-    return 0;
+    ctx.printf("\n");
+    ctx.row("latency (ms)", ours.latencyMs,
+            "3.98 (paper's measured system)");
+    ctx.row("energy efficiency (frames/J)", ours.samplesPerJoule,
+            "71.48 (paper's measured system)");
+    ctx.require(best_eff, "best energy efficiency of the set");
+    ctx.row("mean latency advantage", lat_adv / 4.0,
+            "1.7x (paper average vs others)");
+    ctx.row("mean energy-efficiency advantage", eff_adv / 4.0,
+            "3.28x (paper average vs others)");
 }

@@ -1,24 +1,25 @@
 /**
  * @file
- * Shared configuration and printing helpers for the reproduction
- * benches.  Every bench prints the paper's reference values next to
- * the measured ones so EXPERIMENTS.md can be assembled from the raw
- * bench output.
+ * Shared workloads for the reproduction benches: the standard
+ * synthetic datasets, pipeline options and ladders the paper's
+ * figures use.  Printing and JSON reporting live in the harness
+ * (bench/harness/); this header only sizes workloads.
+ *
+ * Every helper takes the BenchContext so the quick tier
+ * (MRQ_BENCH_QUICK=1) can shrink epochs and sample counts while
+ * keeping ladders, seeds and table structure identical — the quick
+ * run exercises the same code paths and emits the same trajectory
+ * keys, just from a smaller workload.
  */
 
 #ifndef MRQ_BENCH_BENCH_UTIL_HPP
 #define MRQ_BENCH_BENCH_UTIL_HPP
 
-#include <chrono>
-#include <cstdio>
-#include <filesystem>
-#include <string>
-#include <system_error>
-#include <utility>
-#include <vector>
+#include <cstdint>
 
 #include "core/quant_config.hpp"
 #include "data/synth_images.hpp"
+#include "harness/harness.hpp"
 #include "train/pipelines.hpp"
 
 namespace mrq {
@@ -26,25 +27,37 @@ namespace bench {
 
 /** Standard classification workload for the training benches. */
 inline SynthImages
-standardImages(std::uint64_t seed = 42)
+standardImages(const BenchContext& ctx, std::uint64_t seed = 42)
 {
     // 16 fine-grained classes on noisy 12x12 images: hard enough that
     // quantization budgets visibly trade accuracy, small enough for
-    // single-core bench runs.
+    // single-core bench runs.  The quick tier keeps the task shape
+    // and shrinks the sample count.
+    if (ctx.quick())
+        return SynthImages(/*train=*/150, /*test=*/60, seed,
+                           /*size=*/12, /*classes=*/16, /*noise=*/0.35);
     return SynthImages(/*train=*/1200, /*test=*/400, seed, /*size=*/12,
                        /*classes=*/16, /*noise=*/0.35);
 }
 
 /** Standard pipeline options sized for single-core bench runs. */
 inline PipelineOptions
-standardOptions(std::uint64_t seed = 7)
+standardOptions(const BenchContext& ctx, std::uint64_t seed = 7)
 {
     PipelineOptions opts;
-    opts.fpEpochs = 5;
-    opts.mrEpochs = 8;
-    opts.batchSize = 50;
+    opts.fpEpochs = ctx.quick() ? 1 : 5;
+    opts.mrEpochs = ctx.quick() ? 1 : 8;
+    opts.batchSize = ctx.quick() ? 25 : 50;
     opts.seed = seed;
     return opts;
+}
+
+/** Scale a sampling count down in the quick tier. */
+inline std::size_t
+sampleCount(const BenchContext& ctx, std::size_t full,
+            std::size_t quick)
+{
+    return ctx.quick() ? quick : full;
 }
 
 /** The paper's 8 sub-model (alpha, beta) ladder from Fig. 19. */
@@ -69,121 +82,6 @@ figure19Ladder()
     }
     return ladder;
 }
-
-/** Print a standard experiment header. */
-inline void
-header(const std::string& id, const std::string& what)
-{
-    std::printf("==============================================\n");
-    std::printf("%s — %s\n", id.c_str(), what.c_str());
-    std::printf("==============================================\n");
-}
-
-/** Print one metric row with its paper reference. */
-inline void
-row(const std::string& label, double measured, const std::string& paper)
-{
-    std::printf("  %-28s measured %-12.4g paper %s\n", label.c_str(),
-                measured, paper.c_str());
-}
-
-/** Wall-clock a callable; returns elapsed milliseconds. */
-template <typename Fn>
-inline double
-wallTimeMs(Fn&& fn)
-{
-    const auto t0 = std::chrono::steady_clock::now();
-    std::forward<Fn>(fn)();
-    const auto t1 = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
-
-/**
- * Collects (name, thread count, wall time) measurements and writes
- * them as a JSON array on flush()/destruction, so runtime-scaling
- * results survive the bench run in machine-readable form next to the
- * printed tables.
- */
-class RuntimeReport
-{
-  public:
-    explicit RuntimeReport(std::string path = "BENCH_runtime.json")
-        : path_(std::move(path))
-    {
-    }
-
-    /** Best-effort flush; benches that must notice failures call
-     *  flush() explicitly and check its status instead. */
-    ~RuntimeReport() { (void)flush(); }
-
-    void
-    add(const std::string& name, std::size_t threads, double millis)
-    {
-        records_.push_back(Record{name, threads, millis});
-    }
-
-    /**
-     * Write all records to @p path_ (idempotent; rewrites the file),
-     * creating the parent directory if needed.  Returns false — after
-     * printing a diagnostic to stderr — when the report cannot be
-     * written, so benches can exit non-zero instead of silently
-     * dropping their results.
-     */
-    [[nodiscard]] bool
-    flush()
-    {
-        if (records_.empty())
-            return true;
-        const std::filesystem::path parent =
-            std::filesystem::path(path_).parent_path();
-        if (!parent.empty()) {
-            std::error_code ec;
-            std::filesystem::create_directories(parent, ec);
-            if (ec) {
-                std::fprintf(stderr,
-                             "RuntimeReport: cannot create %s: %s\n",
-                             parent.string().c_str(),
-                             ec.message().c_str());
-                return false;
-            }
-        }
-        std::FILE* f = std::fopen(path_.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "RuntimeReport: cannot write %s\n",
-                         path_.c_str());
-            return false;
-        }
-        std::fprintf(f, "[\n");
-        for (std::size_t i = 0; i < records_.size(); ++i) {
-            const Record& r = records_[i];
-            std::fprintf(f,
-                         "  {\"name\": \"%s\", \"threads\": %zu, "
-                         "\"wall_ms\": %.3f}%s\n",
-                         r.name.c_str(), r.threads, r.millis,
-                         i + 1 < records_.size() ? "," : "");
-        }
-        std::fprintf(f, "]\n");
-        const bool write_ok = std::ferror(f) == 0;
-        const bool close_ok = std::fclose(f) == 0;
-        if (!write_ok || !close_ok) {
-            std::fprintf(stderr, "RuntimeReport: write to %s failed\n",
-                         path_.c_str());
-            return false;
-        }
-        return true;
-    }
-
-  private:
-    struct Record
-    {
-        std::string name;
-        std::size_t threads;
-        double millis;
-    };
-
-    std::string path_;
-    std::vector<Record> records_;
-};
 
 } // namespace bench
 } // namespace mrq

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Shared entry point for every bench binary.  Kept separate from
+ * harness.cpp so tests can link the harness library without a
+ * competing main().
+ */
+
+#include "harness/harness.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return mrq::bench::benchMain(argc, argv);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Robust aggregation for repeated bench measurements.
+ *
+ * Wall-clock samples on a shared machine are contaminated by
+ * occasional scheduling stalls, so the harness reports median and MAD
+ * (median absolute deviation) rather than mean/stddev: one stalled
+ * repetition moves the mean arbitrarily but leaves the median at the
+ * typical value and the MAD at the typical spread.  Samples further
+ * than `kOutlierMads` scaled MADs from the median are counted as
+ * outliers so a noisy run is visible in the trajectory file instead
+ * of silently widening the tolerance band.
+ */
+
+#ifndef MRQ_BENCH_HARNESS_STATS_HPP
+#define MRQ_BENCH_HARNESS_STATS_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace mrq {
+namespace bench {
+
+/** Robust summary of one sample set (typically per-rep wall times). */
+struct RobustStats
+{
+    std::size_t count = 0;
+    double median = 0.0;
+    double mad = 0.0; ///< Raw MAD (no normal-consistency scaling).
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t outliers = 0; ///< Samples beyond the MAD fence.
+};
+
+/** Outlier fence half-width in scaled MADs (1.4826 * MAD ~ sigma). */
+inline constexpr double kOutlierMads = 3.5;
+
+/** Median of @p sorted (must be non-empty and ascending). */
+inline double
+medianOfSorted(const std::vector<double>& sorted)
+{
+    const std::size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+/**
+ * Aggregate @p samples into a RobustStats.  An empty input yields a
+ * zero struct; a single sample has MAD 0 and no outliers.
+ */
+inline RobustStats
+robustStats(const std::vector<double>& samples)
+{
+    RobustStats s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.median = medianOfSorted(sorted);
+
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / static_cast<double>(s.count);
+
+    std::vector<double> dev;
+    dev.reserve(sorted.size());
+    for (double v : sorted)
+        dev.push_back(std::abs(v - s.median));
+    std::sort(dev.begin(), dev.end());
+    s.mad = medianOfSorted(dev);
+
+    // Consistency-scaled fence; with MAD 0 (constant samples) any
+    // deviating sample is an outlier by definition.
+    const double fence = kOutlierMads * 1.4826 * s.mad;
+    for (double v : samples)
+        if (std::abs(v - s.median) > fence)
+            ++s.outliers;
+    return s;
+}
+
+} // namespace bench
+} // namespace mrq
+
+#endif // MRQ_BENCH_HARNESS_STATS_HPP

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<suite>.json trajectory files (stdlib only).
+
+Usage: bench_compare.py [options] BASELINE CURRENT
+
+Exits non-zero when CURRENT regresses from BASELINE:
+
+  * a baseline case is missing from CURRENT, or a case failed;
+  * a deterministic value ("values") or metrics-snapshot entry
+    ("metrics") differs beyond --value-rtol (default 0: exact match —
+    at a fixed seed/tier these are reproducible bit-for-bit);
+  * timing ("wall_ms" median, "timing_values") regresses beyond the
+    noise gate: worse by more than --timing-rtol (default 0.6, i.e.
+    60%) AND more than --timing-floor-ms (default 50 ms) absolute.
+    Timing checks are OFF unless --check-timing is given, because
+    trajectory files from different machines are not comparable.
+
+New cases / new keys in CURRENT are reported but never fatal (the
+trajectory is expected to grow).  Improvements are never fatal.
+
+Options:
+  --check-timing        enable the wall-clock regression gate
+  --timing-rtol=R       relative timing slack (default 0.6)
+  --timing-floor-ms=MS  ignore timing deltas below MS (default 50)
+  --value-rtol=R        relative tolerance for values/metrics
+                        (default 0: exact)
+"""
+
+import json
+import sys
+
+FATAL = 1
+USAGE = 2
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(USAGE)
+    if doc.get("type") != "bench" or doc.get("version") != 1:
+        print(f"bench_compare: {path} is not a v1 bench trajectory",
+              file=sys.stderr)
+        sys.exit(USAGE)
+    return doc
+
+
+def rel_delta(base, cur):
+    if base == cur:
+        return 0.0
+    denom = max(abs(base), abs(cur), 1e-300)
+    return abs(cur - base) / denom
+
+
+class Comparison:
+    def __init__(self, opts):
+        self.opts = opts
+        self.regressions = []
+        self.notes = []
+
+    def regress(self, msg):
+        self.regressions.append(msg)
+
+    def note(self, msg):
+        self.notes.append(msg)
+
+    def compare_map(self, case, kind, base, cur, rtol):
+        for key in sorted(base):
+            if key not in cur:
+                self.regress(f"{case}: {kind}[{key}] missing in current")
+                continue
+            d = rel_delta(base[key], cur[key])
+            if d > rtol:
+                self.regress(
+                    f"{case}: {kind}[{key}] {base[key]!r} -> "
+                    f"{cur[key]!r} (rel delta {d:.3g} > {rtol:g})")
+        for key in sorted(set(cur) - set(base)):
+            self.note(f"{case}: new {kind}[{key}] = {cur[key]!r}")
+
+    def compare_timing_map(self, case, kind, base, cur):
+        rtol = self.opts["timing_rtol"]
+        floor = self.opts["timing_floor_ms"]
+        for key in sorted(base):
+            if key not in cur:
+                self.regress(f"{case}: {kind}[{key}] missing in current")
+                continue
+            b, c = base[key], cur[key]
+            if c > b * (1.0 + rtol) and c - b > floor:
+                self.regress(
+                    f"{case}: {kind}[{key}] slowed {b:.3f} -> {c:.3f} "
+                    f"(+{100.0 * (c - b) / max(b, 1e-300):.0f}%)")
+
+    def compare_case(self, name, base, cur):
+        if cur.get("failed"):
+            self.regress(f"{name}: case failed in current run")
+        self.compare_map(name, "values", base["values"], cur["values"],
+                         self.opts["value_rtol"])
+        self.compare_map(name, "metrics", base["metrics"],
+                         cur["metrics"], self.opts["value_rtol"])
+        if self.opts["check_timing"]:
+            self.compare_timing_map(
+                name, "timing_values", base["timing_values"],
+                cur["timing_values"])
+            self.compare_timing_map(
+                name, "wall_ms",
+                {"median": base["wall_ms"]["median"]},
+                {"median": cur["wall_ms"]["median"]})
+
+
+def parse_args(argv):
+    opts = {
+        "check_timing": False,
+        "timing_rtol": 0.6,
+        "timing_floor_ms": 50.0,
+        "value_rtol": 0.0,
+    }
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--check-timing":
+            opts["check_timing"] = True
+        elif arg.startswith("--timing-rtol="):
+            opts["timing_rtol"] = float(arg.split("=", 1)[1])
+        elif arg.startswith("--timing-floor-ms="):
+            opts["timing_floor_ms"] = float(arg.split("=", 1)[1])
+        elif arg.startswith("--value-rtol="):
+            opts["value_rtol"] = float(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            sys.exit(USAGE)
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(USAGE)
+    return opts, paths
+
+
+def main(argv):
+    opts, (base_path, cur_path) = parse_args(argv)
+    base = load(base_path)
+    cur = load(cur_path)
+
+    cmp = Comparison(opts)
+    if base.get("suite") != cur.get("suite"):
+        cmp.note(f"suite changed: {base.get('suite')!r} -> "
+                 f"{cur.get('suite')!r}")
+
+    base_cases = {c["name"]: c for c in base["cases"]}
+    cur_cases = {c["name"]: c for c in cur["cases"]}
+    for name in sorted(base_cases):
+        if name not in cur_cases:
+            cmp.regress(f"{name}: case missing in current")
+            continue
+        cmp.compare_case(name, base_cases[name], cur_cases[name])
+    for name in sorted(set(cur_cases) - set(base_cases)):
+        cmp.note(f"{name}: new case")
+
+    for msg in cmp.notes:
+        print(f"note: {msg}")
+    if cmp.regressions:
+        for msg in cmp.regressions:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        print(f"bench_compare: {len(cmp.regressions)} regression(s) "
+              f"between {base_path} and {cur_path}", file=sys.stderr)
+        return FATAL
+    print(f"bench_compare: OK ({len(base_cases)} baseline cases, "
+          f"{len(cmp.notes)} note(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
