@@ -21,6 +21,8 @@
 #include "common/rng.hpp"
 #include "core/fake_quant.hpp"
 #include "nn/conv.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -123,4 +125,38 @@ MRQ_BENCH(runtime_scaling, "Runtime layer",
     ctx.require(identical, "bit-identity across pool sizes");
     ctx.row("expected speedup @ T=4", 2.0,
             ">= 2x on a >= 4-core host (overhead-only below)");
+}
+
+MRQ_BENCH(runtime_span_overhead, "Obs layer",
+          "TraceSpan open/close cost: disabled / aggregate / timeline")
+{
+    // Hot-path cost of one interned span at the three tracing states.
+    // Wall-clock only (timingValue), so the trajectory gate ignores
+    // this case's numbers and only its presence matters.
+    constexpr int kSpans = 100000;
+    const auto spin = [] {
+        for (int i = 0; i < kSpans; ++i) {
+            MRQ_TRACE_SPAN("bench.span_overhead");
+        }
+    };
+
+    const bool prev_trace = obs::setTraceEnabled(false);
+    const double off_ms = bestOf3(spin);
+    obs::setTraceEnabled(true);
+    const double agg_ms = bestOf3(spin);
+    const bool prev_export = obs::setTraceExportEnabled(true);
+    const double timeline_ms = bestOf3(spin);
+    obs::setTraceExportEnabled(prev_export);
+    obs::setTraceEnabled(prev_trace);
+    // Drop the millions of identical events this case just buffered so
+    // a real MRQ_TRACE_OUT session is not flooded by them.
+    obs::resetTraceBuffers();
+
+    const double scale = 1e6 / kSpans; // ms per batch -> ns per span.
+    ctx.timingValue("span_disabled_ns", off_ms * scale);
+    ctx.timingValue("span_aggregate_ns", agg_ms * scale);
+    ctx.timingValue("span_timeline_ns", timeline_ms * scale);
+    ctx.printf("  per-span cost: disabled %.1fns, aggregate %.1fns, "
+               "timeline %.1fns\n",
+               off_ms * scale, agg_ms * scale, timeline_ms * scale);
 }

@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/env.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/thread_pool.hpp"
 
 #ifndef MRQ_BUILD_TYPE
@@ -18,11 +20,26 @@ namespace bench {
 
 namespace {
 
-bool
-envFlag(const char* name)
+/**
+ * Per-case timeline path derived from MRQ_TRACE_OUT: "{run}" (when
+ * present) or a suffix before the extension becomes the case slug, so
+ * a suite run leaves one trace file per case instead of the last case
+ * overwriting the rest.
+ */
+std::string
+caseTracePath(const std::string& case_name)
 {
-    const char* v = std::getenv(name);
-    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+    std::string path = obs::traceExportPath();
+    const std::string slug = slugify(case_name);
+    const std::size_t brace = path.find("{run}");
+    if (brace != std::string::npos)
+        return path.replace(brace, 5, slug);
+    const std::size_t dot = path.find_last_of('.');
+    const std::size_t slash = path.find_last_of('/');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        return path.substr(0, dot) + "." + slug + path.substr(dot);
+    return path + "." + slug;
 }
 
 std::string
@@ -198,6 +215,13 @@ class Runner
             ThreadPool::instance().threadCount();
         const bool prev_metrics = obs::setMetricsEnabled(true);
 
+        // Each case gets a timeline of its own: drop whatever earlier
+        // cases buffered, then flush this case's events to a per-case
+        // file after the measured reps.
+        const bool trace_case = obs::traceExportEnabled();
+        if (trace_case)
+            obs::resetTraceBuffers();
+
         for (int w = 0; w < record.warmup; ++w) {
             table.setEnabled(false);
             record.values.clear();
@@ -217,6 +241,8 @@ class Runner
         }
         record.metrics =
             flattenSnapshot(obs::MetricsRegistry::instance().snapshot());
+        if (trace_case)
+            obs::writeTrace(caseTracePath(def.name));
 
         obs::setMetricsEnabled(prev_metrics);
         if (ThreadPool::instance().threadCount() != prev_threads)
@@ -233,7 +259,7 @@ RunnerOptions
 parseRunnerOptions(int argc, char** argv)
 {
     RunnerOptions opts;
-    opts.quick = envFlag("MRQ_BENCH_QUICK");
+    opts.quick = obs::envTruthy("MRQ_BENCH_QUICK");
     if (const char* reps = std::getenv("MRQ_BENCH_REPS"))
         opts.repsOverride = std::atoi(reps);
     if (const char* out = std::getenv("MRQ_BENCH_OUT"))
@@ -293,6 +319,7 @@ runRegisteredCases(const RunnerOptions& opts)
     report.manifest.run = "bench." + opts.suite;
     report.manifest.seed = 0;
     report.manifest.gitDescribe = obs::buildGitDescribe();
+    obs::applyBuildProvenance(&report.manifest);
     report.manifest.add("tier", opts.quick ? "quick" : "full");
     report.manifest.add(
         "threads",

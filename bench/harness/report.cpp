@@ -521,6 +521,14 @@ parseBenchReport(const std::string& json, BenchReport* out,
                 static_cast<std::uint64_t>(value.integer);
         else if (key == "git")
             out->manifest.gitDescribe = value.string;
+        else if (key == "git_dirty")
+            out->manifest.gitDirty = value.string;
+        else if (key == "compiler")
+            out->manifest.compiler = value.string;
+        else if (key == "build_type")
+            out->manifest.buildType = value.string;
+        else if (key == "sanitizer")
+            out->manifest.sanitizer = value.string;
         else
             out->manifest.add(key, value.string);
     }

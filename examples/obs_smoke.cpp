@@ -10,6 +10,14 @@
  * in metrics.jsonl — tools/check_metrics_schema.py validates the
  * format.  The file is byte-identical at any MRQ_THREADS.
  *
+ * Also exercises the rest of the observability stack:
+ *
+ *     MRQ_TRACE_OUT=trace.json   Chrome/Perfetto timeline of the run
+ *                                (tools/check_trace_schema.py,
+ *                                tools/trace_report.py)
+ *     MRQ_PROFILE=1              hierarchical span profile on stdout
+ *     MRQ_WATCHDOG=on|strict     training-health alerts in the JSONL
+ *
  * Runtime: a few seconds on one core.
  */
 

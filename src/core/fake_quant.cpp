@@ -6,6 +6,7 @@
 
 #include "core/uniform_quant.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -56,6 +57,7 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
     if (cfg.mode == QuantMode::None)
         return w;
     require(clip > 0.0f, "fakeQuantWeights: clip must be positive");
+    MRQ_TRACE_SPAN("core.fake_quant_weights");
     g_weight_projections.fetch_add(1, std::memory_order_relaxed);
     c_w_projections.add(1);
 
@@ -135,6 +137,7 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
     if (cfg.mode == QuantMode::None)
         return x;
     require(clip > 0.0f, "fakeQuantData: clip must be positive");
+    MRQ_TRACE_SPAN("core.fake_quant_data");
 
     UniformQuantizer uq;
     uq.bits = cfg.bits;

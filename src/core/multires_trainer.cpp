@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 namespace mrq {
 
@@ -82,6 +83,17 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
 
     // One update over the summed gradients (Step 9).
     opt_.step();
+
+    // Batch-boundary health checks.  Losses are bit-identical across
+    // MRQ_THREADS (pool determinism contract) and the batch index is
+    // this trainer's own count, so any alert is deterministic.
+    const std::int64_t batch = batchIndex_++;
+    watchdog_.checkLoss("trainer.teacher", batch, stats.teacherLoss);
+    watchdog_.checkLoss("trainer.student", batch, stats.studentLoss);
+    if (obs::traceExportEnabled()) {
+        obs::traceCounterSample("loss.teacher", stats.teacherLoss);
+        obs::traceCounterSample("loss.student", stats.studentLoss);
+    }
     return stats;
 }
 
@@ -99,6 +111,10 @@ MultiResTrainer::trainIterationSingle(const Tensor& input,
     const float loss = hard(out, &dout);
     model_.backward(dout);
     opt_.step();
+    const std::int64_t batch = batchIndex_++;
+    watchdog_.checkLoss("trainer.single", batch, loss);
+    if (obs::traceExportEnabled())
+        obs::traceCounterSample("loss.single", loss);
     return loss;
 }
 

@@ -20,11 +20,13 @@
 #ifndef MRQ_CORE_MULTIRES_TRAINER_HPP
 #define MRQ_CORE_MULTIRES_TRAINER_HPP
 
+#include <cstdint>
 #include <functional>
 
 #include "common/rng.hpp"
 #include "nn/module.hpp"
 #include "nn/optim.hpp"
+#include "obs/watchdog.hpp"
 
 namespace mrq {
 
@@ -133,6 +135,18 @@ class MultiResTrainer
     /** The teacher configuration (largest budgets). */
     const SubModelConfig& teacherConfig() const { return ladder_.back(); }
 
+    /**
+     * The training-health watchdog (mode from MRQ_WATCHDOG).  Every
+     * train iteration feeds teacher/student losses through it with a
+     * deterministic batch index; pipelines reuse it for epoch-level
+     * rules (rung monotonicity, cache hit-rate floor).  Tests inject
+     * thresholds via watchdog().configure().
+     */
+    obs::Watchdog& watchdog() { return watchdog_; }
+
+    /** Batches seen by this trainer (either iteration flavor). */
+    std::int64_t batchIndex() const { return batchIndex_; }
+
   private:
     Module& model_;
     SubModelLadder ladder_;
@@ -140,6 +154,8 @@ class MultiResTrainer
     QuantContext ctx_;
     Sgd opt_;
     Rng rng_;
+    obs::Watchdog watchdog_;
+    std::int64_t batchIndex_ = 0;
 };
 
 } // namespace mrq

@@ -6,6 +6,7 @@
 #include "nn/activations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/dropout.hpp"
@@ -55,6 +56,12 @@ HwInferenceEngine::arrayMatmul(const std::vector<std::int64_t>& w,
     report_.systolic.termPairs += stats.termPairs;
     report_.systolic.incrementOps += stats.incrementOps;
     report_.systolic.tiles += stats.tiles;
+    // Cumulative simulated cycles as a timeline counter track.
+    // arrayMatmul runs on the caller thread outside parallel regions,
+    // so sampling here is serial-safe.
+    if (obs::traceExportEnabled())
+        obs::traceCounterSample(
+            "hw.cycles", static_cast<double>(report_.systolic.cycles));
 
     // Per-layer deployment accounting.  Budgeted slots reserve gamma
     // term pairs per group beat; pairs the straggler-free budget left

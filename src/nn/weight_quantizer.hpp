@@ -30,6 +30,7 @@
 
 #include "nn/module.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrq {
 
@@ -93,6 +94,7 @@ class WeightQuantizer
     {
         if (!active())
             return w.value;
+        MRQ_TRACE_SPAN("nn.wq_project");
         // Shared across every layer's quantizer: one process-wide
         // hit/miss/invalidation account of the projection cache.
         static obs::Counter cache_hits("nn.proj_cache.hits");

@@ -1,11 +1,27 @@
 #include "obs/manifest.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <mutex>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_export.hpp"
 
 #ifndef MRQ_GIT_DESCRIBE
 #define MRQ_GIT_DESCRIBE "unknown"
+#endif
+#ifndef MRQ_GIT_DIRTY
+#define MRQ_GIT_DIRTY "0"
+#endif
+#ifndef MRQ_COMPILER
+#define MRQ_COMPILER "unknown"
+#endif
+#ifndef MRQ_BUILD_TYPE
+#define MRQ_BUILD_TYPE "unknown"
+#endif
+#ifndef MRQ_SANITIZE
+#define MRQ_SANITIZE "none"
 #endif
 
 namespace mrq {
@@ -32,12 +48,72 @@ jsonEscape(const std::string& s)
     return out;
 }
 
+/** Live RunScopes, outermost first.  Guarded: the watchdog may flush
+ *  from library code while the owner frame is far up the stack. */
+struct ScopeStack
+{
+    std::mutex mutex;
+    std::vector<RunScope*> scopes;
+};
+
+ScopeStack&
+scopeStack()
+{
+    static ScopeStack stack;
+    return stack;
+}
+
+void
+pushScope(RunScope* scope)
+{
+    ScopeStack& stack = scopeStack();
+    std::lock_guard<std::mutex> lock(stack.mutex);
+    stack.scopes.push_back(scope);
+}
+
+void
+popScope(RunScope* scope)
+{
+    ScopeStack& stack = scopeStack();
+    std::lock_guard<std::mutex> lock(stack.mutex);
+    auto it = std::find(stack.scopes.begin(), stack.scopes.end(), scope);
+    if (it != stack.scopes.end())
+        stack.scopes.erase(it);
+}
+
+/** MRQ_TRACE_OUT with an optional "{run}" placeholder substituted,
+ *  so multi-run processes can split the timeline per run. */
+std::string
+resolveTraceOutPath(const std::string& run)
+{
+    std::string path = traceExportPath();
+    const std::size_t pos = path.find("{run}");
+    if (pos != std::string::npos)
+        path.replace(pos, 5, run);
+    return path;
+}
+
 } // namespace
 
 const char*
 buildGitDescribe()
 {
     return MRQ_GIT_DESCRIBE;
+}
+
+void
+applyBuildProvenance(RunManifest* manifest)
+{
+    if (manifest->gitDescribe.empty())
+        manifest->gitDescribe = MRQ_GIT_DESCRIBE;
+    if (manifest->gitDirty.empty())
+        manifest->gitDirty = MRQ_GIT_DIRTY;
+    if (manifest->compiler.empty())
+        manifest->compiler = MRQ_COMPILER;
+    if (manifest->buildType.empty())
+        manifest->buildType = MRQ_BUILD_TYPE;
+    if (manifest->sanitizer.empty())
+        manifest->sanitizer = MRQ_SANITIZE;
 }
 
 std::string
@@ -47,6 +123,16 @@ manifestJson(const RunManifest& manifest)
                       jsonEscape(manifest.run) + "\", \"seed\": " +
                       std::to_string(manifest.seed) + ", \"git\": \"" +
                       jsonEscape(manifest.gitDescribe) + "\"";
+    const std::pair<const char*, const std::string*> provenance[] = {
+        {"git_dirty", &manifest.gitDirty},
+        {"compiler", &manifest.compiler},
+        {"build_type", &manifest.buildType},
+        {"sanitizer", &manifest.sanitizer},
+    };
+    for (const auto& [key, value] : provenance)
+        if (!value->empty())
+            out += std::string(", \"") + key + "\": \"" +
+                   jsonEscape(*value) + "\"";
     for (const auto& [key, value] : manifest.entries)
         out += ", \"" + jsonEscape(key) + "\": \"" + jsonEscape(value) +
                "\"";
@@ -57,8 +143,7 @@ manifestJson(const RunManifest& manifest)
 RunScope::RunScope(RunManifest manifest, bool verbose)
     : manifest_(std::move(manifest)), verbose_(verbose)
 {
-    if (manifest_.gitDescribe.empty())
-        manifest_.gitDescribe = buildGitDescribe();
+    applyBuildProvenance(&manifest_);
     const bool sink_live = std::getenv("MRQ_METRICS_OUT") != nullptr ||
                            traceEnabled() || verbose_;
     prevVerbose_ = setLogVerbose(verbose_);
@@ -68,10 +153,15 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     } else {
         prevEnabled_ = metricsEnabled();
     }
+    pushScope(this);
 }
 
-RunScope::~RunScope()
+void
+RunScope::flush()
 {
+    if (flushed_)
+        return;
+    flushed_ = true;
     if (metricsEnabled()) {
         if (const char* path = std::getenv("MRQ_METRICS_OUT")) {
             if (!MetricsRegistry::instance().writeJsonl(
@@ -82,9 +172,40 @@ RunScope::~RunScope()
         }
         if (verbose_)
             MetricsRegistry::instance().printSummary(stdout);
+        flushProfile(stdout);
     }
+    if (traceExportEnabled()) {
+        const std::string path = resolveTraceOutPath(manifest_.run);
+        // Buffers are cumulative: each flush rewrites the file with
+        // the timeline so far, so the last run's write holds the
+        // whole process.
+        if (!path.empty() && !writeTrace(path))
+            std::fprintf(stderr, "mrq: timeline for run '%s' was lost\n",
+                         manifest_.run.c_str());
+    }
+}
+
+RunScope::~RunScope()
+{
+    flush();
+    popScope(this);
     setMetricsEnabled(prevEnabled_);
     setLogVerbose(prevVerbose_);
+}
+
+void
+flushActiveRunScope()
+{
+    // Copy under the lock, flush outside it: flush() writes files and
+    // may take the registry/ring locks.
+    std::vector<RunScope*> scopes;
+    {
+        ScopeStack& stack = scopeStack();
+        std::lock_guard<std::mutex> lock(stack.mutex);
+        scopes = stack.scopes;
+    }
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+        (*it)->flush();
 }
 
 } // namespace obs

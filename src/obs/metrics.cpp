@@ -10,26 +10,23 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/env.hpp"
+
 namespace mrq {
 namespace obs {
 
 namespace detail {
 
-namespace {
-
-bool
-envTruthy(const char* name)
-{
-    const char* v = std::getenv(name);
-    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
-}
-
-} // namespace
-
-std::atomic<bool> g_metrics_enabled{std::getenv("MRQ_METRICS_OUT") !=
-                                        nullptr ||
-                                    envTruthy("MRQ_TRACE")};
-std::atomic<bool> g_trace_enabled{envTruthy("MRQ_TRACE")};
+// Order matters: g_metrics_enabled reads g_trace_enabled, and both
+// are dynamically initialized in declaration order within this TU.
+// MRQ_PROFILE and MRQ_TRACE_OUT imply span tracing (the profiler and
+// the timeline are built from spans), which in turn implies metrics.
+std::atomic<bool> g_trace_enabled{envTruthy("MRQ_TRACE") ||
+                                  envTruthy("MRQ_PROFILE") ||
+                                  envSet("MRQ_TRACE_OUT")};
+std::atomic<bool> g_metrics_enabled{
+    envSet("MRQ_METRICS_OUT") ||
+    g_trace_enabled.load(std::memory_order_relaxed)};
 
 } // namespace detail
 
@@ -123,6 +120,7 @@ struct MetricsRegistry::Impl
     std::vector<std::pair<std::string, double>> gauges;
     std::unordered_map<std::string, std::size_t> gaugeIds;
     std::vector<SeriesRecord> series;
+    std::vector<Snapshot::AlertRecord> alerts;
 
     Shard&
     threadShard()
@@ -268,6 +266,19 @@ MetricsRegistry::recordSeries(const std::string& name, std::int64_t step,
     im.series.push_back(SeriesRecord{name, step, value});
 }
 
+void
+MetricsRegistry::recordAlert(const std::string& severity,
+                             const std::string& rule,
+                             const std::string& context,
+                             std::int64_t batch,
+                             const std::string& detail)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.alerts.push_back(
+        Snapshot::AlertRecord{severity, rule, context, batch, detail});
+}
+
 Snapshot
 MetricsRegistry::snapshot() const
 {
@@ -323,6 +334,7 @@ MetricsRegistry::snapshot() const
     }
     for (const SeriesRecord& r : im.series)
         snap.series.push_back({r.name, r.step, r.value});
+    snap.alerts = im.alerts;
     for (std::size_t i = 0; i < timings.size(); ++i)
         if (timings[i].count > 0)
             snap.timings.push_back({im.timingNames[i], timings[i]});
@@ -388,6 +400,16 @@ MetricsRegistry::writeJsonl(const std::string& path,
                      jsonEscape(s.name).c_str(),
                      static_cast<long long>(s.step),
                      formatDouble(s.value).c_str());
+    for (const auto& a : snap.alerts)
+        std::fprintf(f,
+                     "{\"type\": \"alert\", \"severity\": \"%s\", "
+                     "\"rule\": \"%s\", \"context\": \"%s\", "
+                     "\"batch\": %lld, \"detail\": \"%s\"}\n",
+                     jsonEscape(a.severity).c_str(),
+                     jsonEscape(a.rule).c_str(),
+                     jsonEscape(a.context).c_str(),
+                     static_cast<long long>(a.batch),
+                     jsonEscape(a.detail).c_str());
     const bool ok = std::ferror(f) == 0;
     std::fclose(f);
     return ok;
@@ -399,7 +421,7 @@ MetricsRegistry::printSummary(std::FILE* out) const
     const Snapshot snap = snapshot();
     if (snap.counters.empty() && snap.gauges.empty() &&
         snap.histograms.empty() && snap.series.empty() &&
-        snap.timings.empty())
+        snap.timings.empty() && snap.alerts.empty())
         return;
     std::fprintf(out, "---- mrq run summary ----\n");
     for (const auto& c : snap.counters)
@@ -430,6 +452,11 @@ MetricsRegistry::printSummary(std::FILE* out) const
                      it->name.c_str(),
                      static_cast<long long>(it->step), it->value);
     }
+    for (const auto& a : snap.alerts)
+        std::fprintf(out, "  ALERT [%s] %s at batch %lld (%s): %s\n",
+                     a.severity.c_str(), a.rule.c_str(),
+                     static_cast<long long>(a.batch), a.context.c_str(),
+                     a.detail.c_str());
     // Wall-clock rows only when the user opted in via MRQ_TRACE: the
     // verbose summary of a deterministic run must itself be
     // deterministic (quickstart stdout is diffed across MRQ_THREADS),
@@ -466,6 +493,7 @@ MetricsRegistry::reset()
     im.gauges.clear();
     im.gaugeIds.clear();
     im.series.clear();
+    im.alerts.clear();
 }
 
 std::size_t

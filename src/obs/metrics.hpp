@@ -108,12 +108,23 @@ struct Snapshot
         std::string name;
         TimingTotal t;
     };
+    /** Structured watchdog alert (see obs/watchdog.hpp). */
+    struct AlertRecord
+    {
+        std::string severity; ///< "warn" or "fatal".
+        std::string rule;     ///< e.g. "nan_loss".
+        std::string context;  ///< e.g. "classifier.multires/a8b2".
+        std::int64_t batch = -1; ///< Deterministic batch index, -1 =
+                                 ///< epoch/eval boundary.
+        std::string detail;   ///< Human-readable specifics.
+    };
 
     std::vector<CounterValue> counters; ///< Sorted by name.
     std::vector<GaugeValue> gauges;     ///< Sorted by name.
     std::vector<HistValue> histograms;  ///< Sorted by name.
     std::vector<SeriesPoint> series;    ///< In recording order.
     std::vector<TimingValue> timings;   ///< Sorted by name.
+    std::vector<AlertRecord> alerts;    ///< In recording order.
 };
 
 /**
@@ -145,6 +156,12 @@ class MetricsRegistry
     void setGauge(const std::string& name, double value);
     void recordSeries(const std::string& name, std::int64_t step,
                       double value);
+    /** Record a structured watchdog alert.  All inputs must be
+     *  deterministic (rule, batch index, %.17g-formatted values) so
+     *  the JSONL sink stays byte-identical across MRQ_THREADS. */
+    void recordAlert(const std::string& severity, const std::string& rule,
+                     const std::string& context, std::int64_t batch,
+                     const std::string& detail);
 
     // ---- sinks ----
     Snapshot snapshot() const;

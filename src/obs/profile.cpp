@@ -1,0 +1,188 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "obs/env.hpp"
+
+namespace mrq {
+namespace obs {
+
+bool
+profileEnabled()
+{
+    static const bool enabled = envTruthy("MRQ_PROFILE");
+    return enabled;
+}
+
+namespace {
+
+struct Node
+{
+    std::string path;
+    std::string name;
+    std::int64_t count = 0;
+    std::int64_t totalNs = 0;
+    std::vector<std::size_t> children; ///< Indices into the node pool.
+};
+
+/** Find-or-create the node for @p path, synthesizing ancestors. */
+std::size_t
+nodeFor(const std::string& path, std::vector<Node>* pool,
+        std::map<std::string, std::size_t>* index,
+        std::vector<std::size_t>* roots)
+{
+    auto it = index->find(path);
+    if (it != index->end())
+        return it->second;
+    const std::size_t slash = path.rfind('/');
+    Node node;
+    node.path = path;
+    node.name = slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t id = pool->size();
+    pool->push_back(std::move(node));
+    index->emplace(path, id);
+    if (slash == std::string::npos) {
+        roots->push_back(id);
+    } else {
+        const std::size_t parent =
+            nodeFor(path.substr(0, slash), pool, index, roots);
+        (*pool)[parent].children.push_back(id);
+    }
+    return id;
+}
+
+void
+emit(const std::vector<Node>& pool, std::size_t id, int depth,
+     std::int64_t parent_total, std::vector<ProfileEntry>* out)
+{
+    const Node& node = pool[id];
+    ProfileEntry entry;
+    entry.path = node.path;
+    entry.name = node.name;
+    entry.depth = depth;
+    entry.count = node.count;
+    entry.totalNs = node.totalNs;
+    std::int64_t child_total = 0;
+    for (std::size_t c : node.children)
+        child_total += pool[c].totalNs;
+    // Children of a parallel region can sum past the parent's wall
+    // time (they ran concurrently); clamp rather than report
+    // negative self time.
+    entry.selfNs = std::max<std::int64_t>(0, node.totalNs - child_total);
+    entry.pctOfParent =
+        parent_total > 0 ? 100.0 * static_cast<double>(node.totalNs) /
+                               static_cast<double>(parent_total)
+                         : 100.0;
+    out->push_back(std::move(entry));
+
+    std::vector<std::size_t> order = node.children;
+    std::sort(order.begin(), order.end(),
+              [&pool](std::size_t a, std::size_t b) {
+                  if (pool[a].totalNs != pool[b].totalNs)
+                      return pool[a].totalNs > pool[b].totalNs;
+                  return pool[a].name < pool[b].name;
+              });
+    for (std::size_t c : order)
+        emit(pool, c, depth + 1, node.totalNs, out);
+}
+
+} // namespace
+
+std::vector<ProfileEntry>
+buildProfile(const Snapshot& snap)
+{
+    static const std::string prefix = "span:";
+    std::vector<Node> pool;
+    std::map<std::string, std::size_t> index;
+    std::vector<std::size_t> roots;
+
+    for (const auto& t : snap.timings) {
+        if (t.name.rfind(prefix, 0) != 0)
+            continue;
+        const std::size_t id =
+            nodeFor(t.name.substr(prefix.size()), &pool, &index, &roots);
+        pool[id].count = t.t.count;
+        pool[id].totalNs = t.t.totalNs;
+    }
+
+    std::sort(roots.begin(), roots.end(),
+              [&pool](std::size_t a, std::size_t b) {
+                  if (pool[a].totalNs != pool[b].totalNs)
+                      return pool[a].totalNs > pool[b].totalNs;
+                  return pool[a].name < pool[b].name;
+              });
+    std::vector<ProfileEntry> out;
+    for (std::size_t r : roots)
+        emit(pool, r, 0, 0, &out);
+    return out;
+}
+
+void
+writeProfileReport(std::FILE* out,
+                   const std::vector<ProfileEntry>& entries)
+{
+    if (entries.empty())
+        return;
+    std::fprintf(out, "---- mrq profile (total | self | calls | "
+                      "%%parent) ----\n");
+    for (const ProfileEntry& e : entries) {
+        std::string label(static_cast<std::size_t>(e.depth) * 2, ' ');
+        label += e.name;
+        std::fprintf(out, "  %-44s %10.3fms %10.3fms %8lld %6.1f%%\n",
+                     label.c_str(),
+                     static_cast<double>(e.totalNs) * 1e-6,
+                     static_cast<double>(e.selfNs) * 1e-6,
+                     static_cast<long long>(e.count), e.pctOfParent);
+    }
+    std::fprintf(out, "------------------------------------------\n");
+}
+
+std::string
+foldedStacks(const std::vector<ProfileEntry>& entries)
+{
+    std::string out;
+    for (const ProfileEntry& e : entries) {
+        if (e.selfNs <= 0)
+            continue;
+        std::string frames = e.path;
+        std::replace(frames.begin(), frames.end(), '/', ';');
+        out += frames;
+        out += ' ';
+        out += std::to_string(e.selfNs);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+flushProfile(std::FILE* out)
+{
+    if (!profileEnabled())
+        return;
+    const std::vector<ProfileEntry> entries =
+        buildProfile(MetricsRegistry::instance().snapshot());
+    writeProfileReport(out, entries);
+    if (const char* path = std::getenv("MRQ_PROFILE_OUT")) {
+        if (path[0] == '\0')
+            return;
+        const std::filesystem::path p(path);
+        std::error_code ec;
+        if (p.has_parent_path())
+            std::filesystem::create_directories(p.parent_path(), ec);
+        std::FILE* f = std::fopen(path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "mrq: profile: cannot write %s\n",
+                         path);
+            return;
+        }
+        const std::string folded = foldedStacks(entries);
+        std::fwrite(folded.data(), 1, folded.size(), f);
+        std::fclose(f);
+    }
+}
+
+} // namespace obs
+} // namespace mrq

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Hierarchical profiler: post-run aggregation over the span tree.
+ *
+ * TraceSpan already aggregates wall time per slash-joined path
+ * ("span:pipeline.fp_epoch/trainer.iteration/...").  The profiler
+ * turns those flat rows into a tree: for every path it reports call
+ * count, total (inclusive) time, self time (total minus the sum of
+ * its direct children's totals, clamped at zero — pool chunks run in
+ * parallel, so children's wall time can legitimately exceed the
+ * parent's), and percent-of-parent.  Output is a depth-indented text
+ * report sorted hottest-first plus folded-stack lines
+ * ("a;b;c <self_ns>") consumable by standard flame-graph tooling.
+ *
+ * Opt-in via MRQ_PROFILE=1 (which implies MRQ_TRACE): RunScope prints
+ * the report at run exit; MRQ_PROFILE_OUT=<path> additionally writes
+ * the folded stacks.  Profile numbers are wall-clock and share the
+ * timeline's exemption from the JSONL determinism contract.
+ */
+
+#ifndef MRQ_OBS_PROFILE_HPP
+#define MRQ_OBS_PROFILE_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mrq {
+namespace obs {
+
+/** One node of the profile tree, in depth-first report order. */
+struct ProfileEntry
+{
+    std::string path;        ///< Full slash-joined span path.
+    std::string name;        ///< Last path component.
+    int depth = 0;           ///< 0 for roots.
+    std::int64_t count = 0;  ///< Times the span closed.
+    std::int64_t totalNs = 0; ///< Inclusive wall time.
+    std::int64_t selfNs = 0; ///< max(0, total - children's totals).
+    double pctOfParent = 100.0; ///< 100 * total / parent total.
+};
+
+/** True when MRQ_PROFILE requested the end-of-run profile. */
+bool profileEnabled();
+
+/**
+ * Build the profile tree from @p snap's "span:" timing rows.
+ * Entries come back in depth-first order, siblings sorted by total
+ * time descending (ties by name, so serial-deterministic input gives
+ * deterministic structure).  Missing intermediate nodes (possible
+ * when only leaf spans were recorded) are synthesized with zero
+ * count.
+ */
+std::vector<ProfileEntry> buildProfile(const Snapshot& snap);
+
+/** Depth-indented hottest-first text report. */
+void writeProfileReport(std::FILE* out,
+                        const std::vector<ProfileEntry>& entries);
+
+/** Folded-stack lines ("a;b;c <self_ns>\n"), entries with zero self
+ *  time omitted. */
+std::string foldedStacks(const std::vector<ProfileEntry>& entries);
+
+/** RunScope hook: print the report (and write MRQ_PROFILE_OUT folded
+ *  stacks) from the current registry state when profileEnabled(). */
+void flushProfile(std::FILE* out);
+
+} // namespace obs
+} // namespace mrq
+
+#endif // MRQ_OBS_PROFILE_HPP

@@ -1,75 +1,214 @@
 #include "obs/trace.hpp"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "obs/trace_export.hpp"
 
 namespace mrq {
 namespace obs {
 
+namespace detail {
+
+/**
+ * One interned span path.  Entries live forever (unique_ptr storage,
+ * never erased), so `full` and `name` are immutable after
+ * construction and may be read from any thread without locking; only
+ * the table's lookup structures need the mutex.
+ */
+struct PathEntry
+{
+    int id = 0;                        ///< 1-based; 0 means "no path".
+    const PathEntry* parent = nullptr; ///< Null for roots.
+    std::string name;                  ///< Last component.
+    std::string full;                  ///< Slash-joined path.
+    int timingId = -1;                 ///< Registry id of "span:"+full.
+};
+
+} // namespace detail
+
+using detail::PathEntry;
+
 namespace {
 
-/** Open span names of the current thread (innermost last). */
-thread_local std::vector<const char*> t_span_stack;
-
-/** Path prefix inherited from the thread that dispatched our job. */
-thread_local std::string t_inherited_path;
-
-std::string
-joinPath()
+/** Process-wide interner mapping (parent, name) -> PathEntry. */
+struct PathTable
 {
-    std::string path = t_inherited_path;
-    for (const char* name : t_span_stack) {
-        if (!path.empty())
-            path += '/';
-        path += name;
+    std::mutex mutex;
+    std::vector<std::unique_ptr<PathEntry>> entries; ///< entries[id-1].
+    std::map<std::pair<int, std::string>, const PathEntry*> byKey;
+
+    const PathEntry*
+    intern(const PathEntry* parent, const char* name)
+    {
+        const int parent_id = parent != nullptr ? parent->id : 0;
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto key = std::make_pair(parent_id, std::string(name));
+        auto it = byKey.find(key);
+        if (it != byKey.end())
+            return it->second;
+        auto entry = std::make_unique<PathEntry>();
+        entry->id = static_cast<int>(entries.size()) + 1;
+        entry->parent = parent;
+        entry->name = key.second;
+        entry->full = parent != nullptr ? parent->full + "/" + entry->name
+                                        : entry->name;
+        // Pre-register the timing row so span destruction never takes
+        // the registry's name-intern path.
+        entry->timingId =
+            MetricsRegistry::instance().timingId("span:" + entry->full);
+        const PathEntry* raw = entry.get();
+        entries.push_back(std::move(entry));
+        byKey.emplace(key, raw);
+        return raw;
     }
-    return path;
+
+    const PathEntry*
+    byId(int id)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (id < 1 || static_cast<std::size_t>(id) > entries.size())
+            return nullptr;
+        return entries[static_cast<std::size_t>(id) - 1].get();
+    }
+};
+
+PathTable&
+pathTable()
+{
+    static PathTable table;
+    return table;
+}
+
+/** Per-thread memo of (parent id, name pointer) -> entry, so steady-
+ *  state span open/close takes no lock and allocates nothing. */
+struct CacheKey
+{
+    int parent;
+    const char* name;
+
+    bool
+    operator==(const CacheKey& o) const noexcept
+    {
+        return parent == o.parent && name == o.name;
+    }
+};
+
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey& k) const noexcept
+    {
+        return std::hash<const void*>()(k.name) * 31u +
+               static_cast<std::size_t>(k.parent);
+    }
+};
+
+thread_local std::unordered_map<CacheKey, const PathEntry*, CacheKeyHash>
+    t_path_cache;
+
+/** Innermost open span (or inherited prefix) of this thread. */
+thread_local const PathEntry* t_current = nullptr;
+
+const PathEntry*
+internChild(const PathEntry* parent, const char* name)
+{
+    const CacheKey key{parent != nullptr ? parent->id : 0, name};
+    auto it = t_path_cache.find(key);
+    if (it != t_path_cache.end())
+        return it->second;
+    const PathEntry* entry = pathTable().intern(parent, name);
+    t_path_cache.emplace(key, entry);
+    return entry;
 }
 
 } // namespace
 
-TraceSpan::TraceSpan(const char* name)
+TraceSpan::TraceSpan(const char* name, std::int64_t arg)
 {
     if (!traceEnabled())
         return;
-    active_ = true;
-    t_span_stack.push_back(name);
+    entry_ = internChild(t_current, name);
+    prev_ = t_current;
+    t_current = entry_;
+    arg_ = arg;
     startNs_ = nowNs();
 }
 
 TraceSpan::~TraceSpan()
 {
-    if (!active_)
+    if (entry_ == nullptr)
         return;
-    const std::int64_t elapsed = nowNs() - startNs_;
-    // The path includes this span (still on the stack) and every
-    // enclosing span, so nested spans aggregate under distinct keys.
-    const std::string path = joinPath();
-    t_span_stack.pop_back();
-    MetricsRegistry& reg = MetricsRegistry::instance();
-    reg.recordTiming(reg.timingId("span:" + path), elapsed);
+    const std::int64_t end = nowNs();
+    t_current = prev_;
+    MetricsRegistry::instance().recordTiming(entry_->timingId,
+                                             end - startNs_);
+    if (traceExportEnabled())
+        traceExportSpan(entry_->id, startNs_, end, arg_);
 }
 
 std::string
 currentTracePath()
 {
-    if (!traceEnabled())
+    if (!traceEnabled() || t_current == nullptr)
         return {};
-    return joinPath();
+    return t_current->full;
 }
 
-InheritedTracePath::InheritedTracePath(const std::string& path)
+int
+currentTracePathId()
 {
-    if (path.empty())
+    if (!traceEnabled() || t_current == nullptr)
+        return 0;
+    return t_current->id;
+}
+
+int
+internTracePathChild(const char* name)
+{
+    if (!traceEnabled())
+        return 0;
+    return internChild(t_current, name)->id;
+}
+
+std::string
+tracePathString(int id)
+{
+    const PathEntry* entry = pathTable().byId(id);
+    return entry != nullptr ? entry->full : std::string{};
+}
+
+std::vector<std::string>
+traceAllPaths()
+{
+    PathTable& table = pathTable();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    std::vector<std::string> paths(table.entries.size() + 1);
+    for (const auto& entry : table.entries)
+        paths[static_cast<std::size_t>(entry->id)] = entry->full;
+    return paths;
+}
+
+InheritedTracePath::InheritedTracePath(int path_id)
+{
+    if (path_id == 0)
+        return;
+    const PathEntry* entry = pathTable().byId(path_id);
+    if (entry == nullptr)
         return;
     installed_ = true;
-    previous_ = std::move(t_inherited_path);
-    t_inherited_path = path;
+    previous_ = t_current;
+    t_current = entry;
 }
 
 InheritedTracePath::~InheritedTracePath()
 {
     if (installed_)
-        t_inherited_path = std::move(previous_);
+        t_current = previous_;
 }
 
 } // namespace obs

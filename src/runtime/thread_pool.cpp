@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 namespace mrq {
 
@@ -12,6 +13,21 @@ namespace {
 
 /** Set while the current thread is executing chunks of a job. */
 thread_local bool t_inside_parallel = false;
+
+/**
+ * Timeline id for this executor's "pool.chunk" events, interned under
+ * the current (inherited) span path; 0 when export is off.  Chunk
+ * events go straight to the ring — no TraceSpan — so they appear on
+ * the timeline without inserting a "pool.chunk" level into the span
+ * paths user code records inside chunk bodies.
+ */
+int
+chunkEventPathId()
+{
+    if (!obs::traceExportEnabled())
+        return 0;
+    return obs::internTracePathChild("pool.chunk");
+}
 
 // Pool activity metrics.  The counters are recorded at the top of
 // run() — before the inline-vs-parallel branch — so their values
@@ -102,8 +118,14 @@ void
 ThreadPool::runInline(std::size_t num_chunks,
                       const std::function<void(std::size_t)>& body)
 {
-    for (std::size_t c = 0; c < num_chunks; ++c)
+    const int chunk_path = chunkEventPathId();
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::int64_t c0 = chunk_path != 0 ? obs::nowNs() : 0;
         body(c);
+        if (chunk_path != 0)
+            obs::traceExportSpan(chunk_path, c0, obs::nowNs(),
+                                 static_cast<std::int64_t>(c));
+    }
 }
 
 void
@@ -123,16 +145,15 @@ ThreadPool::run(std::size_t num_chunks,
     }
 
     const bool obs_on = obs::metricsEnabled();
-    // Workers inherit the caller's span path so spans opened inside
-    // chunk bodies nest under the span that launched the loop; the
-    // string outlives the job (run() blocks until all workers report
-    // done).
-    const std::string trace_path = obs::currentTracePath();
+    // Workers inherit the caller's span path (as an interned id, valid
+    // on any thread) so spans opened inside chunk bodies nest under
+    // the span that launched the loop.
+    const int trace_path_id = obs::currentTracePathId();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &body;
         jobChunks_ = num_chunks;
-        jobTracePath_ = &trace_path;
+        jobTracePathId_ = trace_path_id;
         jobPublishNs_ = obs_on ? obs::nowNs() : 0;
         doneCount_ = 0;
         error_ = nullptr;
@@ -142,8 +163,10 @@ ThreadPool::run(std::size_t num_chunks,
 
     // The caller participates as thread 0 of the round-robin.
     const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
+    const int chunk_path = chunkEventPathId();
     t_inside_parallel = true;
     for (std::size_t c = 0; c < num_chunks; c += threads_) {
+        const std::int64_t c0 = chunk_path != 0 ? obs::nowNs() : 0;
         try {
             body(c);
         } catch (...) {
@@ -151,6 +174,9 @@ ThreadPool::run(std::size_t num_chunks,
             if (!error_)
                 error_ = std::current_exception();
         }
+        if (chunk_path != 0)
+            obs::traceExportSpan(chunk_path, c0, obs::nowNs(),
+                                 static_cast<std::int64_t>(c));
     }
     t_inside_parallel = false;
     if (obs_on)
@@ -160,7 +186,7 @@ ThreadPool::run(std::size_t num_chunks,
     doneCv_.wait(lock, [&] { return doneCount_ == threads_ - 1; });
     job_ = nullptr;
     jobChunks_ = 0;
-    jobTracePath_ = nullptr;
+    jobTracePathId_ = 0;
     if (error_) {
         std::exception_ptr err = error_;
         error_ = nullptr;
@@ -175,7 +201,7 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
     for (;;) {
         const std::function<void(std::size_t)>* body = nullptr;
         std::size_t chunks = 0;
-        const std::string* trace_path = nullptr;
+        int trace_path_id = 0;
         std::int64_t publish_ns = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -185,7 +211,7 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
             seen = jobSeq_;
             body = job_;
             chunks = jobChunks_;
-            trace_path = jobTracePath_;
+            trace_path_id = jobTracePathId_;
             publish_ns = jobPublishNs_;
         }
 
@@ -194,10 +220,12 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
             t_queue_wait.record(obs::nowNs() - publish_ns);
         const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
         {
-            obs::InheritedTracePath trace_guard(
-                trace_path != nullptr ? *trace_path : std::string());
+            obs::InheritedTracePath trace_guard(trace_path_id);
+            const int chunk_path = chunkEventPathId();
             t_inside_parallel = true;
             for (std::size_t c = index; c < chunks; c += threads_) {
+                const std::int64_t c0 =
+                    chunk_path != 0 ? obs::nowNs() : 0;
                 try {
                     (*body)(c);
                 } catch (...) {
@@ -205,6 +233,9 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
                     if (!error_)
                         error_ = std::current_exception();
                 }
+                if (chunk_path != 0)
+                    obs::traceExportSpan(chunk_path, c0, obs::nowNs(),
+                                         static_cast<std::int64_t>(c));
             }
             t_inside_parallel = false;
         }

@@ -87,9 +87,9 @@ class ThreadPool
     std::condition_variable doneCv_;
     const std::function<void(std::size_t)>* job_ = nullptr;
     std::size_t jobChunks_ = 0;
-    /** Caller's span path at dispatch (workers inherit it); owned by
-     *  run()'s frame, valid until every worker reports done. */
-    const std::string* jobTracePath_ = nullptr;
+    /** Caller's interned span-path id at dispatch (workers inherit
+     *  it); 0 when tracing is off or no span is open. */
+    int jobTracePathId_ = 0;
     /** steady_clock ns at job publish (queue-wait accounting). */
     std::int64_t jobPublishNs_ = 0;
     std::uint64_t jobSeq_ = 0;

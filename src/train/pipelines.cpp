@@ -11,6 +11,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 namespace mrq {
 
@@ -107,6 +108,95 @@ fpConfig()
     return cfg;
 }
 
+/** Cumulative projection-cache hit/miss totals from the registry. */
+void
+projCacheCounts(std::int64_t* hits, std::int64_t* misses)
+{
+    *hits = 0;
+    *misses = 0;
+    if (!obs::metricsEnabled())
+        return;
+    const obs::Snapshot snap = obs::MetricsRegistry::instance().snapshot();
+    for (const auto& c : snap.counters) {
+        if (c.name == "nn.proj_cache.hits")
+            *hits = c.value;
+        else if (c.name == "nn.proj_cache.misses")
+            *misses = c.value;
+    }
+}
+
+/**
+ * Tune-epoch boundary: sample the cumulative projection-cache hit
+ * rate onto a timeline counter track.  Tuning invalidates the cache
+ * on every optimizer step, so a near-zero rate here is expected and
+ * carries no judgment — the watchdog floor rule only inspects the
+ * eval phase (evalCacheHealth), where weights are frozen and
+ * projections should hit.
+ */
+void
+epochCacheTrack()
+{
+    if (!obs::traceExportEnabled())
+        return;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    projCacheCounts(&hits, &misses);
+    if (hits + misses > 0)
+        obs::traceCounterSample("cache.hit_rate",
+                                static_cast<double>(hits) /
+                                    static_cast<double>(hits + misses));
+}
+
+/**
+ * Eval-phase cache health: judge the hit rate of the lookups made
+ * since (hits_before, misses_before) — captured just before the eval
+ * loop — so training-time misses cannot trip the floor.  The counters
+ * are integers summed over shards, so the delta — and any alert it
+ * triggers — is identical at every MRQ_THREADS.
+ */
+void
+evalCacheHealth(MultiResTrainer& trainer, const char* run,
+                std::int64_t hits_before, std::int64_t misses_before)
+{
+    if (!trainer.watchdog().enabled() && !obs::traceExportEnabled())
+        return;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    projCacheCounts(&hits, &misses);
+    hits -= hits_before;
+    misses -= misses_before;
+    trainer.watchdog().checkCacheHitRate(run, trainer.batchIndex(), hits,
+                                         misses);
+    if (obs::traceExportEnabled() && hits + misses > 0)
+        obs::traceCounterSample("cache.hit_rate",
+                                static_cast<double>(hits) /
+                                    static_cast<double>(hits + misses));
+}
+
+/**
+ * Eval-boundary nesting-monotonicity check over the evaluated rungs
+ * (ladder order is ascending budgets).  batch = -1 marks an
+ * eval-boundary alert.
+ */
+void
+checkLadderMonotonicity(MultiResTrainer& trainer, const char* run,
+                        const std::vector<SubModelResult>& rungs,
+                        bool higher_is_better)
+{
+    if (!trainer.watchdog().enabled() || rungs.size() < 2)
+        return;
+    std::vector<std::string> names;
+    std::vector<double> metrics;
+    names.reserve(rungs.size());
+    metrics.reserve(rungs.size());
+    for (const SubModelResult& r : rungs) {
+        names.push_back(r.config.name());
+        metrics.push_back(r.metric);
+    }
+    trainer.watchdog().checkRungMonotonicity(run, -1, names, metrics,
+                                             higher_is_better);
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -166,12 +256,11 @@ classifierPipeline(Sequential& model, const SynthImages& data,
                    const SubModelConfig* single_cfg)
 {
     PipelineResult result;
-    obs::RunScope obs_run(
-        pipelineManifest(multires ? "classifier.multires"
-                         : single_cfg != nullptr ? "classifier.single"
-                                                 : "classifier.post_training",
-                         opts, ladder),
-        opts.verbose);
+    const char* run = multires ? "classifier.multires"
+                      : single_cfg != nullptr ? "classifier.single"
+                                              : "classifier.post_training";
+    obs::RunScope obs_run(pipelineManifest(run, opts, ladder),
+                          opts.verbose);
     MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
     Batcher batcher(data.trainImages().dim(0), opts.batchSize, opts.seed);
     const std::size_t batches = batcher.batchesPerEpoch();
@@ -261,6 +350,7 @@ classifierPipeline(Sequential& model, const SynthImages& data,
             }
             obs::logf("phase=tune epoch=%zu loss=%.4f", epoch,
                       loss / batches);
+            epochCacheTrack();
         }
         if (opts.mrEpochs > 0)
             result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
@@ -276,6 +366,9 @@ classifierPipeline(Sequential& model, const SynthImages& data,
     model.setQuantContext(&trainer.context());
 
     // Evaluation across the ladder (or the single config).
+    std::int64_t eval_hits0 = 0;
+    std::int64_t eval_misses0 = 0;
+    projCacheCounts(&eval_hits0, &eval_misses0);
     {
         MRQ_TRACE_SPAN("pipeline.eval");
         const SubModelLadder eval_set =
@@ -292,6 +385,8 @@ classifierPipeline(Sequential& model, const SynthImages& data,
             result.subModels.push_back(std::move(r));
         }
     }
+    evalCacheHealth(trainer, run, eval_hits0, eval_misses0);
+    checkLadderMonotonicity(trainer, run, result.subModels, true);
     return result;
 }
 
@@ -342,11 +437,9 @@ lmPipeline(LstmLm& model, const SynthText& data,
            const SubModelConfig* single_cfg)
 {
     PipelineResult result;
-    obs::RunScope obs_run(
-        pipelineManifest(single_cfg != nullptr ? "lm.single"
-                                               : "lm.multires",
-                         opts, ladder),
-        opts.verbose);
+    const char* run = single_cfg != nullptr ? "lm.single" : "lm.multires";
+    obs::RunScope obs_run(pipelineManifest(run, opts, ladder),
+                          opts.verbose);
     MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
     trainer.optimizer().setGradClip(1.0f);
 
@@ -441,6 +534,7 @@ lmPipeline(LstmLm& model, const SynthText& data,
                             static_cast<double>(rung_count[r]));
         obs::logf("phase=tune epoch=%zu loss=%.4f", epoch,
                   loss / windows);
+        epochCacheTrack();
     }
     if (opts.mrEpochs > 0)
         result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
@@ -459,20 +553,28 @@ lmPipeline(LstmLm& model, const SynthText& data,
     model.setTraining(true);
     model.setQuantContext(&trainer.context());
 
-    MRQ_TRACE_SPAN("pipeline.eval");
-    const SubModelLadder eval_set =
-        single_cfg ? SubModelLadder{*single_cfg} : ladder;
-    for (std::size_t i = 0; i < eval_set.size(); ++i) {
-        const SubModelConfig& cfg = eval_set[i];
-        SubModelResult r;
-        r.config = cfg;
-        r.metric = evalLm(trainer, model, data, cfg, opts.bptt);
-        r.termPairs = termPairCount(macs_per_token, cfg);
-        recordSubModelEval(i, r);
-        obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
-                  cfg.name().c_str(), r.metric, r.termPairs);
-        result.subModels.push_back(std::move(r));
+    std::int64_t eval_hits0 = 0;
+    std::int64_t eval_misses0 = 0;
+    projCacheCounts(&eval_hits0, &eval_misses0);
+    {
+        MRQ_TRACE_SPAN("pipeline.eval");
+        const SubModelLadder eval_set =
+            single_cfg ? SubModelLadder{*single_cfg} : ladder;
+        for (std::size_t i = 0; i < eval_set.size(); ++i) {
+            const SubModelConfig& cfg = eval_set[i];
+            SubModelResult r;
+            r.config = cfg;
+            r.metric = evalLm(trainer, model, data, cfg, opts.bptt);
+            r.termPairs = termPairCount(macs_per_token, cfg);
+            recordSubModelEval(i, r);
+            obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
+                      cfg.name().c_str(), r.metric, r.termPairs);
+            result.subModels.push_back(std::move(r));
+        }
     }
+    evalCacheHealth(trainer, run, eval_hits0, eval_misses0);
+    // Perplexity: lower is better.
+    checkLadderMonotonicity(trainer, run, result.subModels, false);
     return result;
 }
 
@@ -544,11 +646,10 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
              const SubModelConfig* single_cfg)
 {
     PipelineResult result;
-    obs::RunScope obs_run(
-        pipelineManifest(single_cfg != nullptr ? "yolo.single"
-                                               : "yolo.multires",
-                         opts, ladder),
-        opts.verbose);
+    const char* run =
+        single_cfg != nullptr ? "yolo.single" : "yolo.multires";
+    obs::RunScope obs_run(pipelineManifest(run, opts, ladder),
+                          opts.verbose);
     MultiResTrainer trainer(model, ladder, trainerOptions(opts, opts.fpLr));
     Batcher batcher(data.trainImages().dim(0), opts.batchSize, opts.seed);
     const std::size_t batches = batcher.batchesPerEpoch();
@@ -635,6 +736,7 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
                             static_cast<double>(rung_count[r]));
         obs::logf("phase=tune epoch=%zu loss=%.4f", epoch,
                   loss / batches);
+        epochCacheTrack();
     }
     if (opts.mrEpochs > 0)
         result.mrEpochSeconds /= static_cast<double>(opts.mrEpochs);
@@ -647,20 +749,27 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     model.setTraining(true);
     model.setQuantContext(&trainer.context());
 
-    MRQ_TRACE_SPAN("pipeline.eval");
-    const SubModelLadder eval_set =
-        single_cfg ? SubModelLadder{*single_cfg} : ladder;
-    for (std::size_t i = 0; i < eval_set.size(); ++i) {
-        const SubModelConfig& cfg = eval_set[i];
-        SubModelResult r;
-        r.config = cfg;
-        r.metric = evalYolo(trainer, data, cfg);
-        r.termPairs = termPairCount(macs, cfg);
-        recordSubModelEval(i, r);
-        obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
-                  cfg.name().c_str(), r.metric, r.termPairs);
-        result.subModels.push_back(std::move(r));
+    std::int64_t eval_hits0 = 0;
+    std::int64_t eval_misses0 = 0;
+    projCacheCounts(&eval_hits0, &eval_misses0);
+    {
+        MRQ_TRACE_SPAN("pipeline.eval");
+        const SubModelLadder eval_set =
+            single_cfg ? SubModelLadder{*single_cfg} : ladder;
+        for (std::size_t i = 0; i < eval_set.size(); ++i) {
+            const SubModelConfig& cfg = eval_set[i];
+            SubModelResult r;
+            r.config = cfg;
+            r.metric = evalYolo(trainer, data, cfg);
+            r.termPairs = termPairCount(macs, cfg);
+            recordSubModelEval(i, r);
+            obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
+                      cfg.name().c_str(), r.metric, r.termPairs);
+            result.subModels.push_back(std::move(r));
+        }
     }
+    evalCacheHealth(trainer, run, eval_hits0, eval_misses0);
+    checkLadderMonotonicity(trainer, run, result.subModels, true);
     return result;
 }
 

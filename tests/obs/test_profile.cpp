@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Hierarchical-profiler tests: tree invariants (self <= total,
+ * children's totals <= parent's on serial data, counts conserved),
+ * synthesized ancestors, and folded-stack rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mrq {
+namespace {
+
+class ProfileTestGuard
+{
+  public:
+    ProfileTestGuard()
+        : prevMetrics_(obs::setMetricsEnabled(true)),
+          prevTrace_(obs::setTraceEnabled(true))
+    {
+        obs::MetricsRegistry::instance().reset();
+    }
+    ~ProfileTestGuard()
+    {
+        ThreadPool::instance().resize(1);
+        obs::setMetricsEnabled(prevMetrics_);
+        obs::setTraceEnabled(prevTrace_);
+    }
+
+  private:
+    bool prevMetrics_;
+    bool prevTrace_;
+};
+
+const obs::ProfileEntry*
+findEntry(const std::vector<obs::ProfileEntry>& entries,
+          const std::string& path)
+{
+    for (const obs::ProfileEntry& e : entries)
+        if (e.path == path)
+            return &e;
+    return nullptr;
+}
+
+/** Serial nested spans: root{child_a x2, child_b} plus a second root. */
+void
+recordSampleSpans()
+{
+    for (int rep = 0; rep < 3; ++rep) {
+        obs::TraceSpan root("prof_root");
+        {
+            obs::TraceSpan a("prof_a");
+            MRQ_TRACE_SPAN("prof_leaf");
+            // Enough work that the leaf's self time is nonzero even on
+            // a coarse clock.
+            volatile int sink = 0;
+            for (int i = 0; i < 1000; ++i)
+                sink += i;
+        }
+        {
+            obs::TraceSpan a2("prof_a");
+        }
+        {
+            obs::TraceSpan b("prof_b");
+        }
+    }
+    {
+        obs::TraceSpan other("prof_other_root");
+    }
+}
+
+TEST(Profile, TreeInvariantsOnSerialSpans)
+{
+    ProfileTestGuard guard;
+    recordSampleSpans();
+
+    const obs::Snapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    const std::vector<obs::ProfileEntry> entries =
+        obs::buildProfile(snap);
+
+    const obs::ProfileEntry* root = findEntry(entries, "prof_root");
+    const obs::ProfileEntry* a = findEntry(entries, "prof_root/prof_a");
+    const obs::ProfileEntry* b = findEntry(entries, "prof_root/prof_b");
+    const obs::ProfileEntry* leaf =
+        findEntry(entries, "prof_root/prof_a/prof_leaf");
+    const obs::ProfileEntry* other =
+        findEntry(entries, "prof_other_root");
+    ASSERT_NE(root, nullptr);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(leaf, nullptr);
+    ASSERT_NE(other, nullptr);
+
+    // Counts conserved: every span closure is one count.
+    EXPECT_EQ(root->count, 3);
+    EXPECT_EQ(a->count, 6);
+    EXPECT_EQ(b->count, 3);
+    EXPECT_EQ(leaf->count, 3);
+    EXPECT_EQ(other->count, 1);
+
+    // Depths follow the path structure.
+    EXPECT_EQ(root->depth, 0);
+    EXPECT_EQ(a->depth, 1);
+    EXPECT_EQ(leaf->depth, 2);
+
+    for (const obs::ProfileEntry& e : entries) {
+        EXPECT_GE(e.selfNs, 0) << e.path;
+        EXPECT_LE(e.selfNs, e.totalNs) << e.path;
+        EXPECT_GE(e.pctOfParent, 0.0) << e.path;
+    }
+    // Serial nesting: children's inclusive time fits in the parent's.
+    EXPECT_LE(a->totalNs + b->totalNs, root->totalNs);
+    EXPECT_LE(leaf->totalNs, a->totalNs);
+    // Self = total - children, exactly, when nothing is clamped.
+    EXPECT_EQ(root->selfNs,
+              root->totalNs - a->totalNs - b->totalNs);
+    // Roots report 100% of (nonexistent) parent.
+    EXPECT_DOUBLE_EQ(root->pctOfParent, 100.0);
+    EXPECT_LE(a->pctOfParent, 100.0);
+}
+
+TEST(Profile, DepthFirstOrderWithHottestSiblingsFirst)
+{
+    ProfileTestGuard guard;
+    recordSampleSpans();
+
+    const std::vector<obs::ProfileEntry> entries = obs::buildProfile(
+        obs::MetricsRegistry::instance().snapshot());
+
+    // A child always appears after its parent and before the parent's
+    // next sibling (contiguous subtrees).
+    std::map<std::string, std::size_t> pos;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        pos[entries[i].path] = i;
+    EXPECT_LT(pos["prof_root"], pos["prof_root/prof_a"]);
+    EXPECT_LT(pos["prof_root/prof_a"],
+              pos["prof_root/prof_a/prof_leaf"]);
+    EXPECT_LT(pos["prof_root/prof_a/prof_leaf"],
+              pos["prof_root/prof_b"]);
+}
+
+TEST(Profile, SynthesizesMissingAncestors)
+{
+    ProfileTestGuard guard;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    // Only the leaf row exists; the profiler must invent "synth_p".
+    reg.recordTiming(reg.timingId("span:synth_p/synth_q"), 1000);
+
+    const std::vector<obs::ProfileEntry> entries =
+        obs::buildProfile(reg.snapshot());
+    const obs::ProfileEntry* parent = findEntry(entries, "synth_p");
+    const obs::ProfileEntry* leaf =
+        findEntry(entries, "synth_p/synth_q");
+    ASSERT_NE(parent, nullptr);
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_EQ(parent->count, 0);
+    EXPECT_EQ(leaf->count, 1);
+    EXPECT_EQ(leaf->totalNs, 1000);
+}
+
+TEST(Profile, FoldedStacksUseSemicolonsAndSelfTime)
+{
+    ProfileTestGuard guard;
+    recordSampleSpans();
+
+    const std::vector<obs::ProfileEntry> entries = obs::buildProfile(
+        obs::MetricsRegistry::instance().snapshot());
+    const std::string folded = obs::foldedStacks(entries);
+
+    EXPECT_NE(folded.find("prof_root;prof_a;prof_leaf "),
+              std::string::npos);
+    EXPECT_EQ(folded.find('/'), std::string::npos)
+        << "folded stacks must use ';' separators";
+
+    // Every line is "stack <ns>" with a positive integer.
+    std::size_t start = 0;
+    while (start < folded.size()) {
+        std::size_t end = folded.find('\n', start);
+        if (end == std::string::npos)
+            end = folded.size();
+        const std::string line = folded.substr(start, end - start);
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoll(line.substr(space + 1)), 0) << line;
+        start = end + 1;
+    }
+}
+
+TEST(Profile, EmptySnapshotGivesEmptyProfile)
+{
+    ProfileTestGuard guard;
+    const std::vector<obs::ProfileEntry> entries = obs::buildProfile(
+        obs::MetricsRegistry::instance().snapshot());
+    for (const obs::ProfileEntry& e : entries)
+        EXPECT_EQ(e.path.rfind("prof_", 0), std::string::npos)
+            << "stale rows from other tests: " << e.path;
+    EXPECT_EQ(obs::foldedStacks({}), "");
+}
+
+} // namespace
+} // namespace mrq

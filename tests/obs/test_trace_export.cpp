@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Timeline-export tests: ring overflow accounting, JSON
+ * well-formedness (including after an exception unwinds mid-span),
+ * counter/instant tracks, and disabled-mode inertness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mrq {
+namespace {
+
+/** Enables trace + metrics + export and restores/clears on exit. */
+class ExportTestGuard
+{
+  public:
+    explicit ExportTestGuard(bool export_on = true)
+        : prevMetrics_(obs::setMetricsEnabled(true)),
+          prevTrace_(obs::setTraceEnabled(true)),
+          prevExport_(obs::setTraceExportEnabled(export_on))
+    {
+        obs::resetTraceBuffers();
+    }
+    ~ExportTestGuard()
+    {
+        ThreadPool::instance().resize(1);
+        obs::resetTraceBuffers();
+        obs::setTraceExportEnabled(prevExport_);
+        obs::setTraceEnabled(prevTrace_);
+        obs::setMetricsEnabled(prevMetrics_);
+    }
+
+  private:
+    bool prevMetrics_;
+    bool prevTrace_;
+    bool prevExport_;
+};
+
+std::string
+readAll(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Cheap structural check: braces and brackets balance to zero and
+ *  never go negative (string contents are escaped by the writer). */
+bool
+balancedJson(const std::string& text)
+{
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++braces;
+        else if (c == '}')
+            --braces;
+        else if (c == '[')
+            ++brackets;
+        else if (c == ']')
+            --brackets;
+        if (braces < 0 || brackets < 0)
+            return false;
+    }
+    return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(TraceExport, RingOverflowDropsOldestAndCounts)
+{
+    ExportTestGuard guard;
+    obs::setTraceRingCapacity(8);
+
+    for (int i = 0; i < 20; ++i) {
+        MRQ_TRACE_SPAN("overflow_span");
+    }
+    EXPECT_EQ(obs::traceBufferedEvents(), 8u);
+    EXPECT_EQ(obs::traceDroppedEvents(), 12u);
+
+    obs::resetTraceBuffers();
+    EXPECT_EQ(obs::traceBufferedEvents(), 0u);
+    EXPECT_EQ(obs::traceDroppedEvents(), 0u);
+    obs::setTraceRingCapacity(1u << 15);
+}
+
+TEST(TraceExport, WriteTraceIsWellFormed)
+{
+    ExportTestGuard guard;
+    {
+        obs::TraceSpan outer("export_outer");
+        MRQ_TRACE_SPAN("export_inner");
+    }
+    obs::traceCounterSample("export.counter", 0.25);
+    obs::traceInstant("alert:test_rule", "ctx: detail \"quoted\"");
+
+    const std::string path = "mrq_test_trace.json";
+    ASSERT_TRUE(obs::writeTrace(path));
+    const std::string text = readAll(path);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(balancedJson(text)) << text;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"droppedEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(text.find("export_outer/export_inner"), std::string::npos);
+    // The writer escaped the quotes inside the alert detail.
+    EXPECT_NE(text.find("detail \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(TraceExport, UnwindMidSpanStillProducesValidTrace)
+{
+    ExportTestGuard guard;
+    try {
+        obs::TraceSpan outer("unwind_outer");
+        MRQ_TRACE_SPAN("unwind_before_throw");
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error&) {
+    }
+    // Both spans closed during unwinding; complete events are
+    // unbalance-proof by construction.
+    EXPECT_EQ(obs::traceBufferedEvents(), 2u);
+
+    const std::string path = "mrq_test_trace_unwind.json";
+    ASSERT_TRUE(obs::writeTrace(path));
+    const std::string text = readAll(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(balancedJson(text)) << text;
+    EXPECT_NE(text.find("unwind_before_throw"), std::string::npos);
+}
+
+TEST(TraceExport, PoolChunksLandOnWorkerTracks)
+{
+    ExportTestGuard guard;
+    ThreadPool::instance().resize(4);
+
+    {
+        obs::TraceSpan outer("chunk_region");
+        parallelFor(64, 1, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                volatile int sink = static_cast<int>(i);
+                (void)sink;
+            }
+        });
+    }
+    ThreadPool::instance().resize(1);
+
+    const std::string path = "mrq_test_trace_chunks.json";
+    ASSERT_TRUE(obs::writeTrace(path));
+    const std::string text = readAll(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(balancedJson(text)) << text;
+    // Chunk events exist, are parented under the launching span's
+    // path, and at least one ran on a non-main track.
+    EXPECT_NE(text.find("\"pool.chunk\""), std::string::npos);
+    EXPECT_NE(text.find("chunk_region/pool.chunk"), std::string::npos);
+    EXPECT_NE(text.find("\"tid\": 1"), std::string::npos);
+}
+
+TEST(TraceExport, DisabledExportBuffersNothing)
+{
+    ExportTestGuard guard(/*export_on=*/false);
+    {
+        MRQ_TRACE_SPAN("no_export_span");
+    }
+    obs::traceCounterSample("no_export.counter", 1.0);
+    obs::traceInstant("no_export", "detail");
+    EXPECT_EQ(obs::traceBufferedEvents(), 0u);
+    EXPECT_EQ(obs::traceDroppedEvents(), 0u);
+}
+
+} // namespace
+} // namespace mrq

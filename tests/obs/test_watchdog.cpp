@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Watchdog tests: rule detection (NaN loss, divergence, rung
+ * inversion, cache floor), determinism of the emitted alert records
+ * across thread-pool sizes, and the strict-mode abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mrq {
+namespace {
+
+class WatchdogTestGuard
+{
+  public:
+    WatchdogTestGuard() : prevMetrics_(obs::setMetricsEnabled(true))
+    {
+        obs::MetricsRegistry::instance().reset();
+    }
+    ~WatchdogTestGuard()
+    {
+        ThreadPool::instance().resize(1);
+        obs::MetricsRegistry::instance().reset();
+        obs::setMetricsEnabled(prevMetrics_);
+    }
+
+  private:
+    bool prevMetrics_;
+};
+
+obs::WatchdogConfig
+onConfig()
+{
+    obs::WatchdogConfig cfg;
+    cfg.mode = obs::WatchdogMode::on;
+    return cfg;
+}
+
+std::vector<obs::Snapshot::AlertRecord>
+recordedAlerts()
+{
+    return obs::MetricsRegistry::instance().snapshot().alerts;
+}
+
+TEST(Watchdog, NanLossRaisesFatalAlert)
+{
+    WatchdogTestGuard guard;
+    obs::Watchdog wd(onConfig());
+
+    wd.checkLoss("trainer.teacher", 7,
+                 std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(wd.alertCount(), 1);
+
+    const auto alerts = recordedAlerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].severity, "fatal");
+    EXPECT_EQ(alerts[0].rule, "nan_loss");
+    EXPECT_EQ(alerts[0].context, "trainer.teacher");
+    EXPECT_EQ(alerts[0].batch, 7);
+
+    wd.checkLoss("trainer.teacher", 8,
+                 -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(wd.alertCount(), 2);
+}
+
+TEST(Watchdog, LossDivergenceAgainstTrailingMedian)
+{
+    WatchdogTestGuard guard;
+    obs::WatchdogConfig cfg = onConfig();
+    cfg.warmupBatches = 4;
+    cfg.medianWindow = 8;
+    cfg.divergenceFactor = 2.0;
+    obs::Watchdog wd(cfg);
+
+    for (int b = 0; b < 6; ++b)
+        wd.checkLoss("stream", b, 1.0);
+    EXPECT_EQ(wd.alertCount(), 0) << "steady losses must not alert";
+
+    wd.checkLoss("stream", 6, 10.0); // 10 > 2.0 * median(1.0)
+    EXPECT_EQ(wd.alertCount(), 1);
+    const auto alerts = recordedAlerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].rule, "loss_divergence");
+    EXPECT_EQ(alerts[0].severity, "warn");
+    EXPECT_EQ(alerts[0].batch, 6);
+
+    // Windows are per context: a fresh context restarts its warmup.
+    wd.checkLoss("other_stream", 0, 50.0);
+    EXPECT_EQ(wd.alertCount(), 1);
+}
+
+TEST(Watchdog, RungInversionHigherIsBetter)
+{
+    WatchdogTestGuard guard;
+    obs::WatchdogConfig cfg = onConfig();
+    cfg.rungTolerance = 0.02;
+    obs::Watchdog wd(cfg);
+
+    // Monotone ladder: no alert.
+    wd.checkRungMonotonicity("run", -1, {"a4", "a8", "a16"},
+                             {0.5, 0.6, 0.7}, true);
+    EXPECT_EQ(wd.alertCount(), 0);
+
+    // Middle rung beats the top rung by > tolerance: one alert.
+    wd.checkRungMonotonicity("run", -1, {"a4", "a8", "a16"},
+                             {0.5, 0.9, 0.6}, true);
+    EXPECT_EQ(wd.alertCount(), 1);
+    const auto alerts = recordedAlerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].rule, "rung_inversion");
+    EXPECT_EQ(alerts[0].batch, -1);
+    EXPECT_NE(alerts[0].detail.find("a16"), std::string::npos);
+    EXPECT_NE(alerts[0].detail.find("a8"), std::string::npos);
+
+    // A dip within tolerance stays quiet.
+    wd.checkRungMonotonicity("run", -1, {"a4", "a8"}, {0.70, 0.69},
+                             true);
+    EXPECT_EQ(wd.alertCount(), 1);
+}
+
+TEST(Watchdog, RungInversionLowerIsBetterForPerplexity)
+{
+    WatchdogTestGuard guard;
+    obs::WatchdogConfig cfg = onConfig();
+    cfg.rungTolerance = 0.5;
+    obs::Watchdog wd(cfg);
+
+    // Perplexity decreasing with budget: healthy.
+    wd.checkRungMonotonicity("lm", -1, {"a4", "a8"}, {20.0, 12.0},
+                             false);
+    EXPECT_EQ(wd.alertCount(), 0);
+
+    // Bigger rung with *higher* perplexity: inversion.
+    wd.checkRungMonotonicity("lm", -1, {"a4", "a8"}, {12.0, 20.0},
+                             false);
+    EXPECT_EQ(wd.alertCount(), 1);
+}
+
+TEST(Watchdog, CacheHitRateFloor)
+{
+    WatchdogTestGuard guard;
+    obs::WatchdogConfig cfg = onConfig();
+    cfg.cacheHitRateFloor = 0.5;
+    cfg.cacheMinLookups = 10;
+    obs::Watchdog wd(cfg);
+
+    wd.checkCacheHitRate("run", 100, 1, 3); // 4 lookups: grace period.
+    EXPECT_EQ(wd.alertCount(), 0);
+    wd.checkCacheHitRate("run", 200, 9, 2); // 81% >= floor.
+    EXPECT_EQ(wd.alertCount(), 0);
+    wd.checkCacheHitRate("run", 300, 2, 18); // 10% < floor.
+    EXPECT_EQ(wd.alertCount(), 1);
+    const auto alerts = recordedAlerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].rule, "cache_hit_rate_floor");
+    EXPECT_EQ(alerts[0].batch, 300);
+}
+
+TEST(Watchdog, DisabledModeChecksNothing)
+{
+    WatchdogTestGuard guard;
+    obs::WatchdogConfig cfg;
+    cfg.mode = obs::WatchdogMode::off;
+    obs::Watchdog wd(cfg);
+
+    wd.checkLoss("x", 0, std::numeric_limits<double>::quiet_NaN());
+    wd.checkRungMonotonicity("x", -1, {"a", "b"}, {1.0, 0.0}, true);
+    wd.checkCacheHitRate("x", 0, 0, 1000);
+    EXPECT_EQ(wd.alertCount(), 0);
+    EXPECT_TRUE(recordedAlerts().empty());
+}
+
+/** The same check sequence must yield byte-identical alert records at
+ *  any pool size (the JSONL determinism contract for alerts). */
+TEST(Watchdog, AlertsIdenticalAcrossThreadCounts)
+{
+    WatchdogTestGuard guard;
+
+    auto run_sequence = [] {
+        obs::MetricsRegistry::instance().reset();
+        obs::WatchdogConfig cfg = onConfig();
+        cfg.warmupBatches = 2;
+        cfg.medianWindow = 4;
+        cfg.divergenceFactor = 1.5;
+        obs::Watchdog wd(cfg);
+        for (int b = 0; b < 4; ++b)
+            wd.checkLoss("seq", b, 0.75);
+        wd.checkLoss("seq", 4, 123.456789012345);
+        wd.checkRungMonotonicity("seq", -1, {"lo", "hi"},
+                                 {0.9, 0.1}, true);
+        wd.checkCacheHitRate("seq", 5, 1, 99);
+        return recordedAlerts();
+    };
+
+    ThreadPool::instance().resize(1);
+    const auto at1 = run_sequence();
+    ThreadPool::instance().resize(4);
+    const auto at4 = run_sequence();
+    ThreadPool::instance().resize(1);
+
+    ASSERT_EQ(at1.size(), 3u);
+    ASSERT_EQ(at1.size(), at4.size());
+    for (std::size_t i = 0; i < at1.size(); ++i) {
+        EXPECT_EQ(at1[i].severity, at4[i].severity);
+        EXPECT_EQ(at1[i].rule, at4[i].rule);
+        EXPECT_EQ(at1[i].context, at4[i].context);
+        EXPECT_EQ(at1[i].batch, at4[i].batch);
+        EXPECT_EQ(at1[i].detail, at4[i].detail);
+    }
+}
+
+TEST(Watchdog, ModeParsing)
+{
+    EXPECT_EQ(obs::Watchdog(onConfig()).config().mode,
+              obs::WatchdogMode::on);
+    obs::WatchdogConfig strict;
+    strict.mode = obs::WatchdogMode::strict;
+    EXPECT_TRUE(obs::Watchdog(strict).enabled());
+    obs::WatchdogConfig off;
+    off.mode = obs::WatchdogMode::off;
+    EXPECT_FALSE(obs::Watchdog(off).enabled());
+}
+
+using WatchdogDeathTest = ::testing::Test;
+
+TEST(WatchdogDeathTest, StrictModeAbortsWithCode70OnFatal)
+{
+    WatchdogTestGuard guard;
+    obs::WatchdogConfig cfg;
+    cfg.mode = obs::WatchdogMode::strict;
+
+    EXPECT_EXIT(
+        {
+            obs::Watchdog wd(cfg);
+            wd.checkLoss("strict.ctx", 3,
+                         std::numeric_limits<double>::quiet_NaN());
+        },
+        ::testing::ExitedWithCode(70), "fatal alert");
+
+    // Warn-severity rules do not abort even in strict mode.
+    obs::Watchdog wd(cfg);
+    wd.checkRungMonotonicity("strict.ctx", -1, {"a", "b"}, {1.0, 0.0},
+                             true);
+    EXPECT_EQ(wd.alertCount(), 1);
+}
+
+} // namespace
+} // namespace mrq

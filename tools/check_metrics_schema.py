@@ -13,6 +13,9 @@ Schema (one JSON object per line):
                    "total": int == sum(counts), "sum": int}
   series lines    {"type": "series", "name": str, "step": int,
                    "value": number}
+  alert lines     {"type": "alert", "severity": "warn"|"fatal",
+                   "rule": str, "context": str, "batch": int,
+                   "detail": str}   (watchdog; deterministic inputs)
 
 A RunScope appends one block per run, so a file may contain several
 manifest lines; each starts a new block.  Timings must never appear
@@ -39,7 +42,8 @@ def check_name(path, lineno, obj):
 def check_file(path):
     lines = 0
     manifests = 0
-    kinds = {"counter": 0, "gauge": 0, "hist": 0, "series": 0}
+    kinds = {"counter": 0, "gauge": 0, "hist": 0, "series": 0,
+             "alert": 0}
     with open(path, "r", encoding="utf-8") as f:
         for lineno, raw in enumerate(f, start=1):
             raw = raw.strip()
@@ -98,6 +102,17 @@ def check_file(path):
                 if not isinstance(obj.get("value"), (int, float)):
                     fail(path, lineno,
                          f"series value not numeric: {obj}")
+            elif kind == "alert":
+                kinds[kind] += 1
+                if obj.get("severity") not in ("warn", "fatal"):
+                    fail(path, lineno,
+                         f"alert severity must be warn|fatal: {obj}")
+                for key in ("rule", "context", "detail"):
+                    if not isinstance(obj.get(key), str) or not obj[key]:
+                        fail(path, lineno,
+                             f"alert missing/empty {key}: {obj}")
+                if not isinstance(obj.get("batch"), int):
+                    fail(path, lineno, f"alert batch not int: {obj}")
             elif kind == "timing":
                 fail(path, lineno,
                      "timing lines are forbidden in JSONL (wall-clock)")

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate an mrq timeline trace file (stdlib only).
+
+Usage: check_trace_schema.py [--require-counter] FILE [FILE ...]
+
+The file is Chrome trace-event JSON (the "JSON object format"), as
+written by MRQ_TRACE_OUT and loadable in Perfetto / chrome://tracing:
+
+  {"displayTimeUnit": "ms",
+   "otherData": {"droppedEvents": str(int), "threads": str(int)},
+   "traceEvents": [ ... ]}
+
+Event kinds checked:
+  ph=M  metadata: one process_name for pid 1, one thread_name per tid
+  ph=X  complete span: name, pid, tid, numeric ts/dur >= 0,
+        args.path (slash-joined interned span path)
+  ph=C  counter sample: name, numeric args.value
+  ph=i  instant (watchdog alert): s == "p", args.detail
+
+Structural rules: every X/C/i event's tid has a thread_name metadata
+record; ts values are rebased (min ts ~ 0); dur is non-negative.
+--require-counter additionally demands at least one counter track
+(the quickstart acceptance check).  Exits non-zero on the first
+violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path, require_counter):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents missing or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail(path, "otherData missing")
+    try:
+        dropped = int(other.get("droppedEvents", ""))
+        threads = int(other.get("threads", ""))
+    except ValueError:
+        fail(path, f"otherData counts not integral: {other}")
+    if dropped < 0 or threads < 1:
+        fail(path, f"otherData counts out of range: {other}")
+
+    named_tids = set()
+    process_named = False
+    used_tids = set()
+    counts = {"X": 0, "C": 0, "i": 0, "M": 0}
+    counter_tracks = set()
+    min_ts = None
+
+    for n, ev in enumerate(events):
+        where = f"traceEvents[{n}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in counts:
+            fail(path, f"{where}: unknown ph {ph!r}")
+        counts[ph] += 1
+        if ev.get("pid") != 1:
+            fail(path, f"{where}: pid must be 1")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(path, f"{where}: missing event name")
+
+        if ph == "M":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args.get("name"):
+                fail(path, f"{where}: metadata without args.name")
+            if name == "process_name":
+                process_named = True
+            elif name == "thread_name":
+                named_tids.add(ev.get("tid"))
+            else:
+                fail(path, f"{where}: unexpected metadata {name!r}")
+            continue
+
+        tid = ev.get("tid")
+        if not isinstance(tid, int):
+            fail(path, f"{where}: missing integer tid")
+        used_tids.add(tid)
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(path, f"{where}: bad ts {ts!r}")
+        min_ts = ts if min_ts is None else min(min_ts, ts)
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            fail(path, f"{where}: missing args")
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, f"{where}: bad dur {dur!r}")
+            span_path = args.get("path")
+            if not isinstance(span_path, str) or not span_path:
+                fail(path, f"{where}: X event without args.path")
+            if not span_path.endswith(name):
+                fail(path,
+                     f"{where}: name {name!r} not the leaf of "
+                     f"path {span_path!r}")
+        elif ph == "C":
+            if not isinstance(args.get("value"), (int, float)):
+                fail(path, f"{where}: counter without numeric value")
+            counter_tracks.add(name)
+        elif ph == "i":
+            if ev.get("s") != "p":
+                fail(path, f"{where}: instant scope must be 'p'")
+            if not isinstance(args.get("detail"), str):
+                fail(path, f"{where}: instant without args.detail")
+
+    if not process_named:
+        fail(path, "no process_name metadata")
+    missing = used_tids - named_tids
+    if missing:
+        fail(path, f"tids without thread_name metadata: {sorted(missing)}")
+    if counts["X"] == 0:
+        fail(path, "no span (ph=X) events")
+    if require_counter and not counter_tracks:
+        fail(path, "no counter (ph=C) track present")
+    # Timestamps are rebased to the earliest event; allow slack for
+    # drop-oldest evicting the very first spans.
+    if min_ts is not None and min_ts > 1e9:
+        fail(path, f"ts values look absolute (min ts {min_ts})")
+
+    print(f"{path}: OK ({counts['X']} spans on {len(named_tids)} "
+          f"thread(s), {len(counter_tracks)} counter track(s), "
+          f"{counts['i']} instant(s), {dropped} dropped)")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--require-counter"]
+    require_counter = len(args) != len(argv) - 1
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in args:
+        check_file(path, require_counter)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
