@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "core/fake_quant.hpp"
 #include "nn/conv.hpp"
+#include "obs/inspect.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/thread_pool.hpp"
@@ -159,4 +160,70 @@ MRQ_BENCH(runtime_span_overhead, "Obs layer",
     ctx.printf("  per-span cost: disabled %.1fns, aggregate %.1fns, "
                "timeline %.1fns\n",
                off_ms * scale, agg_ms * scale, timeline_ms * scale);
+}
+
+MRQ_BENCH(inspector_overhead, "Obs layer",
+          "QuantInspector cost: disabled / every step / sampled at 50")
+{
+    // 50 train-shaped steps, each projecting one TQ weight matrix and
+    // one activation tensor, at the three inspector states.  Timings
+    // are wall-clock only; the record counts are deterministic and
+    // gate the sampling contract (every=1 records 50x what every=50
+    // does).
+    Rng rng(77);
+    const Tensor w = randomTensor({128, 512}, rng, 0.3f);
+    const Tensor x = randomTensor({64, 512}, rng);
+    SubModelConfig tq;
+    tq.mode = QuantMode::Tq;
+    tq.bits = 5;
+    tq.groupSize = 16;
+    tq.alpha = 14;
+    tq.beta = 3;
+
+    obs::QuantInspector& inspector = obs::QuantInspector::instance();
+    const int kSteps = ctx.quick() ? 10 : 50;
+    const auto train_like = [&] {
+        for (int s = 0; s < kSteps; ++s) {
+            inspector.beginStep(s);
+            fakeQuantWeights(w, 1.0f, tq);
+            fakeQuantData(x, 4.0f, tq);
+            inspector.endStep();
+        }
+    };
+
+    const bool prev_enabled = inspector.setEnabled(false);
+    const std::int64_t prev_every = inspector.setEvery(1);
+    inspector.reset();
+    const double off_ms = bestOf3(train_like);
+
+    inspector.setEnabled(true);
+    inspector.reset();
+    train_like();
+    const double every1_records =
+        static_cast<double>(inspector.recordCount());
+    inspector.reset();
+    const double every1_ms = bestOf3(train_like);
+
+    inspector.setEvery(50);
+    inspector.reset();
+    train_like();
+    const double sampled_records =
+        static_cast<double>(inspector.recordCount());
+    inspector.reset();
+    const double sampled_ms = bestOf3(train_like);
+
+    inspector.setEnabled(prev_enabled);
+    inspector.setEvery(prev_every);
+    inspector.reset();
+
+    ctx.timingValue("inspect_disabled_ms", off_ms);
+    ctx.timingValue("inspect_every1_ms", every1_ms);
+    ctx.timingValue("inspect_sampled50_ms", sampled_ms);
+    ctx.value("inspect_every1_records", every1_records);
+    ctx.value("inspect_sampled50_records", sampled_records);
+    ctx.printf("  %d steps: disabled %.2fms, every=1 %.2fms, "
+               "every=50 %.2fms (records %d vs %d)\n",
+               kSteps, off_ms, every1_ms, sampled_ms,
+               static_cast<int>(every1_records),
+               static_cast<int>(sampled_records));
 }

@@ -260,12 +260,10 @@ parseRunnerOptions(int argc, char** argv)
 {
     RunnerOptions opts;
     opts.quick = obs::envTruthy("MRQ_BENCH_QUICK");
-    if (const char* reps = std::getenv("MRQ_BENCH_REPS"))
-        opts.repsOverride = std::atoi(reps);
-    if (const char* out = std::getenv("MRQ_BENCH_OUT"))
-        opts.outPath = out;
-    if (const char* suite = std::getenv("MRQ_BENCH_SUITE"))
-        opts.suite = suite;
+    opts.repsOverride =
+        static_cast<int>(obs::envLong("MRQ_BENCH_REPS", 0));
+    opts.outPath = obs::envValue("MRQ_BENCH_OUT", "");
+    opts.suite = obs::envValue("MRQ_BENCH_SUITE", "");
     if (opts.suite.empty())
         opts.suite = baseSuiteName(argc > 0 ? argv[0] : nullptr);
 

@@ -17,14 +17,21 @@
  *                                tools/trace_report.py)
  *     MRQ_PROFILE=1              hierarchical span profile on stdout
  *     MRQ_WATCHDOG=on|strict     training-health alerts in the JSONL
+ *     MRQ_INSPECT=on             per-layer/per-rung numerical-health
+ *                                records in MRQ_INSPECT_OUT
+ *                                (default inspect.jsonl;
+ *                                tools/check_inspect_schema.py,
+ *                                tools/inspect_report.py)
  *
- * Runtime: a few seconds on one core.
+ * Exits non-zero when any telemetry sink failed to flush, so CI
+ * catches silently lost files.  Runtime: a few seconds on one core.
  */
 
 #include <cstdio>
 
 #include "data/synth_images.hpp"
 #include "models/classifiers.hpp"
+#include "obs/manifest.hpp"
 #include "train/pipelines.hpp"
 
 int
@@ -65,5 +72,5 @@ main()
     for (const SubModelResult& r : result.subModels)
         std::printf("%-8s accuracy %.3f  term pairs %zu\n",
                     r.config.name().c_str(), r.metric, r.termPairs);
-    return 0;
+    return obs::sinkFlushFailures() == 0 ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/uniform_quant.hpp"
+#include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -28,6 +29,83 @@ obs::IntHistogram h_w_dropped("core.tq.weight_dropped_terms_per_group",
 obs::IntHistogram h_x_kept("core.tq.data_kept_terms_per_value", 9);
 obs::Counter c_w_projections("core.fake_quant.weight_projections");
 obs::Counter c_x_projections("core.fake_quant.data_projections");
+
+/** Magnitude mass (sum of 2^exponent) and term count of a lattice
+ *  value under the rung's encoding. */
+void
+termMass(std::int64_t value, TermEncoding encoding, std::int64_t* mass,
+         std::int64_t* terms)
+{
+    for (const Term& t : encodeTerms(value, encoding)) {
+        *mass += std::int64_t{1} << t.exponent;
+        *terms += 1;
+    }
+}
+
+/**
+ * Introspect one weight projection (sampled steps only; serial, after
+ * the parallel region, so the accumulation order is fixed).  SQNR of
+ * @p out against @p w; for TQ additionally the magnitude mass and
+ * term counts kept vs dropped at the rung's budget.  @p out lies on
+ * the UQ lattice, so quantize() recovers the exact kept level and the
+ * residual q_full - q_kept is the sum of the dropped terms.
+ */
+void
+inspectWeightProjection(const Tensor& w, const Tensor& out,
+                        const UniformQuantizer& uq,
+                        const SubModelConfig& cfg)
+{
+    const std::size_t n = w.size();
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = w[i];
+        const double d = v - static_cast<double>(out[i]);
+        signal += v * v;
+        noise += d * d;
+    }
+    obs::QuantInspector& inspector = obs::QuantInspector::instance();
+    const int layer = obs::currentInspectLayer();
+    inspector.recordWeightSqnr(layer, cfg.name(),
+                               obs::sqnrDb(signal, noise),
+                               static_cast<std::int64_t>(n));
+    if (cfg.mode != QuantMode::Tq)
+        return;
+    std::int64_t kept_mass = 0;
+    std::int64_t dropped_mass = 0;
+    std::int64_t kept_terms = 0;
+    std::int64_t dropped_terms = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t q_full = uq.quantize(w[i]);
+        const std::int64_t q_kept = uq.quantize(out[i]);
+        termMass(q_kept, cfg.encoding, &kept_mass, &kept_terms);
+        termMass(q_full - q_kept, cfg.encoding, &dropped_mass,
+                 &dropped_terms);
+    }
+    inspector.recordTermEnergy(layer, cfg.name(), kept_mass,
+                               dropped_mass, kept_terms, dropped_terms,
+                               static_cast<std::int64_t>(n));
+}
+
+/** Introspect one data projection: SQNR of @p out against the
+ *  clamped input @p x (sampled steps only; serial). */
+void
+inspectDataProjection(const Tensor& x, const Tensor& out,
+                      const SubModelConfig& cfg)
+{
+    const std::size_t n = x.size();
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = x[i];
+        const double d = v - static_cast<double>(out[i]);
+        signal += v * v;
+        noise += d * d;
+    }
+    obs::QuantInspector::instance().recordActSqnr(
+        obs::currentInspectLayer(), cfg.name(),
+        obs::sqnrDb(signal, noise), static_cast<std::int64_t>(n));
+}
 
 } // namespace
 
@@ -77,6 +155,8 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
         if (stats) {
             stats->units += n;
         }
+        if (obs::inspectSampling())
+            inspectWeightProjection(w, out, uq, cfg);
         return out;
     }
 
@@ -127,6 +207,8 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
         stats->keptTerms += partial.keptTerms;
         stats->units += partial.units;
     }
+    if (obs::inspectSampling())
+        inspectWeightProjection(w, out, uq, cfg);
     return out;
 }
 
@@ -173,6 +255,8 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
             stats->keptTerms += kept;
         stats->units += n;
     }
+    if (obs::inspectSampling())
+        inspectDataProjection(x, out, cfg);
     return out;
 }
 

@@ -1,5 +1,9 @@
 #include "core/multires_trainer.hpp"
 
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -14,6 +18,34 @@ obs::Counter c_single_iterations("train.single_iterations");
  *  bucket per rung index (ladders are small; 16 covers Fig. 24's
  *  largest sweep), so a biased draw is visible at a glance. */
 obs::IntHistogram h_student_draw("train.student_draw", 17);
+
+/**
+ * Record the post-backward L2 norm of every trainable parameter's
+ * gradient (sampled steps only; serial double accumulation).  Names
+ * repeat across layers ("pact.clip", "conv.w"), so each gets its
+ * parameter-list index appended — the collection order is the model's
+ * fixed traversal order, hence deterministic.
+ */
+void
+recordGradNorms(Module& model, const std::string& rung)
+{
+    obs::QuantInspector& inspector = obs::QuantInspector::instance();
+    const std::vector<Parameter*> params = model.parameters();
+    for (std::size_t idx = 0; idx < params.size(); ++idx) {
+        const Parameter* p = params[idx];
+        if (!p->trainable || p->grad.size() == 0)
+            continue;
+        double sq = 0.0;
+        for (std::size_t i = 0; i < p->grad.size(); ++i) {
+            const double g = p->grad[i];
+            sq += g * g;
+        }
+        inspector.recordGradNorm(p->name + "#" + std::to_string(idx),
+                                 rung, std::sqrt(sq),
+                                 static_cast<std::int64_t>(
+                                     p->grad.size()));
+    }
+}
 
 } // namespace
 
@@ -41,6 +73,8 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
     MRQ_TRACE_SPAN("trainer.iteration");
     IterStats stats;
     c_iterations.add(1);
+    obs::QuantInspector& inspector = obs::QuantInspector::instance();
+    inspector.beginStep(batchIndex_);
     opt_.zeroGrad();
 
     // Teacher pass: highest-resolution sub-model, task loss only
@@ -64,10 +98,11 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
         ladder_.size() > 1 ? ladder_.size() - 1 : 1;
     stats.studentIndex = rng_.uniformInt(draws);
     h_student_draw.record(stats.studentIndex);
+    Tensor student_out;
     {
         MRQ_TRACE_SPAN("student");
         ctx_.config = ladder_[stats.studentIndex];
-        Tensor student_out = model_.forward(input);
+        student_out = model_.forward(input);
         Tensor d_student;
         stats.studentLoss = hard(student_out, &d_student);
         if (opts_.useDistillation && soft) {
@@ -81,6 +116,22 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
         model_.backward(d_student);
     }
 
+    // Sampled-step introspection: gradient norms over the summed
+    // teacher+student gradients (hence rung "mixed") and the
+    // teacher/student logit agreement of this distillation draw.
+    if (obs::inspectSampling()) {
+        recordGradNorms(model_, "mixed");
+        if (teacher_out.rank() == 2 && ladder_.size() > 1) {
+            double kl = 0.0;
+            double top1 = 0.0;
+            logitAgreement(student_out, teacher_out, &kl, &top1);
+            inspector.recordRungAgreement(
+                "trainer", ladder_[stats.studentIndex].name(),
+                ladder_.back().name(), kl, top1,
+                static_cast<std::int64_t>(teacher_out.dim(0)));
+        }
+    }
+
     // One update over the summed gradients (Step 9).
     opt_.step();
 
@@ -90,6 +141,8 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
     const std::int64_t batch = batchIndex_++;
     watchdog_.checkLoss("trainer.teacher", batch, stats.teacherLoss);
     watchdog_.checkLoss("trainer.student", batch, stats.studentLoss);
+    inspector.feedWatchdog(watchdog_, batch);
+    inspector.endStep();
     if (obs::traceExportEnabled()) {
         obs::traceCounterSample("loss.teacher", stats.teacherLoss);
         obs::traceCounterSample("loss.student", stats.studentLoss);
@@ -104,15 +157,21 @@ MultiResTrainer::trainIterationSingle(const Tensor& input,
 {
     MRQ_TRACE_SPAN("trainer.iteration_single");
     c_single_iterations.add(1);
+    obs::QuantInspector& inspector = obs::QuantInspector::instance();
+    inspector.beginStep(batchIndex_);
     opt_.zeroGrad();
     ctx_.config = cfg;
     Tensor out = model_.forward(input);
     Tensor dout;
     const float loss = hard(out, &dout);
     model_.backward(dout);
+    if (obs::inspectSampling())
+        recordGradNorms(model_, cfg.name());
     opt_.step();
     const std::int64_t batch = batchIndex_++;
     watchdog_.checkLoss("trainer.single", batch, loss);
+    inspector.feedWatchdog(watchdog_, batch);
+    inspector.endStep();
     if (obs::traceExportEnabled())
         obs::traceCounterSample("loss.single", loss);
     return loss;

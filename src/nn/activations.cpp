@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/inspect.hpp"
+
 namespace mrq {
 
 Tensor
@@ -50,8 +52,26 @@ PactQuant::forward(const Tensor& x)
     for (std::size_t i = 0; i < y.size(); ++i)
         y[i] = std::clamp(y[i], lo, a);
     if (ctx_ != nullptr && ctx_->config.mode != QuantMode::None) {
+        if (obs::inspectSampling()) {
+            // Clip saturation against the *input*: how much of the
+            // distribution the learned clip cuts off (PACT's health
+            // signal), plus the clip value itself so its trajectory is
+            // reconstructible from the records.  Counted serially; the
+            // input is bit-identical at any MRQ_THREADS.
+            if (inspectId_ < 0)
+                inspectId_ =
+                    obs::QuantInspector::instance().registerLayer(
+                        "pact");
+            std::int64_t saturated = 0;
+            for (std::size_t i = 0; i < x.size(); ++i)
+                saturated += x[i] >= a || (isSigned_ && x[i] <= -a);
+            obs::QuantInspector::instance().recordClipSat(
+                inspectId_, ctx_->config.name(), a, saturated,
+                static_cast<std::int64_t>(x.size()));
+        }
         QuantStats* stats =
             ctx_->collectStats ? &ctx_->dataStats : nullptr;
+        obs::InspectLayerScope inspect_scope(inspectId_);
         y = fakeQuantData(y, a, ctx_->config, stats, isSigned_);
     }
     return y;

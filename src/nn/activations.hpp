@@ -50,6 +50,9 @@ class PactQuant : public Module
     Parameter clip_{"pact.clip"};
     QuantContext* ctx_ = nullptr;
     Tensor cachedInput_;
+
+    /** Inspector layer id, registered on the first sampled forward. */
+    int inspectId_ = -1;
 };
 
 } // namespace mrq

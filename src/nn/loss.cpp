@@ -178,4 +178,50 @@ top1Accuracy(const Tensor& logits, const std::vector<int>& labels)
                   : static_cast<double>(hits) / static_cast<double>(n);
 }
 
+void
+logitAgreement(const Tensor& logits, const Tensor& ref, double* kl,
+               double* top1_match)
+{
+    require(logits.rank() == 2, "logitAgreement: [N, C] required");
+    require(logits.sameShape(ref), "logitAgreement: shape mismatch");
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    double kl_sum = 0.0;
+    std::size_t matches = 0;
+    std::vector<double> log_p(c), log_q(c);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Row-wise log-softmax of both tensors in double.
+        double max_p = -1e300, max_q = -1e300;
+        for (std::size_t j = 0; j < c; ++j) {
+            max_p = std::max(max_p, static_cast<double>(ref(i, j)));
+            max_q = std::max(max_q, static_cast<double>(logits(i, j)));
+        }
+        double denom_p = 0.0, denom_q = 0.0;
+        for (std::size_t j = 0; j < c; ++j) {
+            log_p[j] = static_cast<double>(ref(i, j)) - max_p;
+            log_q[j] = static_cast<double>(logits(i, j)) - max_q;
+            denom_p += std::exp(log_p[j]);
+            denom_q += std::exp(log_q[j]);
+        }
+        const double log_denom_p = std::log(denom_p);
+        const double log_denom_q = std::log(denom_q);
+        std::size_t best_p = 0, best_q = 0;
+        for (std::size_t j = 0; j < c; ++j) {
+            log_p[j] -= log_denom_p;
+            log_q[j] -= log_denom_q;
+            kl_sum += std::exp(log_p[j]) * (log_p[j] - log_q[j]);
+            if (ref(i, j) > ref(i, best_p))
+                best_p = j;
+            if (logits(i, j) > logits(i, best_q))
+                best_q = j;
+        }
+        matches += best_p == best_q;
+    }
+    if (kl)
+        *kl = n == 0 ? 0.0 : kl_sum / static_cast<double>(n);
+    if (top1_match)
+        *top1_match = n == 0 ? 0.0
+                             : static_cast<double>(matches) /
+                                   static_cast<double>(n);
+}
+
 } // namespace mrq

@@ -59,6 +59,16 @@ float bceWithLogits(const Tensor& logits, const Tensor& target,
 /** Top-1 accuracy of [N, C] logits against labels, in [0, 1]. */
 double top1Accuracy(const Tensor& logits, const std::vector<int>& labels);
 
+/**
+ * Inter-rung agreement of two [N, C] logit tensors (the inspector's
+ * rung_agree record): mean KL(softmax(ref) || softmax(logits)) over
+ * rows into @p kl, fraction of rows with matching argmax into
+ * @p top1_match.  Computed serially in double precision, so the
+ * values are bit-identical at any MRQ_THREADS.
+ */
+void logitAgreement(const Tensor& logits, const Tensor& ref, double* kl,
+                    double* top1_match);
+
 } // namespace mrq
 
 #endif // MRQ_NN_LOSS_HPP

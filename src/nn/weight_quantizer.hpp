@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nn/module.hpp"
+#include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -123,6 +124,15 @@ class WeightQuantizer
         cache_misses.add(1);
         CacheEntry entry;
         entry.config = cfg;
+        // Inspector attribution: SQNR / term-energy records made
+        // inside fakeQuantWeights carry this layer's name.  Cache hits
+        // above record nothing, which is itself deterministic: the
+        // miss pattern depends only on Parameter versions and configs,
+        // never on MRQ_THREADS.
+        if (obs::inspectSampling() && inspectId_ < 0)
+            inspectId_ = obs::QuantInspector::instance().registerLayer(
+                layerHint().c_str());
+        obs::InspectLayerScope inspect_scope(inspectId_);
         entry.projected = fakeQuantWeights(w.value, clip(), cfg,
                                            &entry.stats);
         if (ctx_->collectStats)
@@ -169,6 +179,18 @@ class WeightQuantizer
         ctx_->weightStats.units += s.units;
     }
 
+    /** Layer-kind hint for inspector names: the clip parameter is
+     *  named "<kind>.clip_w", so the prefix identifies the owner. */
+    std::string
+    layerHint() const
+    {
+        const std::string& name = clip_.name;
+        const std::size_t dot = name.find('.');
+        return dot == std::string::npos || dot == 0
+                   ? std::string("wq")
+                   : name.substr(0, dot);
+    }
+
     Parameter clip_;
     QuantContext* ctx_ = nullptr;
 
@@ -178,6 +200,9 @@ class WeightQuantizer
     std::vector<CacheEntry> cache_;
     std::uint64_t cachedWeightVersion_ = ~std::uint64_t{0};
     std::uint64_t cachedClipVersion_ = ~std::uint64_t{0};
+
+    /** Inspector layer id, registered on the first sampled miss. */
+    int inspectId_ = -1;
 };
 
 } // namespace mrq

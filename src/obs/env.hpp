@@ -61,6 +61,28 @@ envSet(const char* name)
     return v != nullptr && v[0] != '\0';
 }
 
+/** Value of @p name, or @p fallback when unset/empty (path-valued
+ *  knobs with a default, e.g. MRQ_INSPECT_OUT). */
+inline const char*
+envValue(const char* name, const char* fallback)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' ? v : fallback;
+}
+
+/** Integer value of @p name; @p fallback when unset, empty, or not a
+ *  full base-10 integer (no silent prefix parsing). */
+inline long
+envLong(const char* name, long fallback)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    return end != v && *end == '\0' ? parsed : fallback;
+}
+
 } // namespace obs
 } // namespace mrq
 

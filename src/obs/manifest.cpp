@@ -1,9 +1,11 @@
 #include "obs/manifest.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace_export.hpp"
@@ -93,6 +95,17 @@ resolveTraceOutPath(const std::string& run)
     return path;
 }
 
+std::atomic<std::int64_t> g_sink_flush_failures{0};
+
+/** Report one lost sink file and count it for sinkFlushFailures(). */
+void
+sinkLost(const char* what, const std::string& run)
+{
+    std::fprintf(stderr, "mrq: %s for run '%s' were lost\n", what,
+                 run.c_str());
+    g_sink_flush_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
 } // namespace
 
 const char*
@@ -153,6 +166,10 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     } else {
         prevEnabled_ = metricsEnabled();
     }
+    // A fresh run gets a fresh inspector block: drop stale records but
+    // keep the layer registry (layer objects cache their ids).
+    if (QuantInspector::instance().enabled())
+        QuantInspector::instance().reset();
     pushScope(this);
 }
 
@@ -166,9 +183,9 @@ RunScope::flush()
         if (const char* path = std::getenv("MRQ_METRICS_OUT")) {
             if (!MetricsRegistry::instance().writeJsonl(
                     path, manifestJson(manifest_)))
-                std::fprintf(stderr,
-                             "mrq: metrics for run '%s' were lost\n",
-                             manifest_.run.c_str());
+                sinkLost("metrics", manifest_.run);
+            else if (verbose_)
+                std::fprintf(stdout, "mrq: metrics -> %s\n", path);
         }
         if (verbose_)
             MetricsRegistry::instance().printSummary(stdout);
@@ -180,8 +197,18 @@ RunScope::flush()
         // the timeline so far, so the last run's write holds the
         // whole process.
         if (!path.empty() && !writeTrace(path))
-            std::fprintf(stderr, "mrq: timeline for run '%s' was lost\n",
-                         manifest_.run.c_str());
+            sinkLost("timeline", manifest_.run);
+    }
+    QuantInspector& inspector = QuantInspector::instance();
+    if (inspector.enabled()) {
+        // Appended, manifest line first: several runs in one process
+        // stack their blocks in the same file, mirroring metrics.
+        const std::string path = inspector.outPath();
+        if (!inspector.writeJsonl(path, manifestJson(manifest_),
+                                  /*append=*/true))
+            sinkLost("inspector records", manifest_.run);
+        else if (verbose_)
+            std::fprintf(stdout, "mrq: inspector -> %s\n", path.c_str());
     }
 }
 
@@ -206,6 +233,12 @@ flushActiveRunScope()
     }
     for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
         (*it)->flush();
+}
+
+std::int64_t
+sinkFlushFailures()
+{
+    return g_sink_flush_failures.load(std::memory_order_relaxed);
 }
 
 } // namespace obs

@@ -105,6 +105,14 @@ class RunScope
  *  Safe to call with none active. */
 void flushActiveRunScope();
 
+/**
+ * Process-wide count of sink writes that failed during RunScope
+ * flushes (metrics, timeline or inspector files that could not be
+ * written).  Lets drivers propagate a non-zero exit status instead of
+ * silently losing telemetry: `return sinkFlushFailures() == 0 ? 0 : 1`.
+ */
+std::int64_t sinkFlushFailures();
+
 } // namespace obs
 } // namespace mrq
 

@@ -165,9 +165,66 @@ Watchdog::checkCacheHitRate(const std::string& context,
 }
 
 void
+Watchdog::checkSqnr(const std::string& context, std::int64_t batch,
+                    double sqnr_db)
+{
+    if (!enabled())
+        return;
+    std::deque<double>& window = sqnrWindows_[context];
+    if (static_cast<int>(window.size()) >= cfg_.sqnrWarmup &&
+        !window.empty()) {
+        std::vector<double> sorted(window.begin(), window.end());
+        const std::size_t mid = sorted.size() / 2;
+        std::nth_element(sorted.begin(), sorted.begin() + mid,
+                         sorted.end());
+        const double median = sorted[mid];
+        if (sqnr_db < median - cfg_.sqnrCollapseDb)
+            raise("warn", "sqnr_collapse", context, batch,
+                  "sqnr_db=" + formatValue(sqnr_db) +
+                      " median=" + formatValue(median) +
+                      " drop_db=" + formatValue(cfg_.sqnrCollapseDb));
+    }
+    window.push_back(sqnr_db);
+    while (static_cast<int>(window.size()) > cfg_.sqnrWindow)
+        window.pop_front();
+}
+
+void
+Watchdog::checkSaturation(const std::string& context, std::int64_t batch,
+                          double rate, std::int64_t samples)
+{
+    if (!enabled() || samples < cfg_.satMinSamples)
+        return;
+    if (rate > cfg_.satRateCeiling)
+        raise("warn", "saturation_ceiling", context, batch,
+              "rate=" + formatValue(rate) + " over " +
+                  std::to_string(samples) +
+                  " values, ceiling=" + formatValue(cfg_.satRateCeiling));
+}
+
+void
+Watchdog::checkRungKl(const std::string& context, std::int64_t batch,
+                      double kl)
+{
+    if (!enabled())
+        return;
+    if (!std::isfinite(kl) || kl > cfg_.rungKlFatal) {
+        raise("fatal", "rung_kl_blowup", context, batch,
+              "kl=" + formatValue(kl) +
+                  " fatal_above=" + formatValue(cfg_.rungKlFatal));
+        return;
+    }
+    if (kl > cfg_.rungKlWarn)
+        raise("warn", "rung_kl_blowup", context, batch,
+              "kl=" + formatValue(kl) +
+                  " warn_above=" + formatValue(cfg_.rungKlWarn));
+}
+
+void
 Watchdog::resetHistory()
 {
     lossWindows_.clear();
+    sqnrWindows_.clear();
     alerts_ = 0;
 }
 

@@ -23,6 +23,17 @@
  *  - cache_hit_rate_floor (warn): projection-cache hit rate below
  *    cacheHitRateFloor after cacheMinLookups lookups.
  *
+ * Inspector-driven rules (inputs arrive via
+ * QuantInspector::feedWatchdog; see obs/inspect.hpp):
+ *  - sqnr_collapse (warn): a layer/rung SQNR drops more than
+ *    sqnrCollapseDb below its trailing median of the last sqnrWindow
+ *    samples, after sqnrWarmup samples for that context.
+ *  - saturation_ceiling (warn): a PACT clip saturates more than
+ *    satRateCeiling of its values (given >= satMinSamples values).
+ *  - rung_kl_blowup (warn/fatal): teacher/student logit KL above
+ *    rungKlWarn warns; above rungKlFatal — or non-finite — is fatal
+ *    (the distillation signal is gone), honoring strict mode.
+ *
  * Modes (MRQ_WATCHDOG): off (unset/other), on ("1/true/on"), strict
  * ("strict" — additionally flushes all live sinks and aborts the
  * process with exit code 70 on any *fatal* alert).
@@ -65,6 +76,15 @@ struct WatchdogConfig
     double rungTolerance = 0.02;   ///< Nesting-monotonicity epsilon.
     double cacheHitRateFloor = 0.5;
     std::int64_t cacheMinLookups = 64; ///< Grace before the floor rule.
+
+    // Inspector-driven rules.
+    double sqnrCollapseDb = 10.0; ///< Drop vs trailing median (dB).
+    int sqnrWarmup = 4;           ///< Samples before collapse checks.
+    int sqnrWindow = 16;          ///< Trailing SQNR window length.
+    double satRateCeiling = 0.9;  ///< Max tolerated clip saturation.
+    std::int64_t satMinSamples = 64; ///< Grace before the ceiling rule.
+    double rungKlWarn = 1.0;      ///< Teacher/student KL warn level.
+    double rungKlFatal = 10.0;    ///< KL above this (or NaN) is fatal.
 };
 
 /** Rule engine; one instance per trainer (serial use only). */
@@ -114,6 +134,23 @@ class Watchdog
     void checkCacheHitRate(const std::string& context, std::int64_t batch,
                            std::int64_t hits, std::int64_t misses);
 
+    /**
+     * SQNR-collapse check of one projection sample.  @p context names
+     * the layer/rung pair (e.g. "conv#2/a8b2"); the trailing-median
+     * window is kept per context, like checkLoss.
+     */
+    void checkSqnr(const std::string& context, std::int64_t batch,
+                   double sqnr_db);
+
+    /** Clip saturation-rate ceiling ( @p rate in [0, 1] over
+     *  @p samples values; below satMinSamples nothing is judged). */
+    void checkSaturation(const std::string& context, std::int64_t batch,
+                         double rate, std::int64_t samples);
+
+    /** Teacher/student (or rung-pair) logit-KL blowup check. */
+    void checkRungKl(const std::string& context, std::int64_t batch,
+                     double kl);
+
     /** Alerts raised by this instance since construction/reset. */
     std::int64_t
     alertCount() const
@@ -131,6 +168,7 @@ class Watchdog
 
     WatchdogConfig cfg_;
     std::map<std::string, std::deque<double>> lossWindows_;
+    std::map<std::string, std::deque<double>> sqnrWindows_;
     std::int64_t alerts_ = 0;
 };
 

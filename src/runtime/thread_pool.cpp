@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "obs/env.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -47,12 +48,9 @@ configuredThreads()
     std::size_t t = std::thread::hardware_concurrency();
     if (t == 0)
         t = 1;
-    if (const char* env = std::getenv("MRQ_THREADS")) {
-        char* end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            t = static_cast<std::size_t>(v);
-    }
+    const long v = obs::envLong("MRQ_THREADS", 0);
+    if (v > 0)
+        t = static_cast<std::size_t>(v);
     return std::max<std::size_t>(1, t);
 }
 

@@ -8,6 +8,7 @@
 #include "core/term_accounting.hpp"
 #include "data/batcher.hpp"
 #include "nn/loss.hpp"
+#include "obs/inspect.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -371,22 +372,64 @@ classifierPipeline(Sequential& model, const SynthImages& data,
     projCacheCounts(&eval_hits0, &eval_misses0);
     {
         MRQ_TRACE_SPAN("pipeline.eval");
+        obs::InspectEvalScope inspect_eval;
         const SubModelLadder eval_set =
             single_cfg != nullptr ? SubModelLadder{*single_cfg} : ladder;
+
+        // Inter-rung agreement probe: the same leading slice of the
+        // test set is run through every rung, and each pair of rungs
+        // is scored on logit KL + top-1 match.  The probe logits are
+        // captured inside the per-rung loop, right after that rung's
+        // evaluation, so batch-norm statistics are the ones its eval
+        // used.
+        Tensor probe_batch;
+        std::vector<Tensor> probe_logits;
+        if (obs::inspectSampling() && eval_set.size() > 1) {
+            const std::size_t pn = std::min<std::size_t>(
+                64, data.testImages().dim(0));
+            probe_batch =
+                Tensor({pn, 3, data.imageSize(), data.imageSize()});
+            std::copy(data.testImages().data(),
+                      data.testImages().data() + probe_batch.size(),
+                      probe_batch.data());
+        }
+
         for (std::size_t i = 0; i < eval_set.size(); ++i) {
             const SubModelConfig& cfg = eval_set[i];
             SubModelResult r;
             r.config = cfg;
             r.metric = evalClassifier(trainer, data, cfg);
+            if (!probe_batch.empty())
+                probe_logits.push_back(
+                    trainer.inferAt(probe_batch, cfg));
             r.termPairs = termPairCount(macs, cfg);
             recordSubModelEval(i, r);
             obs::logf("phase=eval rung=%s metric=%.4f term_pairs=%zu",
                       cfg.name().c_str(), r.metric, r.termPairs);
             result.subModels.push_back(std::move(r));
         }
+
+        if (probe_logits.size() > 1) {
+            obs::QuantInspector& inspector =
+                obs::QuantInspector::instance();
+            for (std::size_t i = 0; i < probe_logits.size(); ++i)
+                for (std::size_t j = i + 1; j < probe_logits.size();
+                     ++j) {
+                    double kl = 0.0;
+                    double top1 = 0.0;
+                    logitAgreement(probe_logits[i], probe_logits[j],
+                                   &kl, &top1);
+                    inspector.recordRungAgreement(
+                        run, eval_set[i].name(), eval_set[j].name(),
+                        kl, top1,
+                        static_cast<std::int64_t>(
+                            probe_logits[i].dim(0)));
+                }
+        }
     }
     evalCacheHealth(trainer, run, eval_hits0, eval_misses0);
     checkLadderMonotonicity(trainer, run, result.subModels, true);
+    obs::QuantInspector::instance().feedWatchdog(trainer.watchdog(), -1);
     return result;
 }
 
@@ -558,6 +601,7 @@ lmPipeline(LstmLm& model, const SynthText& data,
     projCacheCounts(&eval_hits0, &eval_misses0);
     {
         MRQ_TRACE_SPAN("pipeline.eval");
+        obs::InspectEvalScope inspect_eval;
         const SubModelLadder eval_set =
             single_cfg ? SubModelLadder{*single_cfg} : ladder;
         for (std::size_t i = 0; i < eval_set.size(); ++i) {
@@ -575,6 +619,7 @@ lmPipeline(LstmLm& model, const SynthText& data,
     evalCacheHealth(trainer, run, eval_hits0, eval_misses0);
     // Perplexity: lower is better.
     checkLadderMonotonicity(trainer, run, result.subModels, false);
+    obs::QuantInspector::instance().feedWatchdog(trainer.watchdog(), -1);
     return result;
 }
 
@@ -754,6 +799,7 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     projCacheCounts(&eval_hits0, &eval_misses0);
     {
         MRQ_TRACE_SPAN("pipeline.eval");
+        obs::InspectEvalScope inspect_eval;
         const SubModelLadder eval_set =
             single_cfg ? SubModelLadder{*single_cfg} : ladder;
         for (std::size_t i = 0; i < eval_set.size(); ++i) {
@@ -770,6 +816,7 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     }
     evalCacheHealth(trainer, run, eval_hits0, eval_misses0);
     checkLadderMonotonicity(trainer, run, result.subModels, true);
+    obs::QuantInspector::instance().feedWatchdog(trainer.watchdog(), -1);
     return result;
 }
 

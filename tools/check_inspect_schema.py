@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate an mrq inspector JSONL file (stdlib only).
+
+Usage: check_inspect_schema.py FILE [FILE ...]
+
+Schema (one JSON object per line):
+  line 1          {"type": "manifest", "run": str, "seed": int,
+                   "git": str, ...}   (string-valued extras allowed)
+  inspect lines   {"type": "inspect", "kind": K, "step": int,
+                   "phase": "train"|"eval", "layer": str,
+                   "rung": str, ...}
+
+Per-kind payload fields:
+  weight_sqnr / act_sqnr   sqnr_db: number, n: int > 0
+  clip_sat                 clip: number > 0, saturated: int,
+                           n: int, rate: number == saturated/n,
+                           0 <= saturated <= n
+  term_energy              kept_mass, dropped_mass, kept_terms,
+                           dropped_terms: int >= 0, n: int > 0
+  grad_norm                l2: number >= 0, n: int > 0
+                           (layer is the parameter name)
+  rung_agree               ref: str, kl: number >= 0,
+                           top1: number in [0, 1], n: int > 0
+                           (layer is the recording context)
+
+Eval-boundary records carry phase "eval" and step -1; training
+records carry the sampled step (>= 0).  The file is written by
+serial code with fixed-format doubles, so it must be byte-identical
+at any MRQ_THREADS.  Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+KINDS = ("weight_sqnr", "act_sqnr", "clip_sat", "term_energy",
+         "grad_norm", "rung_agree")
+
+
+def fail(path, lineno, message):
+    print(f"{path}:{lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_int(path, lineno, obj, key, minimum=None):
+    v = obj.get(key)
+    if not isinstance(v, int) or isinstance(v, bool):
+        fail(path, lineno, f"{key} not int: {obj}")
+    if minimum is not None and v < minimum:
+        fail(path, lineno, f"{key} < {minimum}: {obj}")
+    return v
+
+
+def check_num(path, lineno, obj, key):
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(path, lineno, f"{key} not numeric: {obj}")
+    return v
+
+
+def check_str(path, lineno, obj, key):
+    v = obj.get(key)
+    if not isinstance(v, str) or not v:
+        fail(path, lineno, f"missing/empty {key}: {obj}")
+    return v
+
+
+def check_inspect(path, lineno, obj):
+    kind = obj.get("kind")
+    if kind not in KINDS:
+        fail(path, lineno, f"unknown inspect kind: {kind!r}")
+    phase = obj.get("phase")
+    if phase not in ("train", "eval"):
+        fail(path, lineno, f"phase must be train|eval: {obj}")
+    step = check_int(path, lineno, obj, "step")
+    if phase == "eval" and step != -1:
+        fail(path, lineno, f"eval record must have step -1: {obj}")
+    if phase == "train" and step < 0:
+        fail(path, lineno, f"train record must have step >= 0: {obj}")
+    check_str(path, lineno, obj, "layer")
+    check_str(path, lineno, obj, "rung")
+
+    if kind in ("weight_sqnr", "act_sqnr"):
+        check_num(path, lineno, obj, "sqnr_db")
+        check_int(path, lineno, obj, "n", minimum=1)
+    elif kind == "clip_sat":
+        if check_num(path, lineno, obj, "clip") <= 0:
+            fail(path, lineno, f"clip must be positive: {obj}")
+        saturated = check_int(path, lineno, obj, "saturated", minimum=0)
+        n = check_int(path, lineno, obj, "n", minimum=1)
+        if saturated > n:
+            fail(path, lineno, f"saturated > n: {obj}")
+        rate = check_num(path, lineno, obj, "rate")
+        if abs(rate - saturated / n) > 1e-12:
+            fail(path, lineno, f"rate != saturated/n: {obj}")
+    elif kind == "term_energy":
+        for key in ("kept_mass", "dropped_mass", "kept_terms",
+                    "dropped_terms"):
+            check_int(path, lineno, obj, key, minimum=0)
+        check_int(path, lineno, obj, "n", minimum=1)
+    elif kind == "grad_norm":
+        if check_num(path, lineno, obj, "l2") < 0:
+            fail(path, lineno, f"l2 must be >= 0: {obj}")
+        check_int(path, lineno, obj, "n", minimum=1)
+    elif kind == "rung_agree":
+        check_str(path, lineno, obj, "ref")
+        if check_num(path, lineno, obj, "kl") < -1e-12:
+            fail(path, lineno, f"kl must be >= 0: {obj}")
+        top1 = check_num(path, lineno, obj, "top1")
+        if not 0.0 <= top1 <= 1.0:
+            fail(path, lineno, f"top1 must be in [0, 1]: {obj}")
+        check_int(path, lineno, obj, "n", minimum=1)
+    return kind
+
+
+def check_file(path):
+    lines = 0
+    manifests = 0
+    kinds = {k: 0 for k in KINDS}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                fail(path, lineno, "blank line")
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as e:
+                fail(path, lineno, f"invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(path, lineno, "line is not a JSON object")
+            lines += 1
+            kind = obj.get("type")
+            if kind == "manifest":
+                manifests += 1
+                if manifests == 1 and lineno != 1:
+                    fail(path, lineno, "manifest must be the first line")
+                check_str(path, lineno, obj, "run")
+                check_int(path, lineno, obj, "seed", minimum=0)
+                if not isinstance(obj.get("git"), str):
+                    fail(path, lineno, "manifest missing git describe")
+            elif kind == "inspect":
+                if manifests == 0:
+                    fail(path, lineno, "inspect record before manifest")
+                kinds[check_inspect(path, lineno, obj)] += 1
+            else:
+                fail(path, lineno, f"unknown type: {kind!r}")
+
+    if lines == 0:
+        fail(path, 0, "empty inspector file")
+    if manifests == 0:
+        fail(path, 0, "no manifest line")
+    summary = ", ".join(f"{k}={v}" for k, v in kinds.items())
+    print(f"{path}: OK ({lines} lines, {manifests} manifest(s), "
+          f"{summary})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
