@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/uniform_quant.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -146,11 +147,13 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
 
     Tensor out = w;
     const std::size_t n = w.size();
+    const kernels::KernelTable& kt = kernels::kernels();
+    const kernels::LatticeParams lp =
+        kernels::makeLatticeParams(cfg.bits, uq.scale(), uq.isSigned);
 
     if (cfg.mode == QuantMode::Uq) {
         parallelFor(n, parallelGrain(8), [&](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i)
-                out[i] = uq.roundTrip(w[i]);
+            kt.latticeRoundTrip(w.data() + b, out.data() + b, e - b, lp);
         });
         if (stats) {
             stats->units += n;
@@ -163,7 +166,11 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
     // QuantMode::Tq: lattice projection, then group-wise TQ within
     // each output row (never across dot-product boundaries).  Rows are
     // independent, so they parallelize; per-row kept-term counts are
-    // integers, so the chunked reduction is order-insensitive.
+    // integers, so the chunked reduction is order-insensitive.  The
+    // whole row quantizes through the lattice kernel in one call, the
+    // groups project in place with the allocation-free counting
+    // selection (kernels::tqGroupProject, equivalent to
+    // termQuantizeGroup), and the row dequantizes in one call.
     const std::size_t g = cfg.groupSize;
     require(g > 0, "fakeQuantWeights: group size must be positive");
     const std::size_t row_len =
@@ -173,28 +180,26 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
         rows, parallelGrain(row_len * 16), QuantStats{},
         [&](std::size_t r0, std::size_t r1) {
             QuantStats local;
-            std::vector<std::int64_t> group;
-            group.reserve(g);
+            std::vector<std::int32_t> qrow(row_len);
             for (std::size_t row = r0; row < r1; ++row) {
                 const std::size_t row_base = row * row_len;
+                kt.latticeQuantize(w.data() + row_base, qrow.data(),
+                                   row_len, lp);
                 for (std::size_t off = 0; off < row_len; off += g) {
-                    const std::size_t base = row_base + off;
                     const std::size_t len = std::min(g, row_len - off);
-                    group.clear();
-                    for (std::size_t i = 0; i < len; ++i)
-                        group.push_back(uq.quantize(w[base + i]));
                     const std::size_t budget =
                         scaledGroupBudget(cfg.alpha, g, len);
-                    const GroupQuantResult r =
-                        termQuantizeGroup(group, budget, cfg.encoding);
-                    for (std::size_t i = 0; i < len; ++i)
-                        out[base + i] = uq.dequantize(r.values[i]);
-                    h_w_kept.record(r.keptTerms.size());
-                    h_w_dropped.record(r.totalTerms -
-                                       r.keptTerms.size());
-                    local.keptTerms += r.keptTerms.size();
+                    const kernels::TqGroupStats tg =
+                        kernels::tqGroupProject(qrow.data() + off, len,
+                                                budget, cfg.encoding,
+                                                qrow.data() + off);
+                    h_w_kept.record(tg.kept);
+                    h_w_dropped.record(tg.total - tg.kept);
+                    local.keptTerms += tg.kept;
                     local.units += 1;
                 }
+                kt.latticeDequant(qrow.data(), out.data() + row_base,
+                                  row_len, lp.scale);
             }
             return local;
         },
@@ -231,22 +236,28 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
     c_x_projections.add(1);
     const bool record_hist =
         obs::metricsEnabled() && cfg.mode == QuantMode::Tq;
+    const kernels::KernelTable& kt = kernels::kernels();
+    const kernels::LatticeParams lp =
+        kernels::makeLatticeParams(cfg.bits, uq.scale(), uq.isSigned);
     const std::size_t kept = parallelReduce(
         n, parallelGrain(16), std::size_t{0},
         [&](std::size_t b, std::size_t e) {
             std::size_t local = 0;
-            for (std::size_t i = b; i < e; ++i) {
-                std::int64_t q = uq.quantize(x[i]);
-                if (cfg.mode == QuantMode::Tq) {
-                    const std::size_t v_kept = std::min(
-                        cfg.beta, termCount(q, cfg.encoding));
+            const std::size_t len = e - b;
+            std::vector<std::int32_t> q(len);
+            kt.latticeQuantize(x.data() + b, q.data(), len, lp);
+            if (cfg.mode == QuantMode::Tq) {
+                for (std::size_t i = 0; i < len; ++i) {
+                    const kernels::TqValueResult r =
+                        kernels::tqValueKeepTop(q[i], cfg.beta,
+                                                cfg.encoding);
                     if (record_hist)
-                        h_x_kept.record(v_kept);
-                    local += v_kept;
-                    q = termQuantizeValue(q, cfg.beta, cfg.encoding);
+                        h_x_kept.record(r.kept);
+                    local += r.kept;
+                    q[i] = static_cast<std::int32_t>(r.value);
                 }
-                out[i] = uq.dequantize(q);
             }
+            kt.latticeDequant(q.data(), out.data() + b, len, lp.scale);
             return local;
         },
         [](std::size_t acc, std::size_t part) { return acc + part; });

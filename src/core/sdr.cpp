@@ -1,7 +1,8 @@
 #include "core/sdr.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "core/term_stream.hpp"
 
 namespace mrq {
 
@@ -9,20 +10,9 @@ std::vector<Term>
 encodeNaf(std::int64_t value)
 {
     std::vector<Term> terms;
-    std::int64_t n = value;
-    std::int8_t exp = 0;
-    while (n != 0) {
-        if (n & 1) {
-            // n mod 4 == 1 -> digit +1; n mod 4 == 3 -> digit -1.
-            const std::int64_t digit = 2 - (n & 3);
-            terms.push_back(Term{exp, static_cast<std::int8_t>(
-                                          digit > 0 ? 1 : -1)});
-            n -= digit;
-        }
-        n >>= 1;
-        ++exp;
-        invariant(exp < 72, "encodeNaf: runaway exponent");
-    }
+    visitNafTerms(value, [&](std::int8_t exp, std::int8_t sign) {
+        terms.push_back(Term{exp, sign});
+    });
     std::reverse(terms.begin(), terms.end());
     return terms;
 }
@@ -31,17 +21,9 @@ std::vector<Term>
 encodeUbr(std::int64_t value)
 {
     std::vector<Term> terms;
-    const std::int8_t sign = value < 0 ? -1 : 1;
-    std::uint64_t mag = value < 0
-                            ? static_cast<std::uint64_t>(-(value + 1)) + 1
-                            : static_cast<std::uint64_t>(value);
-    std::int8_t exp = 0;
-    while (mag != 0) {
-        if (mag & 1)
-            terms.push_back(Term{exp, sign});
-        mag >>= 1;
-        ++exp;
-    }
+    visitUbrTerms(value, [&](std::int8_t exp, std::int8_t sign) {
+        terms.push_back(Term{exp, sign});
+    });
     std::reverse(terms.begin(), terms.end());
     return terms;
 }
@@ -49,44 +31,10 @@ encodeUbr(std::int64_t value)
 std::vector<Term>
 encodeBooth(std::int64_t value)
 {
-    // Radix-4 Booth: digits d_i in {-2,-1,0,1,2} at even bit positions,
-    // value = sum d_i * 4^i.  Each nonzero digit maps to one signed
-    // power-of-two term (|d| = 1 -> 2^(2i), |d| = 2 -> 2^(2i+1)).
     std::vector<Term> terms;
-    std::int64_t n = value;
-    std::int8_t pos = 0;
-    while (n != 0) {
-        const std::int64_t window = n & 3;       // low two bits
-        std::int64_t digit = 0;
-        switch (window) {
-          case 0:
-            digit = 0;
-            break;
-          case 1:
-            digit = 1;
-            break;
-          case 2:
-            // Choose +2 or -2 based on the next bit to keep the
-            // recoding canonical (avoid carries when possible).
-            digit = (n & 4) ? -2 : 2;
-            break;
-          case 3:
-            digit = -1;
-            break;
-          default:
-            panic("encodeBooth: unreachable window");
-        }
-        if (digit != 0) {
-            const std::int8_t sign = digit > 0 ? 1 : -1;
-            const std::int8_t exp = static_cast<std::int8_t>(
-                pos + (std::abs(digit) == 2 ? 1 : 0));
-            terms.push_back(Term{exp, sign});
-            n -= digit;
-        }
-        n >>= 2;
-        pos = static_cast<std::int8_t>(pos + 2);
-        invariant(pos < 72, "encodeBooth: runaway position");
-    }
+    visitBoothTerms(value, [&](std::int8_t exp, std::int8_t sign) {
+        terms.push_back(Term{exp, sign});
+    });
     std::reverse(terms.begin(), terms.end());
     return terms;
 }
@@ -95,15 +43,7 @@ std::size_t
 nafTermCount(std::int64_t value)
 {
     std::size_t count = 0;
-    std::int64_t n = value;
-    while (n != 0) {
-        if (n & 1) {
-            const std::int64_t digit = 2 - (n & 3);
-            n -= digit;
-            ++count;
-        }
-        n >>= 1;
-    }
+    visitNafTerms(value, [&](std::int8_t, std::int8_t) { ++count; });
     return count;
 }
 

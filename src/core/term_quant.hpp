@@ -18,6 +18,7 @@
 
 #include "core/sdr.hpp"
 #include "core/term.hpp"
+#include "core/term_stream.hpp"
 
 namespace mrq {
 
@@ -31,6 +32,30 @@ enum class TermEncoding
 
 /** Decompose a lattice value with the chosen encoding. */
 std::vector<Term> encodeTerms(std::int64_t value, TermEncoding encoding);
+
+/**
+ * Stream the terms of @p value under @p encoding to
+ * fn(exponent, sign) without allocating, in ascending-exponent order
+ * (encodeTerms returns the same digits in descending order).  The
+ * allocation-free counterpart the kernel substrate hot loops use.
+ */
+template <typename Fn>
+inline void
+visitTerms(std::int64_t value, TermEncoding encoding, Fn&& fn)
+{
+    switch (encoding) {
+      case TermEncoding::Naf:
+        visitNafTerms(value, fn);
+        return;
+      case TermEncoding::Ubr:
+        visitUbrTerms(value, fn);
+        return;
+      case TermEncoding::Booth:
+        visitBoothTerms(value, fn);
+        return;
+    }
+    panic("visitTerms: unknown encoding");
+}
 
 /** Result of term-quantizing a group of lattice values. */
 struct GroupQuantResult

@@ -1,6 +1,30 @@
 #include "hw/laconic.hpp"
 
+#include "core/term_stream.hpp"
+#include "kernels/kernels.hpp"
+
 namespace mrq {
+
+namespace {
+
+/** Stream a value's Booth terms into fixed stack arrays. */
+std::size_t
+boothToArrays(std::int64_t value, std::int8_t* exps, std::int8_t* signs,
+              std::size_t cap)
+{
+    std::size_t count = 0;
+    visitBoothTerms(value, [&](std::int8_t exp, std::int8_t sign) {
+        require(count < cap,
+                "LaconicPe::compute: operand exceeds the 3-term Booth "
+                "assumption");
+        exps[count] = exp;
+        signs[count] = sign;
+        ++count;
+    });
+    return count;
+}
+
+} // namespace
 
 LaconicResult
 LaconicPe::compute(const std::vector<std::int64_t>& weights,
@@ -16,19 +40,21 @@ LaconicPe::compute(const std::vector<std::int64_t>& weights,
     std::array<std::int64_t, 16> buckets{};
 
     for (std::size_t lane = 0; lane < kLanes; ++lane) {
-        const auto w_terms = encodeBooth(weights[lane]);
-        const auto d_terms = encodeBooth(data[lane]);
-        require(w_terms.size() <= kMaxTermsPerValue &&
-                    d_terms.size() <= kMaxTermsPerValue,
-                "LaconicPe::compute: operand exceeds the 3-term Booth "
-                "assumption");
-        for (const Term& w : w_terms) {
-            for (const Term& d : d_terms) {
-                const int exponent = w.exponent + d.exponent;
+        std::int8_t w_exps[kMaxTermsPerValue];
+        std::int8_t w_signs[kMaxTermsPerValue];
+        std::int8_t d_exps[kMaxTermsPerValue];
+        std::int8_t d_signs[kMaxTermsPerValue];
+        const std::size_t w_n = boothToArrays(weights[lane], w_exps,
+                                              w_signs, kMaxTermsPerValue);
+        const std::size_t d_n = boothToArrays(data[lane], d_exps, d_signs,
+                                              kMaxTermsPerValue);
+        for (std::size_t wi = 0; wi < w_n; ++wi) {
+            for (std::size_t di = 0; di < d_n; ++di) {
+                const int exponent = w_exps[wi] + d_exps[di];
                 invariant(exponent < static_cast<int>(buckets.size()),
                           "LaconicPe: bucket overflow");
                 buckets[static_cast<std::size_t>(exponent)] +=
-                    w.sign * d.sign;
+                    w_signs[wi] * d_signs[di];
                 ++result.termPairsActive;
                 ++result.bucketAdds;
             }
@@ -36,11 +62,11 @@ LaconicPe::compute(const std::vector<std::int64_t>& weights,
     }
 
     // Reduction: every bucket is summed regardless of occupancy (the
-    // under-utilization the paper calls out).
-    for (std::size_t e = 0; e < buckets.size(); ++e) {
-        result.value += buckets[e] * (std::int64_t{1} << e);
-        ++result.bucketAdds;
-    }
+    // under-utilization the paper calls out).  buckets[e] * 2^e summed
+    // over all exponents is what the shifted-add kernel computes.
+    result.value = kernels::kernels().weightedBucketSum(buckets.data(),
+                                                        buckets.size());
+    result.bucketAdds += buckets.size();
 
     // Worst-case schedule: 3 x 3 windows, one pair per lane per cycle.
     result.cycles = kMaxTermsPerValue * kMaxTermsPerValue;

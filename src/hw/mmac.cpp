@@ -1,5 +1,7 @@
 #include "hw/mmac.hpp"
 
+#include "kernels/kernels.hpp"
+
 namespace mrq {
 
 MmacWeightQueues
@@ -71,6 +73,45 @@ Mmac::computeGroup(const std::vector<std::vector<Term>>& data_terms,
     // The cell is scheduled for its full term-pair budget: the systolic
     // beat is gamma cycles regardless of how many pairs were nonzero
     // (Sec. 5.1: latency directly proportional to gamma).
+    result.cycles = gamma();
+    return result;
+}
+
+MmacResult
+Mmac::computeGroupFlat(const TermSpan* data_terms, std::int64_t y_in) const
+{
+    // Expand the (weight term, data term) pairs into flat exponent and
+    // sign arrays, then hand the whole batch to the SIMD accumulate
+    // kernel.  The split pos/neg accumulator of computeGroup satisfies
+    // value == y_in + sum of signed magnitudes, which is exactly what
+    // the kernel computes, and it issues one increment per pair, so
+    // incrementOps == termPairs.
+    thread_local std::vector<std::int16_t> exps;
+    thread_local std::vector<std::int8_t> signs;
+    exps.clear();
+    signs.clear();
+
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        const std::uint8_t idx = weights_.indexes[i];
+        invariant(idx < groupSize_,
+                  "Mmac::computeGroupFlat: weight index out of range");
+        const TermSpan& span = data_terms[idx];
+        invariant(span.count <= beta_,
+                  "Mmac::computeGroupFlat: data value exceeds beta");
+        for (std::size_t t = 0; t < span.count; ++t) {
+            exps.push_back(static_cast<std::int16_t>(
+                weights_.exponents[i] + span.exponents[t]));
+            signs.push_back(static_cast<std::int8_t>(
+                weights_.signs[i] * span.signs[t]));
+        }
+    }
+
+    MmacResult result;
+    result.value = kernels::kernels().termPairAccumulate(
+        exps.data(), signs.data(), exps.size(), y_in);
+    result.termPairs = exps.size();
+    result.incrementOps = exps.size();
+    result.rippleBits = 0;
     result.cycles = gamma();
     return result;
 }

@@ -99,6 +99,14 @@ struct MmacResult
     std::size_t rippleBits = 0;   ///< Half-adder activations (Fig. 13).
 };
 
+/** Borrowed view of one data value's kept terms (flat encoding). */
+struct TermSpan
+{
+    const std::int8_t* exponents = nullptr;
+    const std::int8_t* signs = nullptr;
+    std::size_t count = 0;
+};
+
 /** One mMAC systolic cell. */
 class Mmac
 {
@@ -123,6 +131,16 @@ class Mmac
     MmacResult computeGroup(
         const std::vector<std::vector<Term>>& data_terms,
         std::int64_t y_in) const;
+
+    /**
+     * Fast path over flat term spans (one per group member).  Bit- and
+     * counter-identical to computeGroup for `value`, `termPairs`,
+     * `incrementOps`, and `cycles`; the Fig. 13 ripple activity is not
+     * modeled here (`rippleBits` is reported as 0) because the batched
+     * accumulation kernel has no per-increment carry chain.
+     */
+    MmacResult computeGroupFlat(const TermSpan* data_terms,
+                                std::int64_t y_in) const;
 
     std::size_t groupSize() const { return groupSize_; }
     std::size_t alpha() const { return alpha_; }

@@ -2,20 +2,13 @@
 
 #include <cmath>
 
+#include "kernels/blocking.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
 
-namespace {
-
-std::uint64_t
-ceilDiv(std::uint64_t a, std::uint64_t b)
-{
-    return (a + b - 1) / b;
-}
-
-} // namespace
+using kernels::ceilDiv;
 
 std::uint64_t
 layerCycles(const LayerGeometry& layer, const SubModelConfig& cfg,

@@ -1,20 +1,14 @@
 #include "hw/systolic.hpp"
 
 #include "core/fake_quant.hpp"
+#include "core/term_quant.hpp"
 #include "hw/perf_model.hpp"
+#include "kernels/blocking.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
 
-namespace {
-
-std::size_t
-ceilDiv(std::size_t a, std::size_t b)
-{
-    return (a + b - 1) / b;
-}
-
-} // namespace
+using kernels::ceilDiv;
 
 MmacSystolicArray::MmacSystolicArray(std::size_t rows, std::size_t cols,
                                      const SubModelConfig& cfg)
@@ -36,16 +30,38 @@ MmacSystolicArray::matmul(const std::vector<std::int64_t>& w, std::size_t m,
     const std::size_t g = cfg_.groupSize;
     const std::size_t groups_per_row = ceilDiv(k, g);
 
-    // Pre-quantize data terms: top-beta NAF terms per value, exactly
-    // what the SDR encoder + term quantizer units deliver (Fig. 9).
-    std::vector<std::vector<Term>> data_terms(k * n);
+    // Pre-quantize data terms: top-beta terms per value, exactly what
+    // the SDR encoder + term quantizer units deliver (Fig. 9).  Terms
+    // stream into flat per-value slots of beta entries (no per-value
+    // vectors): one counting visit finds how many low-order terms to
+    // drop, a second visit emits the survivors.  The emitted order is
+    // ascending exponent, which the integer pair accumulation does not
+    // observe.
+    std::vector<std::int8_t> d_exps(k * n * cfg_.beta);
+    std::vector<std::int8_t> d_signs(k * n * cfg_.beta);
+    std::vector<std::uint8_t> d_counts(k * n);
     parallelFor(k * n, parallelGrain(64),
                 [&](std::size_t e0, std::size_t e1) {
         for (std::size_t e = e0; e < e1; ++e) {
-            auto terms = encodeTerms(x[e], cfg_.encoding);
-            if (terms.size() > cfg_.beta)
-                terms.resize(cfg_.beta);
-            data_terms[e] = std::move(terms);
+            std::size_t total = 0;
+            visitTerms(x[e], cfg_.encoding,
+                       [&](std::int8_t, std::int8_t) { ++total; });
+            const std::size_t keep = std::min(cfg_.beta, total);
+            std::size_t skip = total - keep;
+            std::int8_t* ep = d_exps.data() + e * cfg_.beta;
+            std::int8_t* sp = d_signs.data() + e * cfg_.beta;
+            std::size_t out = 0;
+            visitTerms(x[e], cfg_.encoding,
+                       [&](std::int8_t exp, std::int8_t sign) {
+                if (skip > 0) {
+                    --skip;
+                    return;
+                }
+                ep[out] = exp;
+                sp[out] = sign;
+                ++out;
+            });
+            d_counts[e] = static_cast<std::uint8_t>(keep);
         }
     });
 
@@ -74,7 +90,7 @@ MmacSystolicArray::matmul(const std::vector<std::int64_t>& w, std::size_t m,
         [&](std::size_t i0, std::size_t i1) {
             OpCounts part;
             Mmac cell(g, cfg_.alpha, cfg_.beta);
-            std::vector<std::vector<Term>> slice(g);
+            std::vector<TermSpan> slice(g);
             std::vector<std::int64_t> group_vals;
             for (std::size_t i = i0; i < i1; ++i) {
                 for (std::size_t q = 0; q < groups_per_row; ++q) {
@@ -90,13 +106,18 @@ MmacSystolicArray::matmul(const std::vector<std::int64_t>& w, std::size_t m,
 
                     for (std::size_t j = 0; j < n; ++j) {
                         for (std::size_t s = 0; s < g; ++s) {
-                            if (s < len)
-                                slice[s] = data_terms[(base + s) * n + j];
-                            else
-                                slice[s].clear();
+                            if (s < len) {
+                                const std::size_t e = (base + s) * n + j;
+                                slice[s] = TermSpan{
+                                    d_exps.data() + e * cfg_.beta,
+                                    d_signs.data() + e * cfg_.beta,
+                                    d_counts[e]};
+                            } else {
+                                slice[s] = TermSpan{};
+                            }
                         }
-                        const MmacResult r =
-                            cell.computeGroup(slice, y[i * n + j]);
+                        const MmacResult r = cell.computeGroupFlat(
+                            slice.data(), y[i * n + j]);
                         y[i * n + j] = r.value;
                         part.termPairs += r.termPairs;
                         part.incrementOps += r.incrementOps;

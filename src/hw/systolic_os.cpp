@@ -1,18 +1,11 @@
 #include "hw/systolic_os.hpp"
 
 #include "core/fake_quant.hpp"
+#include "kernels/blocking.hpp"
 
 namespace mrq {
 
-namespace {
-
-std::uint64_t
-ceilDiv(std::uint64_t a, std::uint64_t b)
-{
-    return (a + b - 1) / b;
-}
-
-} // namespace
+using kernels::ceilDiv;
 
 OsMmacSystolicArray::OsMmacSystolicArray(std::size_t rows,
                                          std::size_t cols,

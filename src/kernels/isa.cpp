@@ -1,0 +1,146 @@
+#include "kernels/isa.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "kernels/kernels.hpp"
+#include "obs/env.hpp"
+
+namespace mrq {
+namespace kernels {
+
+namespace {
+
+/** -1 = not yet resolved; otherwise the Isa enum value. */
+std::atomic<int> g_active{-1};
+
+bool
+cpuSupports(Isa isa)
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    switch (isa) {
+      case Isa::Generic:
+        return true;
+      case Isa::Avx2:
+        return __builtin_cpu_supports("avx2") != 0 &&
+               __builtin_cpu_supports("fma") != 0;
+      case Isa::Avx512:
+        return __builtin_cpu_supports("avx512f") != 0;
+    }
+    return false;
+#else
+    return isa == Isa::Generic;
+#endif
+}
+
+bool
+compiledIn(Isa isa)
+{
+    switch (isa) {
+      case Isa::Generic:
+        return true;
+      case Isa::Avx2:
+        return detail::avx2Table() != nullptr;
+      case Isa::Avx512:
+        return detail::avx512Table() != nullptr;
+    }
+    return false;
+}
+
+/** Resolve MRQ_ISA (via obs::env, like every other knob) against
+ *  what the CPU and the build actually provide. */
+Isa
+resolveActiveIsa()
+{
+    const Isa best = detectBestIsa();
+    const char* requested = obs::envValue("MRQ_ISA", nullptr);
+    if (requested == nullptr)
+        return best;
+
+    Isa want;
+    if (std::strcmp(requested, "generic") == 0) {
+        want = Isa::Generic;
+    } else if (std::strcmp(requested, "avx2") == 0) {
+        want = Isa::Avx2;
+    } else if (std::strcmp(requested, "avx512") == 0) {
+        want = Isa::Avx512;
+    } else {
+        std::fprintf(stderr,
+                     "mrq: unknown MRQ_ISA value '%s' "
+                     "(generic|avx2|avx512), using %s\n",
+                     requested, isaName(best));
+        return best;
+    }
+    if (!isaAvailable(want)) {
+        std::fprintf(stderr,
+                     "mrq: MRQ_ISA=%s is not available in this "
+                     "build/CPU, using %s\n",
+                     requested, isaName(best));
+        return best;
+    }
+    return want;
+}
+
+} // namespace
+
+const char*
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Generic:
+        return "generic";
+      case Isa::Avx2:
+        return "avx2";
+      case Isa::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+isaAvailable(Isa isa)
+{
+    return compiledIn(isa) && cpuSupports(isa);
+}
+
+Isa
+detectBestIsa()
+{
+    if (isaAvailable(Isa::Avx512))
+        return Isa::Avx512;
+    if (isaAvailable(Isa::Avx2))
+        return Isa::Avx2;
+    return Isa::Generic;
+}
+
+Isa
+activeIsa()
+{
+    const int cached = g_active.load(std::memory_order_acquire);
+    if (cached >= 0)
+        return static_cast<Isa>(cached);
+    // A racing first use resolves the same value twice — benign.
+    const Isa resolved = resolveActiveIsa();
+    g_active.store(static_cast<int>(resolved), std::memory_order_release);
+    return resolved;
+}
+
+Isa
+setActiveIsa(Isa isa)
+{
+    const Isa previous = activeIsa();
+    Isa next = isa;
+    if (!isaAvailable(isa)) {
+        next = detectBestIsa();
+        std::fprintf(stderr,
+                     "mrq: setActiveIsa(%s) unavailable, clamping to "
+                     "%s\n",
+                     isaName(isa), isaName(next));
+    }
+    g_active.store(static_cast<int>(next), std::memory_order_release);
+    return previous;
+}
+
+} // namespace kernels
+} // namespace mrq

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Runtime ISA selection for the micro-kernel substrate.
+ *
+ * The library ships one binary holding several implementations of each
+ * hot-loop kernel (see kernels.hpp): a generic scalar build plus AVX2
+ * and AVX-512 variants compiled with per-file ISA flags.  At first use
+ * the dispatcher probes the CPU and picks the widest variant the host
+ * supports; the MRQ_ISA environment variable (parsed through
+ * src/obs/env.hpp like every other knob) can pin a narrower one:
+ *
+ *     MRQ_ISA=generic | avx2 | avx512
+ *
+ * Requesting an ISA the CPU (or the build) does not support clamps
+ * down to the best available with a one-time stderr note, so a stale
+ * setting never crashes a run.
+ *
+ * Every variant implements the same fixed blocking and reduction-tree
+ * contract (kernels.hpp), so switching ISA — like switching
+ * MRQ_THREADS — never changes a single output bit.  The selected ISA
+ * is stamped into run manifests as "isa".
+ */
+
+#ifndef MRQ_KERNELS_ISA_HPP
+#define MRQ_KERNELS_ISA_HPP
+
+namespace mrq {
+namespace kernels {
+
+/** Instruction sets the kernel substrate can dispatch between, in
+ *  ascending preference order. */
+enum class Isa
+{
+    Generic = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** Human-readable name ("generic", "avx2", "avx512"). */
+const char* isaName(Isa isa);
+
+/** Widest ISA the running CPU supports among the compiled-in
+ *  variants (ignores MRQ_ISA). */
+Isa detectBestIsa();
+
+/** True when @p isa is both compiled into this binary and supported
+ *  by the running CPU. */
+bool isaAvailable(Isa isa);
+
+/**
+ * The ISA the kernel table currently dispatches to.  Resolved once on
+ * first use from detectBestIsa() clamped by MRQ_ISA; later changes to
+ * the environment have no effect (use setActiveIsa in tests).
+ */
+Isa activeIsa();
+
+/**
+ * Re-pin the dispatch table (tests and benches that compare variants).
+ * Requests for an unavailable ISA clamp to the best available.
+ * @return The previously active ISA.
+ */
+Isa setActiveIsa(Isa isa);
+
+} // namespace kernels
+} // namespace mrq
+
+#endif // MRQ_KERNELS_ISA_HPP

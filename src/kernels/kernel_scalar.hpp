@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pinned scalar building blocks shared by the generic kernels and
+ * mirrored operation-for-operation by the SIMD variants.
+ *
+ * Every helper here is written so that a vector instruction with the
+ * same name-shape produces the identical bit pattern lane by lane:
+ *
+ *  - fmadd() is std::fma — one rounding, exactly vfmadd231ps.
+ *  - minPs()/maxPs() use the (a OP b ? a : b) select semantics of
+ *    vminps/vmaxps, not std::min/std::max.
+ *  - roundHalfAway() reproduces std::lround's half-away-from-zero on
+ *    a value pre-clamped to +-2^22, using only operations that exist
+ *    in AVX: truncate, subtract, compare, nearest-even round and a
+ *    blend.  The tie branch adds f + f (which is exactly +-1 when
+ *    |f| == 0.5) instead of consulting lround.
+ *
+ * The generic kernels use these helpers directly; kernels_avx2.cpp /
+ * kernels_avx512.cpp re-state each construction with intrinsics.  Any
+ * change here must be made in all three places — the parity suite
+ * (tests/kernels/) catches drift.
+ */
+
+#ifndef MRQ_KERNELS_KERNEL_SCALAR_HPP
+#define MRQ_KERNELS_KERNEL_SCALAR_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "kernels/kernels.hpp"
+
+namespace mrq {
+namespace kernels {
+
+/** One-rounding a*b + c (vfmadd lane semantics). */
+inline float
+fmadd(float a, float b, float c)
+{
+    return std::fma(a, b, c);
+}
+
+/** vminps lane semantics: a < b ? a : b (b on NaN/equal). */
+inline float
+minPs(float a, float b)
+{
+    return a < b ? a : b;
+}
+
+/** vmaxps lane semantics: a > b ? a : b (b on NaN/equal). */
+inline float
+maxPs(float a, float b)
+{
+    return a > b ? a : b;
+}
+
+/**
+ * Pre-round clamp bound.  2^22 keeps v, trunc(v) and v - trunc(v)
+ * exactly representable (floats below 2^23 have sub-ulp <= 0.5), and
+ * makeLatticeParams guarantees every legal lattice level is below it,
+ * so clamping never changes a result the int clamp would not.
+ */
+constexpr float kRoundClamp = 4194304.0f; // 2^22
+
+/** Clamp v to [-2^22, 2^22] with vminps/vmaxps semantics. */
+inline float
+clampToRoundRange(float v)
+{
+    v = minPs(v, kRoundClamp);
+    v = maxPs(v, -kRoundClamp);
+    return v;
+}
+
+/**
+ * Round half away from zero (std::lround semantics) for |v| <= 2^22,
+ * built from AVX-representable pieces: exact ties |v - trunc(v)| ==
+ * 0.5 resolve to trunc(v) + 2*(v - trunc(v)) = trunc(v) +- 1; every
+ * other value rounds to nearest, where nearest-even and half-away
+ * agree.  Assumes the default (nearest-even) FP rounding mode.
+ */
+inline float
+roundHalfAway(float v)
+{
+    const float t = std::trunc(v);
+    const float f = v - t; // exact: |v| < 2^23
+    if (f == 0.5f || f == -0.5f)
+        return t + (f + f);
+    return std::nearbyint(v);
+}
+
+/** Scalar lattice quantize: clamp(lround(x / scale), lo, hi). */
+inline std::int32_t
+latticeQuantizeOne(float x, const LatticeParams& p)
+{
+    const float r = roundHalfAway(clampToRoundRange(x / p.scale));
+    std::int32_t q = static_cast<std::int32_t>(r); // exact: r integral
+    q = q < p.hi ? q : p.hi; // min_epi32
+    q = q > p.lo ? q : p.lo; // max_epi32
+    return q;
+}
+
+/** Scalar lattice dequantize: float(q) * scale (exact convert). */
+inline float
+latticeDequantOne(std::int32_t q, float scale)
+{
+    return static_cast<float>(q) * scale;
+}
+
+/** The LSTM gate nonlinearity, scalar libm in every ISA variant. */
+inline float
+sigmoidScalar(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace kernels
+} // namespace mrq
+
+#endif // MRQ_KERNELS_KERNEL_SCALAR_HPP

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Generic (scalar) kernel variant, the dispatch glue, and the
+ * ISA-invariant term-projection helpers.
+ *
+ * The scalar kernels are the reference implementation of the
+ * determinism contract (kernels.hpp): 16 virtual accumulator lanes
+ * for reductions, explicit std::fma for every multiply-add, and the
+ * pinned rounding constructions from kernel_scalar.hpp.  The SIMD
+ * variants must match them bit for bit — see tests/kernels/.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "common/logging.hpp"
+#include "kernels/kernel_scalar.hpp"
+
+namespace mrq {
+namespace kernels {
+
+namespace {
+
+float
+dotGeneric(const float* a, const float* b, std::size_t n)
+{
+    float lanes[kDotLanes] = {};
+    std::size_t i = 0;
+    const std::size_t full = n - n % kDotLanes;
+    for (; i < full; i += kDotLanes)
+        for (std::size_t l = 0; l < kDotLanes; ++l)
+            lanes[l] = fmadd(a[i + l], b[i + l], lanes[l]);
+    for (; i < n; ++i)
+        lanes[i % kDotLanes] = fmadd(a[i], b[i], lanes[i % kDotLanes]);
+    // Fixed binary tree: lane l absorbs lane l + half, half halving.
+    for (std::size_t half = kDotLanes / 2; half > 0; half /= 2)
+        for (std::size_t l = 0; l < half; ++l)
+            lanes[l] += lanes[l + half];
+    return lanes[0];
+}
+
+void
+axpyGeneric(float a, const float* x, float* y, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = fmadd(a, x[i], y[i]);
+}
+
+void
+addRowInPlaceGeneric(float* y, const float* row, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += row[i];
+}
+
+void
+addScalarInPlaceGeneric(float* y, float v, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] += v;
+}
+
+void
+latticeQuantizeGeneric(const float* x, std::int32_t* q, std::size_t n,
+                       LatticeParams p)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        q[i] = latticeQuantizeOne(x[i], p);
+}
+
+void
+latticeDequantGeneric(const std::int32_t* q, float* out, std::size_t n,
+                      float scale)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = latticeDequantOne(q[i], scale);
+}
+
+void
+latticeRoundTripGeneric(const float* x, float* out, std::size_t n,
+                        LatticeParams p)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = latticeDequantOne(latticeQuantizeOne(x[i], p), p.scale);
+}
+
+void
+lstmGatesGeneric(const float* z, const float* c_prev, float* gates,
+                 float* c_next, float* h_next, std::size_t hidden)
+{
+    const float* zi = z;
+    const float* zf = z + hidden;
+    const float* zg = z + 2 * hidden;
+    const float* zo = z + 3 * hidden;
+    float* gi = gates;
+    float* gf = gates + hidden;
+    float* gg = gates + 2 * hidden;
+    float* go = gates + 3 * hidden;
+    // Pass 1: activations — scalar libm in every ISA variant.
+    for (std::size_t j = 0; j < hidden; ++j) {
+        gi[j] = sigmoidScalar(zi[j]);
+        gf[j] = sigmoidScalar(zf[j]);
+        gg[j] = std::tanh(zg[j]);
+        go[j] = sigmoidScalar(zo[j]);
+    }
+    // Pass 2: cell state, one fma per element (vectorized in SIMD).
+    for (std::size_t j = 0; j < hidden; ++j)
+        c_next[j] = fmadd(gf[j], c_prev[j], gi[j] * gg[j]);
+    // Pass 3: tanh(c) — scalar libm again.
+    for (std::size_t j = 0; j < hidden; ++j)
+        h_next[j] = std::tanh(c_next[j]);
+    // Pass 4: gate the hidden state (vectorized in SIMD).
+    for (std::size_t j = 0; j < hidden; ++j)
+        h_next[j] *= go[j];
+}
+
+std::int64_t
+termPairAccumulateGeneric(const std::int16_t* exps,
+                          const std::int8_t* signs, std::size_t n,
+                          std::int64_t y_in)
+{
+    std::int64_t acc = y_in;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t mag = std::int64_t{1} << exps[i];
+        acc += signs[i] >= 0 ? mag : -mag;
+    }
+    return acc;
+}
+
+std::int64_t
+weightedBucketSumGeneric(const std::int64_t* buckets, std::size_t n)
+{
+    std::int64_t acc = 0;
+    for (std::size_t e = 0; e < n; ++e)
+        acc += buckets[e] * (std::int64_t{1} << e);
+    return acc;
+}
+
+const KernelTable&
+genericTable()
+{
+    static const KernelTable table = {
+        Isa::Generic,
+        dotGeneric,
+        axpyGeneric,
+        addRowInPlaceGeneric,
+        addScalarInPlaceGeneric,
+        latticeQuantizeGeneric,
+        latticeDequantGeneric,
+        latticeRoundTripGeneric,
+        lstmGatesGeneric,
+        termPairAccumulateGeneric,
+        weightedBucketSumGeneric,
+    };
+    return table;
+}
+
+} // namespace
+
+const KernelTable*
+kernelTableFor(Isa isa)
+{
+    if (!isaAvailable(isa))
+        return nullptr;
+    switch (isa) {
+      case Isa::Generic:
+        return &genericTable();
+      case Isa::Avx2:
+        return detail::avx2Table();
+      case Isa::Avx512:
+        return detail::avx512Table();
+    }
+    return nullptr;
+}
+
+const KernelTable&
+kernels()
+{
+    const KernelTable* table = kernelTableFor(activeIsa());
+    return table != nullptr ? *table : genericTable();
+}
+
+LatticeParams
+makeLatticeParams(int bits, float scale, bool is_signed)
+{
+    // qmax must stay below the kernels' pre-round clamp (2^22) so the
+    // clamp can never alter a level the int clamp would keep.
+    invariant(bits >= 1 && bits <= 22,
+              "makeLatticeParams: bits out of kernel range");
+    const std::int32_t qmax = (std::int32_t{1} << bits) - 1;
+    LatticeParams p;
+    p.scale = scale;
+    p.lo = is_signed ? -qmax : 0;
+    p.hi = qmax;
+    return p;
+}
+
+TqValueResult
+tqValueKeepTop(std::int64_t value, std::size_t beta,
+               TermEncoding encoding)
+{
+    std::size_t total = 0;
+    visitTerms(value, encoding,
+               [&](std::int8_t, std::int8_t) { ++total; });
+    TqValueResult r;
+    r.kept = total < beta ? total : beta;
+    // Emission is ascending-exponent; keeping the top `kept` means
+    // skipping the lowest total - kept terms.
+    const std::size_t skip = total - r.kept;
+    std::size_t seen = 0;
+    std::int64_t v = 0;
+    visitTerms(value, encoding, [&](std::int8_t exp, std::int8_t sign) {
+        if (seen++ < skip)
+            return;
+        const std::int64_t mag = std::int64_t{1} << exp;
+        v += sign >= 0 ? mag : -mag;
+    });
+    r.value = v;
+    return r;
+}
+
+TqGroupStats
+tqGroupProject(const std::int32_t* q, std::size_t len, std::size_t budget,
+               TermEncoding encoding, std::int32_t* out)
+{
+    // Pass 1: exponent histogram across the group.  Selecting by
+    // exponent buckets reproduces termQuantizeGroup's stable sort
+    // exactly: the flatten order is member-major and no member holds
+    // two terms at one exponent, so within a bucket member order is
+    // the stable tie order.
+    std::uint16_t counts[kMaxTermExponent] = {};
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        visitTerms(q[i], encoding, [&](std::int8_t exp, std::int8_t) {
+            ++counts[static_cast<std::size_t>(exp)];
+            ++total;
+        });
+    }
+    TqGroupStats stats;
+    stats.total = total;
+    stats.kept = total < budget ? total : budget;
+
+    if (total <= budget) {
+        // Everything kept: the projection is the identity.
+        for (std::size_t i = 0; i < len; ++i)
+            out[i] = q[i];
+        return stats;
+    }
+
+    // Threshold: walking exponents downward, full buckets are kept
+    // until one no longer fits; there the first at_cut members (in
+    // member order) keep their term.  total > budget guarantees the
+    // walk stops at some bucket.
+    int cut = 0;
+    std::size_t at_cut = 0;
+    std::size_t remaining = budget;
+    for (int e = static_cast<int>(kMaxTermExponent) - 1; e >= 0; --e) {
+        const std::size_t c = counts[static_cast<std::size_t>(e)];
+        if (c <= remaining) {
+            remaining -= c;
+            continue;
+        }
+        cut = e;
+        at_cut = remaining;
+        break;
+    }
+
+    // Pass 2: rebuild each member from its kept terms.
+    std::size_t used_at_cut = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        std::int64_t v = 0;
+        visitTerms(q[i], encoding, [&](std::int8_t exp, std::int8_t sign) {
+            bool keep = exp > cut;
+            if (exp == cut && used_at_cut < at_cut) {
+                keep = true;
+                ++used_at_cut;
+            }
+            if (!keep)
+                return;
+            const std::int64_t mag = std::int64_t{1} << exp;
+            v += sign >= 0 ? mag : -mag;
+        });
+        out[i] = static_cast<std::int32_t>(v);
+    }
+    return stats;
+}
+
+} // namespace kernels
+} // namespace mrq

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/kernel_scalar.hpp"
+#include "kernels/kernels.hpp"
 #include "nn/init.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -59,12 +61,11 @@ Conv2d::forward(const Tensor& x)
             std::copy(out.data(), out.data() + out.size(),
                       y.data() + img * outChannels_ * oh * ow);
             if (hasBias_) {
-                for (std::size_t c = 0; c < outChannels_; ++c) {
-                    float* base =
-                        y.data() + (img * outChannels_ + c) * oh * ow;
-                    for (std::size_t i = 0; i < oh * ow; ++i)
-                        base[i] += bias_.value[c];
-                }
+                const kernels::KernelTable& kt = kernels::kernels();
+                for (std::size_t c = 0; c < outChannels_; ++c)
+                    kt.addScalarInPlace(
+                        y.data() + (img * outChannels_ + c) * oh * ow,
+                        bias_.value[c], oh * ow);
             }
         }
     });
@@ -190,34 +191,57 @@ DepthwiseConv2d::forward(const Tensor& x)
     quantizer_.addMacs(n * channels_ * kernel_ * kernel_ * oh * ow);
 
     Tensor y({n, channels_, oh, ow});
-    // Each (image, channel) plane is independent.
+    const kernels::KernelTable& kt = kernels::kernels();
+    // Each (image, channel) plane is independent.  Every output pixel
+    // accumulates its taps in (ky, kx) order with one pinned fma per
+    // tap, so the stride-1 row-kernel path and the strided scalar
+    // path produce identical bits.
     parallelFor(n * channels_, parallelGrain(oh * ow * kernel_ * kernel_),
                 [&](std::size_t p0, std::size_t p1) {
         for (std::size_t p = p0; p < p1; ++p) {
             const std::size_t img = p / channels_;
             const std::size_t c = p % channels_;
             for (std::size_t oy = 0; oy < oh; ++oy) {
-                for (std::size_t ox = 0; ox < ow; ++ox) {
-                    float acc = 0.0f;
-                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
-                        const long iy =
-                            static_cast<long>(oy * stride_ + ky) -
-                            static_cast<long>(pad_);
-                        if (iy < 0 || iy >= static_cast<long>(h))
+                float* yrow = y.data() +
+                              ((img * channels_ + c) * oh + oy) * ow;
+                for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                    const long iy = static_cast<long>(oy * stride_ + ky) -
+                                    static_cast<long>(pad_);
+                    if (iy < 0 || iy >= static_cast<long>(h))
+                        continue;
+                    const float* xrow =
+                        x.data() +
+                        ((img * channels_ + c) * h +
+                         static_cast<std::size_t>(iy)) * w;
+                    for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                        const float wq = cachedWq_(c, ky, kx);
+                        if (stride_ == 1) {
+                            // Valid ox range: 0 <= ox + kx - pad < w.
+                            const long shift = static_cast<long>(kx) -
+                                               static_cast<long>(pad_);
+                            const long start = std::max(0L, -shift);
+                            const long end = std::min(
+                                static_cast<long>(ow),
+                                static_cast<long>(w) - shift);
+                            if (start < end)
+                                kt.axpy(wq, xrow + start + shift,
+                                        yrow + start,
+                                        static_cast<std::size_t>(
+                                            end - start));
                             continue;
-                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                        }
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
                             const long ix =
                                 static_cast<long>(ox * stride_ + kx) -
                                 static_cast<long>(pad_);
                             if (ix < 0 || ix >= static_cast<long>(w))
                                 continue;
-                            acc += cachedWq_(c, ky, kx) *
-                                   x(img, c,
-                                     static_cast<std::size_t>(iy),
-                                     static_cast<std::size_t>(ix));
+                            yrow[ox] = kernels::fmadd(
+                                wq,
+                                xrow[static_cast<std::size_t>(ix)],
+                                yrow[ox]);
                         }
                     }
-                    y(img, c, oy, ox) = acc;
                 }
             }
         }

@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include "kernels/kernels.hpp"
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
 
@@ -32,9 +33,10 @@ Linear::forward(const Tensor& x)
     Tensor y = matmulTransB(x, cachedWq_);
     if (hasBias_) {
         const std::size_t n = y.dim(0);
+        const kernels::KernelTable& kt = kernels::kernels();
         for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < outFeatures_; ++j)
-                y(i, j) += bias_.value[j];
+            kt.addRowInPlace(y.data() + i * outFeatures_,
+                             bias_.value.data(), outFeatures_);
     }
     return y;
 }
@@ -55,9 +57,10 @@ Linear::backward(const Tensor& dy)
 
     if (hasBias_) {
         const std::size_t n = dy.dim(0);
+        const kernels::KernelTable& kt = kernels::kernels();
         for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < outFeatures_; ++j)
-                bias_.grad[j] += dy(i, j);
+            kt.addRowInPlace(bias_.grad.data(),
+                             dy.data() + i * outFeatures_, outFeatures_);
     }
 
     // dx = dy Wq.

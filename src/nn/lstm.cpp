@@ -3,20 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.hpp"
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
 
 namespace mrq {
-
-namespace {
-
-float
-sigmoid(float x)
-{
-    return 1.0f / (1.0f + std::exp(-x));
-}
-
-} // namespace
 
 Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
     : input_(input_size), hidden_(hidden_size)
@@ -65,32 +56,24 @@ Lstm::forward(const Tensor& x)
 
         Tensor z = matmulTransB(xt, cachedWxq_);      // [N, 4H]
         z += matmulTransB(hs_[t], cachedWhq_);
+        const kernels::KernelTable& kt = kernels::kernels();
         for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < 4 * hidden_; ++j)
-                z(i, j) += bias_.value[j];
+            kt.addRowInPlace(z.data() + i * 4 * hidden_,
+                             bias_.value.data(), 4 * hidden_);
 
+        // The gate pointwise pass runs row by row through the kernel
+        // substrate: activations are scalar libm in every ISA
+        // variant, the cell-state update is one pinned fma per
+        // element (kernels.hpp).
         Tensor& gate = gates_[t];
         Tensor& h_next = hs_[t + 1];
         Tensor& c_next = cs_[t + 1];
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < hidden_; ++j) {
-                const float zi = z(i, j);
-                const float zf = z(i, hidden_ + j);
-                const float zg = z(i, 2 * hidden_ + j);
-                const float zo = z(i, 3 * hidden_ + j);
-                const float gi = sigmoid(zi);
-                const float gf = sigmoid(zf);
-                const float gg = std::tanh(zg);
-                const float go = sigmoid(zo);
-                gate(i, j) = gi;
-                gate(i, hidden_ + j) = gf;
-                gate(i, 2 * hidden_ + j) = gg;
-                gate(i, 3 * hidden_ + j) = go;
-                const float c = gf * cs_[t](i, j) + gi * gg;
-                c_next(i, j) = c;
-                h_next(i, j) = go * std::tanh(c);
-            }
-        }
+        for (std::size_t i = 0; i < n; ++i)
+            kt.lstmGates(z.data() + i * 4 * hidden_,
+                         cs_[t].data() + i * hidden_,
+                         gate.data() + i * 4 * hidden_,
+                         c_next.data() + i * hidden_,
+                         h_next.data() + i * hidden_, hidden_);
         std::copy(h_next.data(), h_next.data() + h_next.size(),
                   y.data() + t * n * hidden_);
     }
@@ -115,9 +98,8 @@ Lstm::backward(const Tensor& dy)
 
     for (std::size_t t = t_len; t-- > 0;) {
         // Add the output gradient flowing into h_t.
-        for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < hidden_; ++j)
-                dh(i, j) += dy(t, i, j);
+        kernels::kernels().addRowInPlace(
+            dh.data(), dy.data() + t * n * hidden_, n * hidden_);
 
         const Tensor& gate = gates_[t];
         Tensor dz({n, 4 * hidden_});
@@ -152,9 +134,10 @@ Lstm::backward(const Tensor& dy)
 
         dwx += matmulTransA(dz, xt);
         dwh += matmulTransA(dz, hs_[t]);
+        const kernels::KernelTable& kt = kernels::kernels();
         for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < 4 * hidden_; ++j)
-                bias_.grad[j] += dz(i, j);
+            kt.addRowInPlace(bias_.grad.data(),
+                             dz.data() + i * 4 * hidden_, 4 * hidden_);
 
         Tensor dxt = matmul(dz, cachedWxq_); // [N, input]
         std::copy(dxt.data(), dxt.data() + dxt.size(),

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "kernels/isa.hpp"
+#include "obs/env.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -127,6 +129,8 @@ applyBuildProvenance(RunManifest* manifest)
         manifest->buildType = MRQ_BUILD_TYPE;
     if (manifest->sanitizer.empty())
         manifest->sanitizer = MRQ_SANITIZE;
+    if (manifest->isa.empty())
+        manifest->isa = kernels::isaName(kernels::activeIsa());
 }
 
 std::string
@@ -141,6 +145,7 @@ manifestJson(const RunManifest& manifest)
         {"compiler", &manifest.compiler},
         {"build_type", &manifest.buildType},
         {"sanitizer", &manifest.sanitizer},
+        {"isa", &manifest.isa},
     };
     for (const auto& [key, value] : provenance)
         if (!value->empty())
@@ -157,8 +162,8 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     : manifest_(std::move(manifest)), verbose_(verbose)
 {
     applyBuildProvenance(&manifest_);
-    const bool sink_live = std::getenv("MRQ_METRICS_OUT") != nullptr ||
-                           traceEnabled() || verbose_;
+    const bool sink_live = envSet("MRQ_METRICS_OUT") || traceEnabled() ||
+                           verbose_;
     prevVerbose_ = setLogVerbose(verbose_);
     if (sink_live) {
         MetricsRegistry::instance().reset();
@@ -180,7 +185,7 @@ RunScope::flush()
         return;
     flushed_ = true;
     if (metricsEnabled()) {
-        if (const char* path = std::getenv("MRQ_METRICS_OUT")) {
+        if (const char* path = envValue("MRQ_METRICS_OUT", nullptr)) {
             if (!MetricsRegistry::instance().writeJsonl(
                     path, manifestJson(manifest_)))
                 sinkLost("metrics", manifest_.run);

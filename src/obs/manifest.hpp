@@ -50,6 +50,7 @@ struct RunManifest
     std::string compiler;  ///< e.g. "GNU 13.2.0".
     std::string buildType; ///< e.g. "Release".
     std::string sanitizer; ///< e.g. "-fsanitize=thread", or "none".
+    std::string isa;       ///< Active kernel ISA, e.g. "avx2".
 
     /** Ordered option/ladder entries, e.g. {"ladder", "a8b2,a20b3"}. */
     std::vector<std::pair<std::string, std::string>> entries;
@@ -65,7 +66,8 @@ struct RunManifest
 const char* buildGitDescribe();
 
 /** Fill every empty provenance field (gitDescribe, gitDirty,
- *  compiler, buildType, sanitizer) from the build's stamps. */
+ *  compiler, buildType, sanitizer, isa) from the build's stamps and
+ *  the kernel substrate's resolved dispatch. */
 void applyBuildProvenance(RunManifest* manifest);
 
 /** Render the manifest as a single JSON object line. */

@@ -165,9 +165,7 @@ flushProfile(std::FILE* out)
     const std::vector<ProfileEntry> entries =
         buildProfile(MetricsRegistry::instance().snapshot());
     writeProfileReport(out, entries);
-    if (const char* path = std::getenv("MRQ_PROFILE_OUT")) {
-        if (path[0] == '\0')
-            return;
+    if (const char* path = envValue("MRQ_PROFILE_OUT", nullptr)) {
         const std::filesystem::path p(path);
         std::error_code ec;
         if (p.has_parent_path())

@@ -32,8 +32,7 @@ setTraceExportEnabled(bool on)
 std::string
 traceExportPath()
 {
-    const char* v = std::getenv("MRQ_TRACE_OUT");
-    return v != nullptr ? std::string(v) : std::string{};
+    return std::string(envValue("MRQ_TRACE_OUT", ""));
 }
 
 namespace {
@@ -73,11 +72,9 @@ constexpr std::size_t kDefaultRingCapacity = 1u << 15;
 std::size_t
 initialRingCapacity()
 {
-    if (const char* v = std::getenv("MRQ_TRACE_RING")) {
-        const long n = std::atol(v);
-        if (n > 0)
-            return static_cast<std::size_t>(n);
-    }
+    const long n = envLong("MRQ_TRACE_RING", 0);
+    if (n > 0)
+        return static_cast<std::size_t>(n);
     return kDefaultRingCapacity;
 }
 

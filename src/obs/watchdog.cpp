@@ -16,7 +16,7 @@ namespace obs {
 WatchdogMode
 watchdogModeFromEnv()
 {
-    const char* v = std::getenv("MRQ_WATCHDOG");
+    const char* v = envValue("MRQ_WATCHDOG", nullptr);
     if (v == nullptr)
         return WatchdogMode::off;
     auto lower = [](char c) {

@@ -1,5 +1,6 @@
 #include "tensor/ops.hpp"
 
+#include "kernels/kernels.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -19,16 +20,14 @@ matmul(const Tensor& a, const Tensor& b)
     // Rows of C are independent; within each row the ikj order keeps
     // the inner loop contiguous over both B and C, and accumulation
     // per element stays in ascending-k order on every thread count.
+    const kernels::KernelTable& kt = kernels::kernels();
     parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
             for (std::size_t kk = 0; kk < k; ++kk) {
                 const float aik = pa[i * k + kk];
                 if (aik == 0.0f)
                     continue;
-                const float* brow = pb + kk * n;
-                float* crow = pc + i * n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += aik * brow[j];
+                kt.axpy(aik, pb + kk * n, pc + i * n, n);
             }
         }
     });
@@ -50,6 +49,7 @@ matmulTransA(const Tensor& a, const Tensor& b)
     // i-outer so output rows are independent; each element still
     // accumulates in ascending-k order, matching the k-outer serial
     // loop bit for bit.
+    const kernels::KernelTable& kt = kernels::kernels();
     parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
             float* crow = pc + i * n;
@@ -57,9 +57,7 @@ matmulTransA(const Tensor& a, const Tensor& b)
                 const float aki = pa[kk * m + i];
                 if (aki == 0.0f)
                     continue;
-                const float* brow = pb + kk * n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += aki * brow[j];
+                kt.axpy(aki, pb + kk * n, crow, n);
             }
         }
     });
@@ -78,17 +76,16 @@ matmulTransB(const Tensor& a, const Tensor& b)
     const float* pa = a.data();
     const float* pb = b.data();
     float* pc = c.data();
+    // Each output element is one dot() call, so the value follows the
+    // kernel substrate's fixed 16-lane reduction tree at any thread
+    // count and any MRQ_ISA.
+    const kernels::KernelTable& kt = kernels::kernels();
     parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
             const float* arow = pa + i * k;
             float* crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j) {
-                const float* brow = pb + j * k;
-                float acc = 0.0f;
-                for (std::size_t kk = 0; kk < k; ++kk)
-                    acc += arow[kk] * brow[kk];
-                crow[j] = acc;
-            }
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] = kt.dot(arow, pb + j * k, k);
         }
     });
     return c;

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "kernels/kernels.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -81,15 +82,14 @@ Tensor::operator+=(const Tensor& rhs)
 {
     require(sameShape(rhs), "Tensor::operator+= shape mismatch: ",
             shapeString(), " vs ", rhs.shapeString());
+    const kernels::KernelTable& kt = kernels::kernels();
     if (data_.size() < kParallelThreshold) {
-        for (std::size_t i = 0; i < data_.size(); ++i)
-            data_[i] += rhs.data_[i];
+        kt.addRowInPlace(data_.data(), rhs.data_.data(), data_.size());
         return *this;
     }
     parallelFor(data_.size(), kElementGrain,
                 [&](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i)
-            data_[i] += rhs.data_[i];
+        kt.addRowInPlace(data_.data() + b, rhs.data_.data() + b, e - b);
     });
     return *this;
 }

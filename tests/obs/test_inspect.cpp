@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/fake_quant.hpp"
+#include "obs/env.hpp"
 #include "obs/inspect.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -60,8 +61,7 @@ class InspectTestGuard
 std::string
 tempPath(const char* name)
 {
-    const char* tmp = std::getenv("TMPDIR");
-    return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+    return std::string(mrq::obs::envValue("TMPDIR", "/tmp")) + "/" + name;
 }
 
 Tensor

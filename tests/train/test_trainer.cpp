@@ -192,8 +192,13 @@ TEST(Integration, ClassifierMultiResLearnsAllSubModels)
     // Term pairs grow with budget.
     EXPECT_LT(result.subModels.front().termPairs,
               result.subModels.back().termPairs);
-    // Multi-res epochs cost roughly twice an FP epoch (Table 1).
-    EXPECT_GT(result.mrEpochSeconds, result.fpEpochSeconds);
+    // Both phases ran and were timed.  (The paper's Table 1 puts a
+    // multi-res epoch at roughly twice an FP epoch, but the SIMD
+    // lattice/term-projection kernels shrink the projection overhead
+    // below timing noise at this model size, so a wall-clock ratio is
+    // no longer a stable assertion.)
+    EXPECT_GT(result.mrEpochSeconds, 0.0);
+    EXPECT_GT(result.fpEpochSeconds, 0.0);
 }
 
 TEST(Integration, PostTrainingIsWorseAtAggressiveBudgets)
