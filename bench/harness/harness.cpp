@@ -8,6 +8,9 @@
 
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/proc_stats.hpp"
+#include "obs/stats_server.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -230,6 +233,12 @@ class Runner
             def.fn(ctx);
         }
 
+        // Hardware counters attach per timed rep (one PerfScope each)
+        // and sum in the perf side store; the store is cleared per
+        // case so the totals below cover exactly this case's reps.
+        obs::resetPerfTotals();
+        const char* kPerfScope = "bench.rep";
+
         std::vector<double> samples;
         samples.reserve(static_cast<std::size_t>(record.reps));
         for (int r = 0; r < record.reps; ++r) {
@@ -237,10 +246,30 @@ class Runner
             record.values.clear();
             record.timingValues.clear();
             obs::MetricsRegistry::instance().reset();
+            obs::PerfScope perf(kPerfScope);
             samples.push_back(wallTimeMs([&] { def.fn(ctx); }));
         }
         record.metrics =
             flattenSnapshot(obs::MetricsRegistry::instance().snapshot());
+
+        // Machine-dependent per-case facts go into the noise-gated
+        // "resources" map, never into values/metrics.
+        const obs::ProcStats proc = obs::readProcStats();
+        if (proc.peakRssKb >= 0)
+            record.resources["peak_rss_kb"] =
+                static_cast<double>(proc.peakRssKb);
+        for (const auto& [scope, totals] : obs::perfTotalsSnapshot()) {
+            if (scope != kPerfScope || totals.cycles <= 0)
+                continue;
+            record.resources["cycles"] =
+                static_cast<double>(totals.cycles);
+            record.resources["instructions"] =
+                static_cast<double>(totals.instructions);
+            record.resources["cache_misses"] =
+                static_cast<double>(totals.cacheMisses);
+            record.resources["branch_misses"] =
+                static_cast<double>(totals.branchMisses);
+        }
         if (trace_case)
             obs::writeTrace(caseTracePath(def.name));
 
@@ -311,6 +340,8 @@ runRegisteredCases(const RunnerOptions& opts)
         std::fprintf(stderr, "bench harness: no cases match\n");
         return 1;
     }
+    // Live telemetry plane (no-op unless MRQ_STATS_* is set).
+    obs::StatsPlane::instance().startFromEnv();
 
     BenchReport report;
     report.suite = opts.suite;

@@ -434,6 +434,8 @@ BenchReport::toJson() const
         appendDoubleMapJson(out, c.timingValues, "      ");
         out += ",\n      \"metrics\": ";
         appendMetricMapJson(out, c.metrics, "      ");
+        out += ",\n      \"resources\": ";
+        appendDoubleMapJson(out, c.resources, "      ");
         out += "\n    }";
     }
     out += ordered.empty() ? "]\n" : "\n  ]\n";
@@ -496,7 +498,8 @@ parseBenchReport(const std::string& json, BenchReport* out,
     }
     const JsonValue* version = root.find("version");
     if (version == nullptr || !version->numberIsInt ||
-        version->integer != kBenchSchemaVersion) {
+        version->integer < kBenchSchemaMinVersion ||
+        version->integer > kBenchSchemaVersion) {
         *err = "unknown schema version";
         return false;
     }
@@ -564,6 +567,9 @@ parseBenchReport(const std::string& json, BenchReport* out,
                     value.numberIsInt
                         ? MetricValue::ofInt(value.integer)
                         : MetricValue::ofDouble(value.number);
+        if (const JsonValue* resources = c.find("resources"))
+            for (const auto& [key, value] : resources->object)
+                rec.resources[key] = value.number;
         out->cases.push_back(std::move(rec));
     }
     return true;

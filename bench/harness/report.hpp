@@ -5,9 +5,9 @@
  * parser for round-trip tests and in-process comparisons, plus the
  * shared TablePrinter every bench routes its stdout through.
  *
- * Schema (version 1):
+ * Schema (version 2; version-1 files — no "resources" — still parse):
  *
- *   {"type": "bench", "version": 1, "suite": str,
+ *   {"type": "bench", "version": 2, "suite": str,
  *    "manifest": {"type": "manifest", "run": str, "seed": int,
  *                 "git": str, ...string extras...},
  *    "cases": [
@@ -17,15 +17,19 @@
  *                   "outliers": int},
  *       "values": {str: num, ...},          // deterministic scalars
  *       "timing_values": {str: num, ...},   // wall-clock derived
- *       "metrics": {str: num, ...}},        // MetricsRegistry snapshot
+ *       "metrics": {str: num, ...},         // MetricsRegistry snapshot
+ *       "resources": {str: num, ...}},      // RSS / perf counters
  *      ...]}
  *
  * Determinism contract: for a fixed seed, tier and MRQ_THREADS, two
- * runs differ only in "wall_ms" and "timing_values" — everything in
- * "values" and "metrics" is bit-identical (this is what
- * tools/bench_compare.py and the quick-tier CI gate rely on).  Cases
- * and the keys inside each map are sorted by name so diffs are
- * stable.
+ * runs differ only in "wall_ms", "timing_values" and "resources" —
+ * everything in "values" and "metrics" is bit-identical (this is what
+ * tools/bench_compare.py and the quick-tier CI gate rely on).
+ * "resources" holds per-case process facts (peak RSS, hardware
+ * counter totals when MRQ_PERF counted) that are machine-dependent by
+ * nature, so the tools treat them like timings: noise-gated, never
+ * exact.  Cases and the keys inside each map are sorted by name so
+ * diffs are stable.
  */
 
 #ifndef MRQ_BENCH_HARNESS_REPORT_HPP
@@ -46,8 +50,10 @@ namespace mrq {
 namespace bench {
 
 /** Bump when the JSON layout changes; bench_compare refuses a
- *  version it does not know. */
-inline constexpr int kBenchSchemaVersion = 1;
+ *  version it does not know.  v2 added the per-case "resources" map;
+ *  v1 files still parse (resources empty). */
+inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaMinVersion = 1;
 
 /** One metric value captured from a registry snapshot: counters and
  *  histogram totals are integers, gauges are doubles. */
@@ -93,6 +99,9 @@ struct CaseRecord
     std::map<std::string, double> values;
     std::map<std::string, double> timingValues;
     std::map<std::string, MetricValue> metrics;
+    /** Machine-dependent per-case facts (peak_rss_kb, perf counter
+     *  totals over the timed reps); noise-gated by the tools. */
+    std::map<std::string, double> resources;
 };
 
 /** One suite run: manifest header + per-case records. */

@@ -6,6 +6,7 @@
 
 #include "core/uniform_quant.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -152,6 +153,8 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
         kernels::makeLatticeParams(cfg.bits, uq.scale(), uq.isSigned);
 
     if (cfg.mode == QuantMode::Uq) {
+        kernels::KernelRegion kr(kernels::KernelId::LatticeRoundTrip,
+                                 static_cast<std::int64_t>(n));
         parallelFor(n, parallelGrain(8), [&](std::size_t b, std::size_t e) {
             kt.latticeRoundTrip(w.data() + b, out.data() + b, e - b, lp);
         });
@@ -176,6 +179,10 @@ fakeQuantWeights(const Tensor& w, float clip, const SubModelConfig& cfg,
     const std::size_t row_len =
         w.rank() >= 2 && w.dim(0) > 0 ? n / w.dim(0) : n;
     const std::size_t rows = row_len > 0 ? n / row_len : 0;
+    // Region covers the fused quantize + group-project + dequant row
+    // pass; attributed to the quantize family (nominal).
+    kernels::KernelRegion kr(kernels::KernelId::LatticeQuantize,
+                             static_cast<std::int64_t>(n));
     const QuantStats partial = parallelReduce(
         rows, parallelGrain(row_len * 16), QuantStats{},
         [&](std::size_t r0, std::size_t r1) {
@@ -239,6 +246,8 @@ fakeQuantData(const Tensor& x, float clip, const SubModelConfig& cfg,
     const kernels::KernelTable& kt = kernels::kernels();
     const kernels::LatticeParams lp =
         kernels::makeLatticeParams(cfg.bits, uq.scale(), uq.isSigned);
+    kernels::KernelRegion kr(kernels::KernelId::LatticeRoundTrip,
+                             static_cast<std::int64_t>(n));
     const std::size_t kept = parallelReduce(
         n, parallelGrain(16), std::size_t{0},
         [&](std::size_t b, std::size_t e) {

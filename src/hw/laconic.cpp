@@ -2,6 +2,7 @@
 
 #include "core/term_stream.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 
 namespace mrq {
 
@@ -66,6 +67,8 @@ LaconicPe::compute(const std::vector<std::int64_t>& weights,
     // over all exponents is what the shifted-add kernel computes.
     result.value = kernels::kernels().weightedBucketSum(buckets.data(),
                                                         buckets.size());
+    kernels::recordKernelElems(kernels::KernelId::BucketSum,
+                               static_cast<std::int64_t>(buckets.size()));
     result.bucketAdds += buckets.size();
 
     // Worst-case schedule: 3 x 3 windows, one pair per lane per cycle.

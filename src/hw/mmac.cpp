@@ -1,6 +1,7 @@
 #include "hw/mmac.hpp"
 
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 
 namespace mrq {
 
@@ -109,6 +110,8 @@ Mmac::computeGroupFlat(const TermSpan* data_terms, std::int64_t y_in) const
     MmacResult result;
     result.value = kernels::kernels().termPairAccumulate(
         exps.data(), signs.data(), exps.size(), y_in);
+    kernels::recordKernelElems(kernels::KernelId::TermPairs,
+                               static_cast<std::int64_t>(exps.size()));
     result.termPairs = exps.size();
     result.incrementOps = exps.size();
     result.rippleBits = 0;

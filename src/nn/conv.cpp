@@ -4,6 +4,7 @@
 
 #include "kernels/kernel_scalar.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 #include "nn/init.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -66,6 +67,9 @@ Conv2d::forward(const Tensor& x)
                     kt.addScalarInPlace(
                         y.data() + (img * outChannels_ + c) * oh * ow,
                         bias_.value[c], oh * ow);
+                kernels::recordKernelElems(
+                    kernels::KernelId::AddScalar,
+                    static_cast<std::int64_t>(outChannels_ * oh * ow));
             }
         }
     });
@@ -192,6 +196,10 @@ DepthwiseConv2d::forward(const Tensor& x)
 
     Tensor y({n, channels_, oh, ow});
     const kernels::KernelTable& kt = kernels::kernels();
+    kernels::KernelRegion kr(
+        kernels::KernelId::GemmAxpy,
+        static_cast<std::int64_t>(n * channels_ * kernel_ * kernel_ * oh *
+                                  ow));
     // Each (image, channel) plane is independent.  Every output pixel
     // accumulates its taps in (ky, kx) order with one pinned fma per
     // tap, so the stride-1 row-kernel path and the strided scalar

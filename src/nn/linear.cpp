@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
 
@@ -34,6 +35,9 @@ Linear::forward(const Tensor& x)
     if (hasBias_) {
         const std::size_t n = y.dim(0);
         const kernels::KernelTable& kt = kernels::kernels();
+        kernels::KernelRegion kr(
+            kernels::KernelId::AddRow,
+            static_cast<std::int64_t>(n * outFeatures_));
         for (std::size_t i = 0; i < n; ++i)
             kt.addRowInPlace(y.data() + i * outFeatures_,
                              bias_.value.data(), outFeatures_);
@@ -58,6 +62,9 @@ Linear::backward(const Tensor& dy)
     if (hasBias_) {
         const std::size_t n = dy.dim(0);
         const kernels::KernelTable& kt = kernels::kernels();
+        kernels::KernelRegion kr(
+            kernels::KernelId::AddRow,
+            static_cast<std::int64_t>(n * outFeatures_));
         for (std::size_t i = 0; i < n; ++i)
             kt.addRowInPlace(bias_.grad.data(),
                              dy.data() + i * outFeatures_, outFeatures_);

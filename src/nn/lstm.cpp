@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
 
@@ -57,9 +58,14 @@ Lstm::forward(const Tensor& x)
         Tensor z = matmulTransB(xt, cachedWxq_);      // [N, 4H]
         z += matmulTransB(hs_[t], cachedWhq_);
         const kernels::KernelTable& kt = kernels::kernels();
-        for (std::size_t i = 0; i < n; ++i)
-            kt.addRowInPlace(z.data() + i * 4 * hidden_,
-                             bias_.value.data(), 4 * hidden_);
+        {
+            kernels::KernelRegion kr(
+                kernels::KernelId::AddRow,
+                static_cast<std::int64_t>(n * 4 * hidden_));
+            for (std::size_t i = 0; i < n; ++i)
+                kt.addRowInPlace(z.data() + i * 4 * hidden_,
+                                 bias_.value.data(), 4 * hidden_);
+        }
 
         // The gate pointwise pass runs row by row through the kernel
         // substrate: activations are scalar libm in every ISA
@@ -68,6 +74,8 @@ Lstm::forward(const Tensor& x)
         Tensor& gate = gates_[t];
         Tensor& h_next = hs_[t + 1];
         Tensor& c_next = cs_[t + 1];
+        kernels::KernelRegion kr(kernels::KernelId::LstmGates,
+                                 static_cast<std::int64_t>(n * hidden_));
         for (std::size_t i = 0; i < n; ++i)
             kt.lstmGates(z.data() + i * 4 * hidden_,
                          cs_[t].data() + i * hidden_,
@@ -135,9 +143,15 @@ Lstm::backward(const Tensor& dy)
         dwx += matmulTransA(dz, xt);
         dwh += matmulTransA(dz, hs_[t]);
         const kernels::KernelTable& kt = kernels::kernels();
-        for (std::size_t i = 0; i < n; ++i)
-            kt.addRowInPlace(bias_.grad.data(),
-                             dz.data() + i * 4 * hidden_, 4 * hidden_);
+        {
+            kernels::KernelRegion kr(
+                kernels::KernelId::AddRow,
+                static_cast<std::int64_t>(n * 4 * hidden_));
+            for (std::size_t i = 0; i < n; ++i)
+                kt.addRowInPlace(bias_.grad.data(),
+                                 dz.data() + i * 4 * hidden_,
+                                 4 * hidden_);
+        }
 
         Tensor dxt = matmul(dz, cachedWxq_); // [N, input]
         std::copy(dxt.data(), dxt.data() + dxt.size(),

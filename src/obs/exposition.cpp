@@ -1,0 +1,331 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "kernels/roofline.hpp"
+#include "obs/trace_export.hpp"
+
+namespace mrq {
+namespace obs {
+
+namespace {
+
+/** Mangle a metric name into the Prometheus charset ([a-zA-Z0-9_]). */
+std::string
+promName(const std::string& name)
+{
+    std::string out = "mrq_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** Escape a Prometheus label value / JSON string body. */
+std::string
+escaped(const std::string& v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+appendf(std::string& s, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void
+appendf(std::string& s, const char* fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    if (n > 0)
+        s.append(buf, std::min(static_cast<std::size_t>(n),
+                               sizeof buf - 1));
+}
+
+/** Roofline view of one kernel family, derived from the snapshot. */
+struct KernelRow
+{
+    const kernels::KernelCost* cost = nullptr;
+    std::int64_t elems = 0;
+    std::int64_t timeNs = 0; ///< 0 = no timed region (hw-sim kernels).
+
+    double
+    flops() const
+    {
+        return static_cast<double>(elems) * cost->flopsPerElem;
+    }
+    double
+    achievedGflops() const
+    {
+        // GFLOP/s == flops / ns.
+        return timeNs > 0 ? flops() / static_cast<double>(timeNs) : 0.0;
+    }
+    double
+    intensity() const
+    {
+        return cost->bytesPerElem > 0.0
+                   ? cost->flopsPerElem / cost->bytesPerElem
+                   : 0.0;
+    }
+};
+
+std::vector<KernelRow>
+kernelRows(const Snapshot& m)
+{
+    std::vector<KernelRow> rows;
+    for (std::size_t i = 0; i < kernels::kKernelCount; ++i) {
+        const kernels::KernelCost& cost =
+            kernels::kernelCost(static_cast<kernels::KernelId>(i));
+        KernelRow row;
+        row.cost = &cost;
+        const std::string counter =
+            std::string("kernel.") + cost.slug + ".elems";
+        const std::string timing = std::string("kernel.") + cost.slug;
+        for (const auto& c : m.counters)
+            if (c.name == counter)
+                row.elems = c.value;
+        for (const auto& t : m.timings)
+            if (t.name == timing)
+                row.timeNs = t.t.totalNs;
+        if (row.elems > 0)
+            rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace
+
+StatsSnapshot
+collectStatsSnapshot()
+{
+    StatsSnapshot s;
+    s.metrics = MetricsRegistry::instance().snapshot();
+    s.proc = readProcStats();
+    s.perf = perfTotalsSnapshot();
+    s.isa = kernels::activeIsa();
+    s.traceDropped = static_cast<std::int64_t>(traceDroppedEvents());
+    return s;
+}
+
+std::string
+renderPrometheus(const StatsSnapshot& s)
+{
+    std::string out;
+    out.reserve(4096);
+
+    for (const auto& c : s.metrics.counters) {
+        const std::string n = promName(c.name) + "_total";
+        appendf(out, "# TYPE %s counter\n", n.c_str());
+        appendf(out, "%s %" PRId64 "\n", n.c_str(), c.value);
+    }
+    for (const auto& g : s.metrics.gauges) {
+        const std::string n = promName(g.name);
+        appendf(out, "# TYPE %s gauge\n", n.c_str());
+        appendf(out, "%s %.17g\n", n.c_str(), g.value);
+    }
+    for (const auto& h : s.metrics.histograms) {
+        const std::string n = promName(h.name);
+        appendf(out, "# TYPE %s histogram\n", n.c_str());
+        std::int64_t cum = 0;
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            cum += h.counts[b];
+            if (b + 1 == h.counts.size())
+                appendf(out, "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                        n.c_str(), cum);
+            else
+                appendf(out, "%s_bucket{le=\"%zu\"} %" PRId64 "\n",
+                        n.c_str(), b, cum);
+        }
+        appendf(out, "%s_sum %" PRId64 "\n", n.c_str(), h.weighted);
+        appendf(out, "%s_count %" PRId64 "\n", n.c_str(), h.total);
+    }
+    for (const auto& t : s.metrics.timings) {
+        const std::string n = promName(t.name);
+        appendf(out, "# TYPE %s_seconds_total counter\n", n.c_str());
+        appendf(out, "%s_seconds_total %.9f\n", n.c_str(),
+                static_cast<double>(t.t.totalNs) * 1e-9);
+        appendf(out, "# TYPE %s_calls_total counter\n", n.c_str());
+        appendf(out, "%s_calls_total %" PRId64 "\n", n.c_str(),
+                t.t.count);
+    }
+
+    // Process resources.
+    if (s.proc.rssKb >= 0) {
+        appendf(out, "# TYPE mrq_process_resident_memory_kb gauge\n");
+        appendf(out, "mrq_process_resident_memory_kb %" PRId64 "\n",
+                s.proc.rssKb);
+    }
+    if (s.proc.peakRssKb >= 0) {
+        appendf(out,
+                "# TYPE mrq_process_peak_resident_memory_kb gauge\n");
+        appendf(out, "mrq_process_peak_resident_memory_kb %" PRId64 "\n",
+                s.proc.peakRssKb);
+    }
+    if (s.proc.threads >= 0) {
+        appendf(out, "# TYPE mrq_process_threads gauge\n");
+        appendf(out, "mrq_process_threads %" PRId64 "\n", s.proc.threads);
+    }
+    if (s.proc.cpuSeconds >= 0.0) {
+        appendf(out, "# TYPE mrq_process_cpu_seconds_total counter\n");
+        appendf(out, "mrq_process_cpu_seconds_total %.6f\n",
+                s.proc.cpuSeconds);
+    }
+
+    // Watchdog / trace-ring totals.
+    appendf(out, "# TYPE mrq_watchdog_alerts gauge\n");
+    appendf(out, "mrq_watchdog_alerts %zu\n", s.metrics.alerts.size());
+    appendf(out, "# TYPE mrq_trace_dropped_events gauge\n");
+    appendf(out, "mrq_trace_dropped_events %" PRId64 "\n",
+            s.traceDropped);
+    appendf(out, "# TYPE mrq_stats_samples_total counter\n");
+    appendf(out, "mrq_stats_samples_total %" PRId64 "\n", s.samples);
+
+    // Hardware counter side store.
+    const struct
+    {
+        const char* name;
+        std::int64_t PerfTotals::* field;
+    } perf_fields[] = {
+        {"cycles", &PerfTotals::cycles},
+        {"instructions", &PerfTotals::instructions},
+        {"cache_misses", &PerfTotals::cacheMisses},
+        {"branch_misses", &PerfTotals::branchMisses},
+        {"scopes", &PerfTotals::scopes},
+    };
+    if (!s.perf.empty()) {
+        for (const auto& f : perf_fields)
+            appendf(out, "# TYPE mrq_perf_%s_total counter\n", f.name);
+        for (const auto& [scope, totals] : s.perf)
+            for (const auto& f : perf_fields)
+                appendf(out,
+                        "mrq_perf_%s_total{scope=\"%s\"} %" PRId64 "\n",
+                        f.name, escaped(scope).c_str(), totals.*f.field);
+    }
+
+    // Kernel roofline derivations.
+    const char* isa = kernels::isaName(s.isa);
+    appendf(out, "# TYPE mrq_kernel_peak_flops_per_cycle gauge\n");
+    appendf(out,
+            "mrq_kernel_peak_flops_per_cycle{isa=\"%s\"} %.1f\n", isa,
+            kernels::peakFlopsPerCycle(s.isa));
+    const std::vector<KernelRow> rows = kernelRows(s.metrics);
+    if (!rows.empty()) {
+        appendf(out, "# TYPE mrq_kernel_flops_total counter\n");
+        appendf(out, "# TYPE mrq_kernel_arith_intensity gauge\n");
+        appendf(out, "# TYPE mrq_kernel_achieved_gflops gauge\n");
+        for (const KernelRow& r : rows) {
+            appendf(out,
+                    "mrq_kernel_flops_total{kernel=\"%s\",isa=\"%s\"} "
+                    "%.0f\n",
+                    r.cost->slug, isa, r.flops());
+            appendf(out,
+                    "mrq_kernel_arith_intensity{kernel=\"%s\",isa=\"%s\"}"
+                    " %.6f\n",
+                    r.cost->slug, isa, r.intensity());
+            if (r.timeNs > 0)
+                appendf(out,
+                        "mrq_kernel_achieved_gflops{kernel=\"%s\","
+                        "isa=\"%s\"} %.6f\n",
+                        r.cost->slug, isa, r.achievedGflops());
+        }
+    }
+    return out;
+}
+
+std::string
+renderStatsJson(const StatsSnapshot& s)
+{
+    std::string out = "{";
+    appendf(out, "\"version\":%d", kStatsSchemaVersion);
+    appendf(out, ",\"isa\":\"%s\"", kernels::isaName(s.isa));
+    appendf(out, ",\"samples\":%" PRId64, s.samples);
+    appendf(out,
+            ",\"proc\":{\"rss_kb\":%" PRId64 ",\"peak_rss_kb\":%" PRId64
+            ",\"threads\":%" PRId64 ",\"cpu_seconds\":%.6f}",
+            s.proc.rssKb, s.proc.peakRssKb, s.proc.threads,
+            s.proc.cpuSeconds);
+
+    out += ",\"counters\":{";
+    for (std::size_t i = 0; i < s.metrics.counters.size(); ++i) {
+        const auto& c = s.metrics.counters[i];
+        appendf(out, "%s\"%s\":%" PRId64, i ? "," : "",
+                escaped(c.name).c_str(), c.value);
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < s.metrics.gauges.size(); ++i) {
+        const auto& g = s.metrics.gauges[i];
+        appendf(out, "%s\"%s\":%.17g", i ? "," : "",
+                escaped(g.name).c_str(), g.value);
+    }
+    out += "},\"timings\":{";
+    for (std::size_t i = 0; i < s.metrics.timings.size(); ++i) {
+        const auto& t = s.metrics.timings[i];
+        appendf(out,
+                "%s\"%s\":{\"count\":%" PRId64 ",\"total_ns\":%" PRId64
+                "}",
+                i ? "," : "", escaped(t.name).c_str(), t.t.count,
+                t.t.totalNs);
+    }
+    out += "},\"perf\":{";
+    for (std::size_t i = 0; i < s.perf.size(); ++i) {
+        const auto& [scope, t] = s.perf[i];
+        appendf(out,
+                "%s\"%s\":{\"scopes\":%" PRId64 ",\"cycles\":%" PRId64
+                ",\"instructions\":%" PRId64 ",\"cache_misses\":%" PRId64
+                ",\"branch_misses\":%" PRId64 "}",
+                i ? "," : "", escaped(scope).c_str(), t.scopes, t.cycles,
+                t.instructions, t.cacheMisses, t.branchMisses);
+    }
+    out += "},\"kernels\":[";
+    const std::vector<KernelRow> rows = kernelRows(s.metrics);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const KernelRow& r = rows[i];
+        appendf(out,
+                "%s{\"name\":\"%s\",\"elems\":%" PRId64
+                ",\"flops_per_elem\":%.3f,\"bytes_per_elem\":%.3f,"
+                "\"arith_intensity\":%.6f,\"time_ns\":%" PRId64
+                ",\"achieved_gflops\":%.6f}",
+                i ? "," : "", r.cost->slug, r.elems, r.cost->flopsPerElem,
+                r.cost->bytesPerElem, r.intensity(), r.timeNs,
+                r.achievedGflops());
+    }
+    appendf(out,
+            "],\"peak_flops_per_cycle\":%.1f,\"alerts\":%zu,"
+            "\"trace_dropped\":%" PRId64 "}",
+            kernels::peakFlopsPerCycle(s.isa), s.metrics.alerts.size(),
+            s.traceDropped);
+    return out;
+}
+
+} // namespace obs
+} // namespace mrq

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Exposition layer of the telemetry plane: renders one combined view
+ * of the process — registry metrics, /proc resource stats, perf
+ * side-store totals, and kernel roofline derivations — as Prometheus
+ * text format or a JSON snapshot.  Served over the stats socket
+ * (obs/stats_server.hpp) and scraped by tools/mrq_stats.py.
+ *
+ * Everything here is read-only over live data: collecting a
+ * StatsSnapshot never writes into the registry, so the sampler thread
+ * cannot perturb the deterministic JSONL sink.
+ *
+ * Prometheus mapping: counters become `mrq_<name>_total`, gauges
+ * `mrq_<name>`, histograms full `_bucket{le=...}`/`_sum`/`_count`
+ * families, timing aggregates `mrq_<name>_seconds_total` +
+ * `mrq_<name>_calls_total` (wall-clock, inherently non-deterministic
+ * — fine for a live endpoint, still banned from JSONL).  Metric-name
+ * dots mangle to underscores.  Kernel families additionally export
+ * `mrq_kernel_achieved_gflops{kernel=...,isa=...}` (nominal flops /
+ * aggregated region wall time — with nested parallel regions this is
+ * closer to per-core than machine-wide throughput) and
+ * `mrq_kernel_arith_intensity` from the cost constants in
+ * kernels/roofline.hpp, against the `mrq_kernel_peak_flops_per_cycle`
+ * ceiling.
+ */
+
+#ifndef MRQ_OBS_EXPOSITION_HPP
+#define MRQ_OBS_EXPOSITION_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernels/isa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/proc_stats.hpp"
+
+namespace mrq {
+namespace obs {
+
+/** Schema version of the JSON snapshot (tools/check_stats_schema.py). */
+constexpr int kStatsSchemaVersion = 1;
+
+/** One coherent view of every live telemetry source. */
+struct StatsSnapshot
+{
+    Snapshot metrics;
+    ProcStats proc;
+    std::vector<std::pair<std::string, PerfTotals>> perf;
+    kernels::Isa isa = kernels::Isa::Generic;
+    std::int64_t traceDropped = 0; ///< Trace-ring drop-oldest count.
+    std::int64_t samples = 0;      ///< Sampler ticks so far (0 = on-demand).
+};
+
+/** Collect a snapshot of every source (never writes the registry). */
+StatsSnapshot collectStatsSnapshot();
+
+/** Render @p s in Prometheus text exposition format (version 0.0.4). */
+std::string renderPrometheus(const StatsSnapshot& s);
+
+/** Render @p s as one JSON object (schema kStatsSchemaVersion). */
+std::string renderStatsJson(const StatsSnapshot& s);
+
+} // namespace obs
+} // namespace mrq
+
+#endif // MRQ_OBS_EXPOSITION_HPP

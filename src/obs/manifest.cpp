@@ -10,6 +10,7 @@
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/stats_server.hpp"
 #include "obs/trace_export.hpp"
 
 #ifndef MRQ_GIT_DESCRIBE
@@ -162,11 +163,20 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     : manifest_(std::move(manifest)), verbose_(verbose)
 {
     applyBuildProvenance(&manifest_);
+    // The live stats plane (MRQ_STATS_SOCK / MRQ_STATS_EVERY) needs
+    // metric collection on even without an offline sink — but without
+    // the fresh-block reset: a scrape wants cumulative process totals
+    // (Prometheus counter semantics), and resetting here would change
+    // recorded metrics relative to a plain run.
+    const bool stats_live =
+        envSet("MRQ_STATS_SOCK") || envSet("MRQ_STATS_EVERY");
     const bool sink_live = envSet("MRQ_METRICS_OUT") || traceEnabled() ||
                            verbose_;
     prevVerbose_ = setLogVerbose(verbose_);
     if (sink_live) {
         MetricsRegistry::instance().reset();
+        prevEnabled_ = setMetricsEnabled(true);
+    } else if (stats_live) {
         prevEnabled_ = setMetricsEnabled(true);
     } else {
         prevEnabled_ = metricsEnabled();
@@ -176,6 +186,8 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     if (QuantInspector::instance().enabled())
         QuantInspector::instance().reset();
     pushScope(this);
+    if (stats_live)
+        StatsPlane::instance().startFromEnv();
 }
 
 void

@@ -53,18 +53,140 @@ nowNs()
 
 namespace {
 
+// ------------------------------------------------------------------
+// Shard storage.
+//
+// Each shard is written by exactly one thread, but — since the stats
+// plane (obs/stats_server.hpp) snapshots the registry from a
+// background sampler thread while hot loops are still recording —
+// every slot a reader can touch is a relaxed atomic and every block
+// of slots is published with a release store.  The writer never uses
+// an atomic RMW (single-writer load+store keeps the hot path at
+// plain-move cost); the reader gets word-atomic, never-torn values
+// that are at worst a few updates stale.  Capacities are fixed so a
+// block address never moves after publication; updates past the caps
+// are dropped and counted (debugDroppedUpdates).
+// ------------------------------------------------------------------
+
+using Slot = std::atomic<std::int64_t>;
+
+/** Single-writer add: plain load+store, atomic only for readers. */
+inline void
+slotAdd(Slot& s, std::int64_t n)
+{
+    s.store(s.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+}
+
+constexpr std::size_t kCounterSlotsPerBlock = 64;
+constexpr std::size_t kMaxCounterBlocks = 64; ///< 4096 counter ids.
+constexpr std::size_t kTimingSlotsPerBlock = 32;
+constexpr std::size_t kMaxTimingBlocks = 32; ///< 1024 timing ids.
+constexpr std::size_t kHistSlotsPerBlock = 4;
+constexpr std::size_t kMaxHistBlocks = 128; ///< 512 histogram ids.
+/** Largest per-histogram bucket count (current max in the tree is
+ *  33); requests beyond it clamp into the last bucket. */
+constexpr std::size_t kMaxHistBuckets = 64;
+
+std::atomic<std::int64_t> g_dropped_updates{0};
+
+struct CounterBlock
+{
+    Slot v[kCounterSlotsPerBlock] = {};
+};
+
+struct TimingSlot
+{
+    Slot count{0};
+    Slot totalNs{0};
+    Slot minNs{0};
+    Slot maxNs{0};
+};
+
+struct TimingBlock
+{
+    TimingSlot v[kTimingSlotsPerBlock] = {};
+};
+
+struct HistSlot
+{
+    Slot buckets[kMaxHistBuckets] = {};
+    Slot weighted{0};
+    Slot sizeHint{0}; ///< Max bucket count recorded at this site.
+};
+
+struct HistBlock
+{
+    HistSlot v[kHistSlotsPerBlock] = {};
+};
+
+/**
+ * Fixed array of lazily allocated slot blocks.  The owning thread
+ * creates a block on first touch and publishes it with a release
+ * store; concurrent readers acquire the pointer and see fully
+ * zero-initialized slots plus some prefix of the writer's updates.
+ */
+template <typename Block, std::size_t MaxBlocks>
+struct BlockTable
+{
+    std::atomic<Block*> blocks[MaxBlocks] = {};
+
+    ~BlockTable()
+    {
+        for (auto& b : blocks)
+            delete b.load(std::memory_order_relaxed);
+    }
+
+    /** Owner-thread lookup, allocating on first touch; nullptr when
+     *  @p block is past the fixed capacity. */
+    Block*
+    writerBlock(std::size_t block)
+    {
+        if (block >= MaxBlocks) {
+            g_dropped_updates.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        Block* p = blocks[block].load(std::memory_order_relaxed);
+        if (p == nullptr) {
+            p = new Block();
+            blocks[block].store(p, std::memory_order_release);
+        }
+        return p;
+    }
+
+    /** Reader lookup (sampler thread or snapshot); may be nullptr. */
+    const Block*
+    readerBlock(std::size_t block) const
+    {
+        return block < MaxBlocks
+                   ? blocks[block].load(std::memory_order_acquire)
+                   : nullptr;
+    }
+
+    /** Zero every published slot (serial points; readers tolerate). */
+    template <typename Fn>
+    void
+    forEachPublished(Fn&& fn)
+    {
+        for (std::size_t b = 0; b < MaxBlocks; ++b) {
+            Block* p = blocks[b].load(std::memory_order_relaxed);
+            if (p != nullptr)
+                fn(*p);
+        }
+    }
+};
+
 /**
  * Per-thread value store.  Owned by the registry (so values survive
  * worker-thread exit, e.g. across ThreadPool::resize) but written by
- * exactly one thread; vectors are indexed by metric id and grown on
- * demand by the owning thread only.
+ * exactly one thread; concurrently readable per the block contract
+ * above.
  */
 struct Shard
 {
-    std::vector<std::int64_t> counters;
-    std::vector<std::vector<std::int64_t>> hists;
-    std::vector<std::int64_t> histWeighted; ///< Sum of recorded values.
-    std::vector<TimingTotal> timings;
+    BlockTable<CounterBlock, kMaxCounterBlocks> counters;
+    BlockTable<HistBlock, kMaxHistBlocks> hists;
+    BlockTable<TimingBlock, kMaxTimingBlocks> timings;
 };
 
 struct SeriesRecord
@@ -197,44 +319,53 @@ MetricsRegistry::timingId(const std::string& name)
 void
 MetricsRegistry::addCounter(int id, std::int64_t n)
 {
-    Shard& s = impl().threadShard();
-    if (s.counters.size() <= static_cast<std::size_t>(id))
-        s.counters.resize(id + 1, 0);
-    s.counters[id] += n;
+    const std::size_t i = static_cast<std::size_t>(id);
+    CounterBlock* b =
+        impl().threadShard().counters.writerBlock(i / kCounterSlotsPerBlock);
+    if (b != nullptr)
+        slotAdd(b->v[i % kCounterSlotsPerBlock], n);
 }
 
 void
 MetricsRegistry::recordHistogram(int id, std::size_t buckets,
                                  std::size_t value)
 {
-    Shard& s = impl().threadShard();
-    if (s.hists.size() <= static_cast<std::size_t>(id)) {
-        s.hists.resize(id + 1);
-        s.histWeighted.resize(id + 1, 0);
-    }
-    std::vector<std::int64_t>& h = s.hists[id];
-    if (h.size() < buckets)
-        h.resize(buckets, 0);
-    ++h[std::min(value, h.size() - 1)];
-    s.histWeighted[id] += static_cast<std::int64_t>(value);
+    const std::size_t i = static_cast<std::size_t>(id);
+    HistBlock* b =
+        impl().threadShard().hists.writerBlock(i / kHistSlotsPerBlock);
+    if (b == nullptr)
+        return;
+    HistSlot& h = b->v[i % kHistSlotsPerBlock];
+    const std::size_t size = std::min(buckets, kMaxHistBuckets);
+    if (static_cast<std::size_t>(
+            h.sizeHint.load(std::memory_order_relaxed)) < size)
+        h.sizeHint.store(static_cast<std::int64_t>(size),
+                         std::memory_order_relaxed);
+    slotAdd(h.buckets[std::min(value, size - 1)], 1);
+    slotAdd(h.weighted, static_cast<std::int64_t>(value));
 }
 
 void
 MetricsRegistry::recordTiming(int id, std::int64_t ns)
 {
-    Shard& s = impl().threadShard();
-    if (s.timings.size() <= static_cast<std::size_t>(id))
-        s.timings.resize(id + 1);
-    TimingTotal& t = s.timings[id];
-    if (t.count == 0) {
-        t.minNs = ns;
-        t.maxNs = ns;
+    const std::size_t i = static_cast<std::size_t>(id);
+    TimingBlock* b =
+        impl().threadShard().timings.writerBlock(i / kTimingSlotsPerBlock);
+    if (b == nullptr)
+        return;
+    TimingSlot& t = b->v[i % kTimingSlotsPerBlock];
+    const std::int64_t count = t.count.load(std::memory_order_relaxed);
+    if (count == 0) {
+        t.minNs.store(ns, std::memory_order_relaxed);
+        t.maxNs.store(ns, std::memory_order_relaxed);
     } else {
-        t.minNs = std::min(t.minNs, ns);
-        t.maxNs = std::max(t.maxNs, ns);
+        if (ns < t.minNs.load(std::memory_order_relaxed))
+            t.minNs.store(ns, std::memory_order_relaxed);
+        if (ns > t.maxNs.load(std::memory_order_relaxed))
+            t.maxNs.store(ns, std::memory_order_relaxed);
     }
-    ++t.count;
-    t.totalNs += ns;
+    t.count.store(count + 1, std::memory_order_relaxed);
+    slotAdd(t.totalNs, ns);
 }
 
 void
@@ -287,26 +418,50 @@ MetricsRegistry::snapshot() const
     Snapshot snap;
 
     // Aggregate shards: all sharded values are integers, so the sum
-    // is independent of how work was distributed over threads.
+    // is independent of how work was distributed over threads.  Slot
+    // loads are relaxed atomics, so aggregating concurrently with
+    // hot-path writers (the stats-plane sampler) reads clean values —
+    // each at worst a few updates stale, never torn.
     std::vector<std::int64_t> counters(im.counterNames.size(), 0);
     std::vector<std::vector<std::int64_t>> hists(im.histNames.size());
     std::vector<std::int64_t> weighted(im.histNames.size(), 0);
     std::vector<TimingTotal> timings(im.timingNames.size());
     for (const auto& shard : im.shards) {
-        for (std::size_t i = 0; i < shard->counters.size(); ++i)
-            counters[i] += shard->counters[i];
-        for (std::size_t i = 0; i < shard->hists.size(); ++i) {
-            const auto& h = shard->hists[i];
-            if (hists[i].size() < h.size())
-                hists[i].resize(h.size(), 0);
-            for (std::size_t b = 0; b < h.size(); ++b)
-                hists[i][b] += h[b];
-            weighted[i] += shard->histWeighted[i];
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            const CounterBlock* b =
+                shard->counters.readerBlock(i / kCounterSlotsPerBlock);
+            if (b != nullptr)
+                counters[i] += b->v[i % kCounterSlotsPerBlock].load(
+                    std::memory_order_relaxed);
         }
-        for (std::size_t i = 0; i < shard->timings.size(); ++i) {
-            const TimingTotal& t = shard->timings[i];
+        for (std::size_t i = 0; i < hists.size(); ++i) {
+            const HistBlock* hb =
+                shard->hists.readerBlock(i / kHistSlotsPerBlock);
+            if (hb == nullptr)
+                continue;
+            const HistSlot& h = hb->v[i % kHistSlotsPerBlock];
+            const std::size_t size = static_cast<std::size_t>(
+                h.sizeHint.load(std::memory_order_relaxed));
+            if (hists[i].size() < size)
+                hists[i].resize(size, 0);
+            for (std::size_t b = 0; b < size; ++b)
+                hists[i][b] +=
+                    h.buckets[b].load(std::memory_order_relaxed);
+            weighted[i] += h.weighted.load(std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < timings.size(); ++i) {
+            const TimingBlock* tb =
+                shard->timings.readerBlock(i / kTimingSlotsPerBlock);
+            if (tb == nullptr)
+                continue;
+            const TimingSlot& ts = tb->v[i % kTimingSlotsPerBlock];
+            TimingTotal t;
+            t.count = ts.count.load(std::memory_order_relaxed);
             if (t.count == 0)
                 continue;
+            t.totalNs = ts.totalNs.load(std::memory_order_relaxed);
+            t.minNs = ts.minNs.load(std::memory_order_relaxed);
+            t.maxNs = ts.maxNs.load(std::memory_order_relaxed);
             TimingTotal& acc = timings[i];
             if (acc.count == 0) {
                 acc = t;
@@ -482,18 +637,36 @@ MetricsRegistry::reset()
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.mutex);
     for (const auto& shard : im.shards) {
-        std::fill(shard->counters.begin(), shard->counters.end(), 0);
-        for (auto& h : shard->hists)
-            std::fill(h.begin(), h.end(), 0);
-        std::fill(shard->histWeighted.begin(), shard->histWeighted.end(),
-                  0);
-        std::fill(shard->timings.begin(), shard->timings.end(),
-                  TimingTotal{});
+        shard->counters.forEachPublished([](CounterBlock& b) {
+            for (Slot& s : b.v)
+                s.store(0, std::memory_order_relaxed);
+        });
+        shard->hists.forEachPublished([](HistBlock& hb) {
+            for (HistSlot& h : hb.v) {
+                for (Slot& s : h.buckets)
+                    s.store(0, std::memory_order_relaxed);
+                h.weighted.store(0, std::memory_order_relaxed);
+            }
+        });
+        shard->timings.forEachPublished([](TimingBlock& tb) {
+            for (TimingSlot& t : tb.v) {
+                t.count.store(0, std::memory_order_relaxed);
+                t.totalNs.store(0, std::memory_order_relaxed);
+                t.minNs.store(0, std::memory_order_relaxed);
+                t.maxNs.store(0, std::memory_order_relaxed);
+            }
+        });
     }
     im.gauges.clear();
     im.gaugeIds.clear();
     im.series.clear();
     im.alerts.clear();
+}
+
+std::int64_t
+MetricsRegistry::debugDroppedUpdates() const
+{
+    return g_dropped_updates.load(std::memory_order_relaxed);
 }
 
 std::size_t

@@ -7,7 +7,11 @@
  * Collection model: hot-path updates (counters, histograms, timings)
  * go to per-thread shards — each shard is written by exactly one
  * thread, so recording is lock-free and TSan-clean — and are summed
- * into one total at snapshot time.  All sharded values are integers,
+ * into one total at snapshot time.  Shard slots are single-writer
+ * relaxed atomics in release-published fixed blocks, so snapshot()
+ * may also run concurrently with hot-path writers (the stats-plane
+ * sampler thread, obs/stats_server.hpp) and reads clean, never-torn
+ * values that are at worst a few updates stale.  All sharded values are integers,
  * so the aggregate is independent of which thread recorded what and
  * therefore independent of MRQ_THREADS.  Registry-level values
  * (gauges, series) hold doubles and must be recorded from serial code
@@ -130,9 +134,12 @@ struct Snapshot
 /**
  * Process-wide metric store.  Registration and registry-level records
  * take a mutex; sharded records are lock-free after the first touch
- * per thread.  snapshot()/reset()/writeJsonl() must run outside
- * parallel regions (every parallelFor return edge is a synchronization
- * point, so "after the loop" is always safe).
+ * per thread.  snapshot() is safe to call concurrently with sharded
+ * hot-path writers (the stats-plane sampler relies on this); for an
+ * *exact* total it must still run outside parallel regions (every
+ * parallelFor return edge is a synchronization point, so "after the
+ * loop" is always safe).  reset()/writeJsonl() remain serial-point
+ * operations.
  */
 class MetricsRegistry
 {
@@ -185,6 +192,9 @@ class MetricsRegistry
     // ---- test hooks ----
     std::size_t debugShardCount() const;
     std::size_t debugMetricCount() const;
+    /** Hot-path updates dropped because a metric id exceeded the
+     *  fixed shard capacity (should stay 0 in any sane process). */
+    std::int64_t debugDroppedUpdates() const;
 
   private:
     MetricsRegistry() = default;

@@ -1,0 +1,217 @@
+#include "perf_counters.hpp"
+
+#include "env.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define MRQ_HAVE_PERF_EVENT 1
+#endif
+
+namespace mrq {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_force_unavailable{false};
+// Latched after the first open attempt fails with a "never going to
+// work" errno, so a disabled system pays one syscall total, not four
+// per scope.
+std::atomic<bool> g_known_unavailable{false};
+
+std::mutex g_totals_mutex;
+std::map<std::string, PerfTotals>&
+totalsMap()
+{
+    static auto* m = new std::map<std::string, PerfTotals>();
+    return *m;
+}
+
+#ifdef MRQ_HAVE_PERF_EVENT
+int
+openEvent(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.size = sizeof attr;
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 1;
+    // Count threads spawned while attached too (new pool workers); the
+    // kernel sums child values into the parent fd on read.
+    attr.inherit = 1;
+    // User-space only: works at perf_event_paranoid <= 2, which is the
+    // common unprivileged default.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    -1, 0UL));
+}
+#endif
+
+} // namespace
+
+PerfCounterSet::~PerfCounterSet() { close(); }
+
+bool
+PerfCounterSet::open()
+{
+#ifdef MRQ_HAVE_PERF_EVENT
+    if (g_force_unavailable.load(std::memory_order_relaxed) ||
+        g_known_unavailable.load(std::memory_order_relaxed))
+        return false;
+    close();
+    static const std::pair<std::uint32_t, std::uint64_t> kConfigs[kEvents] =
+        {{PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+         {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+         {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+         {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES}};
+    for (int i = 0; i < kEvents; ++i)
+        fds_[i] = openEvent(kConfigs[i].first, kConfigs[i].second);
+    if (!available()) {
+        g_known_unavailable.store(true, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+#else
+    return false;
+#endif
+}
+
+void
+PerfCounterSet::close()
+{
+#ifdef MRQ_HAVE_PERF_EVENT
+    for (int& fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+#endif
+}
+
+bool
+PerfCounterSet::available() const
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            return true;
+    return false;
+}
+
+void
+PerfCounterSet::start()
+{
+#ifdef MRQ_HAVE_PERF_EVENT
+    for (int fd : fds_) {
+        if (fd < 0)
+            continue;
+        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+#endif
+}
+
+PerfReading
+PerfCounterSet::stop()
+{
+    PerfReading r;
+#ifdef MRQ_HAVE_PERF_EVENT
+    std::int64_t* out[kEvents] = {&r.cycles, &r.instructions,
+                                  &r.cacheMisses, &r.branchMisses};
+    for (int i = 0; i < kEvents; ++i) {
+        const int fd = fds_[i];
+        if (fd < 0)
+            continue;
+        ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+        long long value = 0;
+        if (read(fd, &value, sizeof value) == sizeof value)
+            *out[i] = static_cast<std::int64_t>(value);
+    }
+#endif
+    return r;
+}
+
+bool
+perfEnabled()
+{
+    if (g_force_unavailable.load(std::memory_order_relaxed))
+        return false;
+#ifdef MRQ_HAVE_PERF_EVENT
+    static const bool wanted = envTruthy("MRQ_PERF");
+    return wanted && !g_known_unavailable.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+bool
+debugForcePerfUnavailable(bool on)
+{
+    return g_force_unavailable.exchange(on);
+}
+
+void
+perfAccumulate(const std::string& name, const PerfReading& r)
+{
+    std::lock_guard<std::mutex> lock(g_totals_mutex);
+    PerfTotals& t = totalsMap()[name];
+    ++t.scopes;
+    if (r.cycles >= 0)
+        t.cycles += r.cycles;
+    if (r.instructions >= 0)
+        t.instructions += r.instructions;
+    if (r.cacheMisses >= 0)
+        t.cacheMisses += r.cacheMisses;
+    if (r.branchMisses >= 0)
+        t.branchMisses += r.branchMisses;
+}
+
+std::vector<std::pair<std::string, PerfTotals>>
+perfTotalsSnapshot()
+{
+    std::lock_guard<std::mutex> lock(g_totals_mutex);
+    return {totalsMap().begin(), totalsMap().end()};
+}
+
+void
+resetPerfTotals()
+{
+    std::lock_guard<std::mutex> lock(g_totals_mutex);
+    totalsMap().clear();
+}
+
+PerfScope::PerfScope(const char* name) : name_(name)
+{
+    if (!perfEnabled())
+        return;
+    if (set_.open()) {
+        set_.start();
+        active_ = true;
+    }
+}
+
+PerfReading
+PerfScope::stop()
+{
+    if (!active_)
+        return {};
+    active_ = false;
+    const PerfReading r = set_.stop();
+    set_.close();
+    perfAccumulate(name_, r);
+    return r;
+}
+
+PerfScope::~PerfScope() { stop(); }
+
+} // namespace obs
+} // namespace mrq

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Live stats plane: one background thread combining a periodic
+ * sampler with a unix-domain stats socket.
+ *
+ * Knobs (all parsed through obs/env.hpp):
+ *  - MRQ_STATS_EVERY=<ms>: sampler period; each tick collects a
+ *    StatsSnapshot (registry + /proc + perf side store) and keeps it
+ *    as lastSample().  Defaults to 1000 when only the socket is set.
+ *  - MRQ_STATS_SOCK=<path>: serve the exposition layer on a
+ *    SOCK_STREAM unix socket.  One request line per connection:
+ *    "metrics" (or "GET /metrics...") returns Prometheus text,
+ *    "json" (or "GET /json...") the JSON snapshot; the response is
+ *    the raw body, connection closes after it.  Scrape with
+ *    tools/mrq_stats.py.
+ *
+ * With neither knob set, startFromEnv() is a no-op: no thread, no
+ * socket, no allocation — the disabled process is byte-identical to
+ * one built without the plane.  The loop is a single poll() on the
+ * listen fd with the tick as timeout, so idle cost is one wakeup per
+ * period.  Snapshots read the registry concurrently with hot-path
+ * writers — safe by the shard contract in obs/metrics.hpp — and
+ * never write it, keeping the JSONL sink deterministic.
+ */
+
+#ifndef MRQ_OBS_STATS_SERVER_HPP
+#define MRQ_OBS_STATS_SERVER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "obs/exposition.hpp"
+
+namespace mrq {
+namespace obs {
+
+/** Singleton owner of the sampler/server thread. */
+class StatsPlane
+{
+  public:
+    static StatsPlane& instance();
+
+    /** Start per MRQ_STATS_EVERY / MRQ_STATS_SOCK; false when neither
+     *  is set or the plane is already running. */
+    bool startFromEnv();
+
+    /** Start with explicit settings (tests): @p every_ms <= 0 means
+     *  sample only on demand, empty @p sock_path means no socket.
+     *  False when already running or the socket cannot be bound. */
+    bool start(long every_ms, const std::string& sock_path);
+
+    /** Stop and join the thread, close + unlink the socket.  Safe to
+     *  call when not running. */
+    void stop();
+
+    bool running() const;
+
+    /** Sampler ticks since start (0 before the first tick). */
+    std::int64_t sampleCount() const;
+
+    /** Copy of the most recent sampler snapshot (empty before the
+     *  first tick). */
+    StatsSnapshot lastSample() const;
+
+    /** Socket path when serving, else empty. */
+    std::string socketPath() const;
+
+    ~StatsPlane();
+
+  private:
+    StatsPlane() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+} // namespace obs
+} // namespace mrq
+
+#endif // MRQ_OBS_STATS_SERVER_HPP

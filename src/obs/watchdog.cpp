@@ -65,6 +65,13 @@ Watchdog::raise(const char* severity, const char* rule,
     ++alerts_;
     MetricsRegistry::instance().recordAlert(severity, rule, context,
                                             batch, detail);
+    // Alert totals as live counters (deterministic: rules fire on
+    // deterministic values), so the stats endpoint shows them without
+    // waiting for the JSONL footer.
+    MetricsRegistry::instance().addCounterNamed(
+        std::string("watchdog.alerts.") + severity, 1);
+    MetricsRegistry::instance().addCounterNamed(
+        std::string("watchdog.rule.") + rule, 1);
     traceInstant(std::string("alert:") + rule, context + ": " + detail);
     logf("watchdog: [%s] %s at batch %lld (%s): %s", severity, rule,
          static_cast<long long>(batch), context.c_str(),

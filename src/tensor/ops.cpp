@@ -1,6 +1,7 @@
 #include "tensor/ops.hpp"
 
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -21,6 +22,8 @@ matmul(const Tensor& a, const Tensor& b)
     // the inner loop contiguous over both B and C, and accumulation
     // per element stays in ascending-k order on every thread count.
     const kernels::KernelTable& kt = kernels::kernels();
+    kernels::KernelRegion kr(kernels::KernelId::GemmAxpy,
+                             static_cast<std::int64_t>(m * k * n));
     parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
             for (std::size_t kk = 0; kk < k; ++kk) {
@@ -50,6 +53,8 @@ matmulTransA(const Tensor& a, const Tensor& b)
     // accumulates in ascending-k order, matching the k-outer serial
     // loop bit for bit.
     const kernels::KernelTable& kt = kernels::kernels();
+    kernels::KernelRegion kr(kernels::KernelId::GemmAxpy,
+                             static_cast<std::int64_t>(m * k * n));
     parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
             float* crow = pc + i * n;
@@ -80,6 +85,8 @@ matmulTransB(const Tensor& a, const Tensor& b)
     // kernel substrate's fixed 16-lane reduction tree at any thread
     // count and any MRQ_ISA.
     const kernels::KernelTable& kt = kernels::kernels();
+    kernels::KernelRegion kr(kernels::KernelId::GemmDot,
+                             static_cast<std::int64_t>(m * k * n));
     parallelFor(m, parallelGrain(k * n), [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
             const float* arow = pa + i * k;

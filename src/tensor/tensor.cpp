@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "kernels/kernels.hpp"
+#include "kernels/roofline.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mrq {
@@ -83,6 +84,8 @@ Tensor::operator+=(const Tensor& rhs)
     require(sameShape(rhs), "Tensor::operator+= shape mismatch: ",
             shapeString(), " vs ", rhs.shapeString());
     const kernels::KernelTable& kt = kernels::kernels();
+    kernels::KernelRegion kr(kernels::KernelId::AddRow,
+                             static_cast<std::int64_t>(data_.size()));
     if (data_.size() < kParallelThreshold) {
         kt.addRowInPlace(data_.data(), rhs.data_.data(), data_.size());
         return *this;

@@ -11,6 +11,7 @@
 #include "obs/inspect.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 
@@ -279,6 +280,7 @@ classifierPipeline(Sequential& model, const SynthImages& data,
     // Phase 1: full-precision pretraining.
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
         MRQ_TRACE_SPAN("pipeline.fp_epoch");
+        obs::PerfScope perf("pipeline.fp_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.fpLr, static_cast<int>(epoch),
@@ -309,6 +311,7 @@ classifierPipeline(Sequential& model, const SynthImages& data,
     if (!post_training) {
         for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
             MRQ_TRACE_SPAN("pipeline.tune_epoch");
+            obs::PerfScope perf("pipeline.tune_epoch");
             const auto t0 = Clock::now();
             trainer.optimizer().setLr(
                 cosineLr(opts.mrLr, static_cast<int>(epoch),
@@ -518,6 +521,7 @@ lmPipeline(LstmLm& model, const SynthText& data,
     // Phase 1: full-precision pretraining.
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
         MRQ_TRACE_SPAN("pipeline.fp_epoch");
+        obs::PerfScope perf("pipeline.fp_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.fpLr, static_cast<int>(epoch),
@@ -544,6 +548,7 @@ lmPipeline(LstmLm& model, const SynthText& data,
     // Phase 2: fine-tuning (multi-resolution or single-config).
     for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
         MRQ_TRACE_SPAN("pipeline.tune_epoch");
+            obs::PerfScope perf("pipeline.tune_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.mrLr, static_cast<int>(epoch),
@@ -723,6 +728,7 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
 
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
         MRQ_TRACE_SPAN("pipeline.fp_epoch");
+        obs::PerfScope perf("pipeline.fp_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.fpLr, static_cast<int>(epoch),
@@ -748,6 +754,7 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
 
     for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
         MRQ_TRACE_SPAN("pipeline.tune_epoch");
+            obs::PerfScope perf("pipeline.tune_epoch");
         const auto t0 = Clock::now();
         trainer.optimizer().setLr(
             cosineLr(opts.mrLr, static_cast<int>(epoch),

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Roofline accounting tests: the cost table is complete and sane, a
+ * KernelRegion records exactly one elems counter and one timing per
+ * region, recordKernelElems is counter-only, and everything is inert
+ * with metrics disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/roofline.hpp"
+#include "obs/metrics.hpp"
+
+namespace mrq {
+namespace {
+
+class RooflineTestGuard
+{
+  public:
+    explicit RooflineTestGuard(bool metrics_on)
+        : prev_(obs::setMetricsEnabled(metrics_on))
+    {
+        obs::MetricsRegistry::instance().reset();
+    }
+    ~RooflineTestGuard()
+    {
+        obs::MetricsRegistry::instance().reset();
+        obs::setMetricsEnabled(prev_);
+    }
+
+  private:
+    bool prev_;
+};
+
+std::int64_t
+counterValue(const obs::Snapshot& snap, const std::string& name)
+{
+    for (const auto& c : snap.counters)
+        if (c.name == name)
+            return c.value;
+    return -1;
+}
+
+const obs::TimingTotal*
+timingValue(const obs::Snapshot& snap, const std::string& name)
+{
+    for (const auto& t : snap.timings)
+        if (t.name == name)
+            return &t.t;
+    return nullptr;
+}
+
+TEST(Roofline, CostTableIsCompleteAndPositive)
+{
+    for (std::size_t i = 0; i < kernels::kKernelCount; ++i) {
+        const kernels::KernelCost& cost =
+            kernels::kernelCost(static_cast<kernels::KernelId>(i));
+        ASSERT_NE(cost.slug, nullptr);
+        EXPECT_GT(std::string(cost.slug).size(), 0u);
+        EXPECT_GT(cost.flopsPerElem, 0.0);
+        EXPECT_GT(cost.bytesPerElem, 0.0);
+    }
+    // Slugs are unique (they become metric names).
+    for (std::size_t i = 0; i < kernels::kKernelCount; ++i)
+        for (std::size_t j = i + 1; j < kernels::kKernelCount; ++j)
+            EXPECT_STRNE(
+                kernels::kernelCost(static_cast<kernels::KernelId>(i))
+                    .slug,
+                kernels::kernelCost(static_cast<kernels::KernelId>(j))
+                    .slug);
+}
+
+TEST(Roofline, PeakFlopsOrderedByIsaWidth)
+{
+    const double generic =
+        kernels::peakFlopsPerCycle(kernels::Isa::Generic);
+    const double avx2 = kernels::peakFlopsPerCycle(kernels::Isa::Avx2);
+    const double avx512 =
+        kernels::peakFlopsPerCycle(kernels::Isa::Avx512);
+    EXPECT_GT(generic, 0.0);
+    EXPECT_GT(avx2, generic);
+    EXPECT_GT(avx512, avx2);
+}
+
+TEST(Roofline, KernelRegionRecordsCounterAndTiming)
+{
+    RooflineTestGuard guard(true);
+    {
+        kernels::KernelRegion region(kernels::KernelId::AddRow, 128);
+    }
+    {
+        kernels::KernelRegion region(kernels::KernelId::AddRow, 72);
+    }
+    const obs::Snapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(counterValue(snap, "kernel.add_row.elems"), 200);
+    const obs::TimingTotal* t = timingValue(snap, "kernel.add_row");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->count, 2);
+    EXPECT_GE(t->totalNs, 0);
+}
+
+TEST(Roofline, RecordKernelElemsIsCounterOnly)
+{
+    RooflineTestGuard guard(true);
+    kernels::recordKernelElems(kernels::KernelId::TermPairs, 33);
+    kernels::recordKernelElems(kernels::KernelId::TermPairs, 7);
+    const obs::Snapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(counterValue(snap, "kernel.term_pairs.elems"), 40);
+    EXPECT_EQ(timingValue(snap, "kernel.term_pairs"), nullptr);
+}
+
+TEST(Roofline, DisabledMetricsRecordNothing)
+{
+    RooflineTestGuard guard(false);
+    {
+        kernels::KernelRegion region(kernels::KernelId::GemmDot, 999);
+    }
+    kernels::recordKernelElems(kernels::KernelId::BucketSum, 999);
+
+    const bool prev = obs::setMetricsEnabled(true);
+    const obs::Snapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    obs::setMetricsEnabled(prev);
+    EXPECT_EQ(counterValue(snap, "kernel.gemm_dot.elems"), -1);
+    EXPECT_EQ(counterValue(snap, "kernel.bucket_sum.elems"), -1);
+}
+
+} // namespace
+} // namespace mrq

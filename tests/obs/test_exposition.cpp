@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Exposition-layer tests: an exact Prometheus text-format golden over
+ * a hand-built snapshot (every family type, labels, mangling), the
+ * matching JSON golden, and collectStatsSnapshot()'s read-only
+ * contract over the live registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "kernels/isa.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace mrq {
+namespace {
+
+/**
+ * A snapshot with one member of every family, fully hand-built so the
+ * rendering is byte-reproducible (no live /proc or wall-clock data):
+ * a counter, a gauge, a 3-bucket histogram, a timing aggregate, one
+ * perf scope and one roofline-eligible kernel (gemm_dot: 1000 MACs in
+ * 2000 ns -> 2000 flops, 1.0 GFLOP/s, intensity 2/8 = 0.25).
+ */
+obs::StatsSnapshot
+goldenSnapshot()
+{
+    obs::StatsSnapshot s;
+    s.metrics.counters.push_back({"expo.count", 3});
+    s.metrics.counters.push_back({"kernel.gemm_dot.elems", 1000});
+    s.metrics.gauges.push_back({"expo.gauge", 1.5});
+    obs::Snapshot::HistValue h;
+    h.name = "expo.hist";
+    h.counts = {2, 1, 4};
+    h.total = 7;
+    h.weighted = 11;
+    s.metrics.histograms.push_back(h);
+    obs::Snapshot::TimingValue t;
+    t.name = "kernel.gemm_dot";
+    t.t.count = 1;
+    t.t.totalNs = 2000;
+    s.metrics.timings.push_back(t);
+    obs::Snapshot::AlertRecord a;
+    a.severity = "warn";
+    a.rule = "test_rule";
+    s.metrics.alerts.push_back(a);
+
+    obs::PerfTotals pt;
+    pt.scopes = 2;
+    pt.cycles = 1000;
+    pt.instructions = 3000;
+    pt.cacheMisses = 10;
+    pt.branchMisses = 20;
+    s.perf.emplace_back("bench.rep", pt);
+
+    s.isa = kernels::Isa::Generic;
+    s.traceDropped = 5;
+    s.samples = 7;
+    return s;
+}
+
+TEST(Exposition, PrometheusGolden)
+{
+    const std::string got = obs::renderPrometheus(goldenSnapshot());
+    const std::string want =
+        "# TYPE mrq_expo_count_total counter\n"
+        "mrq_expo_count_total 3\n"
+        "# TYPE mrq_kernel_gemm_dot_elems_total counter\n"
+        "mrq_kernel_gemm_dot_elems_total 1000\n"
+        "# TYPE mrq_expo_gauge gauge\n"
+        "mrq_expo_gauge 1.5\n"
+        "# TYPE mrq_expo_hist histogram\n"
+        "mrq_expo_hist_bucket{le=\"0\"} 2\n"
+        "mrq_expo_hist_bucket{le=\"1\"} 3\n"
+        "mrq_expo_hist_bucket{le=\"+Inf\"} 7\n"
+        "mrq_expo_hist_sum 11\n"
+        "mrq_expo_hist_count 7\n"
+        "# TYPE mrq_kernel_gemm_dot_seconds_total counter\n"
+        "mrq_kernel_gemm_dot_seconds_total 0.000002000\n"
+        "# TYPE mrq_kernel_gemm_dot_calls_total counter\n"
+        "mrq_kernel_gemm_dot_calls_total 1\n"
+        "# TYPE mrq_watchdog_alerts gauge\n"
+        "mrq_watchdog_alerts 1\n"
+        "# TYPE mrq_trace_dropped_events gauge\n"
+        "mrq_trace_dropped_events 5\n"
+        "# TYPE mrq_stats_samples_total counter\n"
+        "mrq_stats_samples_total 7\n"
+        "# TYPE mrq_perf_cycles_total counter\n"
+        "# TYPE mrq_perf_instructions_total counter\n"
+        "# TYPE mrq_perf_cache_misses_total counter\n"
+        "# TYPE mrq_perf_branch_misses_total counter\n"
+        "# TYPE mrq_perf_scopes_total counter\n"
+        "mrq_perf_cycles_total{scope=\"bench.rep\"} 1000\n"
+        "mrq_perf_instructions_total{scope=\"bench.rep\"} 3000\n"
+        "mrq_perf_cache_misses_total{scope=\"bench.rep\"} 10\n"
+        "mrq_perf_branch_misses_total{scope=\"bench.rep\"} 20\n"
+        "mrq_perf_scopes_total{scope=\"bench.rep\"} 2\n"
+        "# TYPE mrq_kernel_peak_flops_per_cycle gauge\n"
+        "mrq_kernel_peak_flops_per_cycle{isa=\"generic\"} 2.0\n"
+        "# TYPE mrq_kernel_flops_total counter\n"
+        "# TYPE mrq_kernel_arith_intensity gauge\n"
+        "# TYPE mrq_kernel_achieved_gflops gauge\n"
+        "mrq_kernel_flops_total{kernel=\"gemm_dot\",isa=\"generic\"} "
+        "2000\n"
+        "mrq_kernel_arith_intensity{kernel=\"gemm_dot\","
+        "isa=\"generic\"} 0.250000\n"
+        "mrq_kernel_achieved_gflops{kernel=\"gemm_dot\","
+        "isa=\"generic\"} 1.000000\n";
+    EXPECT_EQ(got, want);
+}
+
+TEST(Exposition, JsonGolden)
+{
+    const std::string got = obs::renderStatsJson(goldenSnapshot());
+    const std::string want =
+        "{\"version\":1,\"isa\":\"generic\",\"samples\":7,"
+        "\"proc\":{\"rss_kb\":-1,\"peak_rss_kb\":-1,\"threads\":-1,"
+        "\"cpu_seconds\":-1.000000},"
+        "\"counters\":{\"expo.count\":3,"
+        "\"kernel.gemm_dot.elems\":1000},"
+        "\"gauges\":{\"expo.gauge\":1.5},"
+        "\"timings\":{\"kernel.gemm_dot\":{\"count\":1,"
+        "\"total_ns\":2000}},"
+        "\"perf\":{\"bench.rep\":{\"scopes\":2,\"cycles\":1000,"
+        "\"instructions\":3000,\"cache_misses\":10,"
+        "\"branch_misses\":20}},"
+        "\"kernels\":[{\"name\":\"gemm_dot\",\"elems\":1000,"
+        "\"flops_per_elem\":2.000,\"bytes_per_elem\":8.000,"
+        "\"arith_intensity\":0.250000,\"time_ns\":2000,"
+        "\"achieved_gflops\":1.000000}],"
+        "\"peak_flops_per_cycle\":2.0,\"alerts\":1,"
+        "\"trace_dropped\":5}";
+    EXPECT_EQ(got, want);
+}
+
+TEST(Exposition, NameManglingPrefixesAndReplaces)
+{
+    obs::StatsSnapshot s;
+    s.metrics.counters.push_back({"a.b-c/d", 1});
+    const std::string out = obs::renderPrometheus(s);
+    EXPECT_NE(out.find("mrq_a_b_c_d_total 1\n"), std::string::npos);
+}
+
+TEST(Exposition, CollectNeverWritesTheRegistry)
+{
+    const bool prev = obs::setMetricsEnabled(true);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    reg.reset();
+    reg.addCounterNamed("test.expo.live", 42);
+
+    const obs::StatsSnapshot before = obs::collectStatsSnapshot();
+    const obs::StatsSnapshot after = obs::collectStatsSnapshot();
+
+    // Collecting must not add or perturb metrics: the registry half of
+    // two back-to-back snapshots is identical.
+    ASSERT_EQ(before.metrics.counters.size(),
+              after.metrics.counters.size());
+    for (std::size_t i = 0; i < before.metrics.counters.size(); ++i) {
+        EXPECT_EQ(before.metrics.counters[i].name,
+                  after.metrics.counters[i].name);
+        EXPECT_EQ(before.metrics.counters[i].value,
+                  after.metrics.counters[i].value);
+    }
+    bool found = false;
+    for (const auto& c : after.metrics.counters)
+        if (c.name == "test.expo.live") {
+            found = true;
+            EXPECT_EQ(c.value, 42);
+        }
+    EXPECT_TRUE(found);
+
+    reg.reset();
+    obs::setMetricsEnabled(prev);
+}
+
+} // namespace
+} // namespace mrq

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardware perf-counter layer tests.  The syscall is environment
+ * dependent (blocked in most containers), so the tests pin down the
+ * part that must hold everywhere: forced-unavailable fallback is a
+ * total no-op, scopes stay safe either way, and the side-store
+ * accumulator handles partial readings and resets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/perf_counters.hpp"
+
+namespace mrq {
+namespace {
+
+/** Force the unavailable path and restore the previous setting. */
+class ForceUnavailableGuard
+{
+  public:
+    ForceUnavailableGuard()
+        : prev_(obs::debugForcePerfUnavailable(true))
+    {
+    }
+    ~ForceUnavailableGuard() { obs::debugForcePerfUnavailable(prev_); }
+
+  private:
+    bool prev_;
+};
+
+TEST(PerfCounters, ForcedUnavailableDisablesEverything)
+{
+    ForceUnavailableGuard guard;
+    obs::resetPerfTotals();
+
+    EXPECT_FALSE(obs::perfEnabled());
+
+    obs::PerfCounterSet set;
+    EXPECT_FALSE(set.open());
+    EXPECT_FALSE(set.available());
+    set.start(); // must be a harmless no-op
+    const obs::PerfReading r = set.stop();
+    EXPECT_FALSE(r.valid());
+    EXPECT_EQ(r.cycles, -1);
+    EXPECT_EQ(r.instructions, -1);
+    EXPECT_EQ(r.cacheMisses, -1);
+    EXPECT_EQ(r.branchMisses, -1);
+
+    {
+        obs::PerfScope scope("test.perf.unavailable");
+        // Scope body runs normally; nothing is counted.
+    }
+    EXPECT_TRUE(obs::perfTotalsSnapshot().empty());
+}
+
+TEST(PerfCounters, ScopeStopIsIdempotent)
+{
+    ForceUnavailableGuard guard;
+    obs::resetPerfTotals();
+
+    obs::PerfScope scope("test.perf.stop");
+    const obs::PerfReading first = scope.stop();
+    EXPECT_FALSE(first.valid());
+    const obs::PerfReading second = scope.stop();
+    EXPECT_FALSE(second.valid());
+    // Destructor runs after two explicit stops; still no totals.
+}
+
+TEST(PerfCounters, AccumulateSkipsInvalidFields)
+{
+    obs::resetPerfTotals();
+
+    obs::PerfReading r;
+    r.cycles = 100;
+    r.instructions = 250;
+    // cacheMisses / branchMisses stay -1 (event not opened).
+    obs::perfAccumulate("test.perf.partial", r);
+    obs::perfAccumulate("test.perf.partial", r);
+
+    const auto totals = obs::perfTotalsSnapshot();
+    ASSERT_EQ(totals.size(), 1u);
+    EXPECT_EQ(totals[0].first, "test.perf.partial");
+    EXPECT_EQ(totals[0].second.scopes, 2);
+    EXPECT_EQ(totals[0].second.cycles, 200);
+    EXPECT_EQ(totals[0].second.instructions, 500);
+    EXPECT_EQ(totals[0].second.cacheMisses, 0);
+    EXPECT_EQ(totals[0].second.branchMisses, 0);
+
+    obs::resetPerfTotals();
+    EXPECT_TRUE(obs::perfTotalsSnapshot().empty());
+}
+
+TEST(PerfCounters, SnapshotSortedByScopeName)
+{
+    obs::resetPerfTotals();
+    obs::PerfReading r;
+    r.cycles = 1;
+    obs::perfAccumulate("test.perf.b", r);
+    obs::perfAccumulate("test.perf.a", r);
+    obs::perfAccumulate("test.perf.c", r);
+
+    const auto totals = obs::perfTotalsSnapshot();
+    ASSERT_EQ(totals.size(), 3u);
+    EXPECT_EQ(totals[0].first, "test.perf.a");
+    EXPECT_EQ(totals[1].first, "test.perf.b");
+    EXPECT_EQ(totals[2].first, "test.perf.c");
+    obs::resetPerfTotals();
+}
+
+TEST(PerfCounters, CounterSetSafeOnThisSystemEitherWay)
+{
+    // Whatever the container allows, open/start/stop must hold their
+    // contract: a successful open yields at least one live fd and a
+    // valid reading, a refused open yields an invalid reading.
+    obs::PerfCounterSet set;
+    const bool opened = set.open();
+    EXPECT_EQ(opened, set.available());
+    set.start();
+    const obs::PerfReading r = set.stop();
+    EXPECT_EQ(r.valid(), opened);
+    set.close();
+    EXPECT_FALSE(set.available());
+}
+
+} // namespace
+} // namespace mrq

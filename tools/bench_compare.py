@@ -15,6 +15,12 @@ Exits non-zero when CURRENT regresses from BASELINE:
     Timing checks are OFF unless --check-timing is given, because
     trajectory files from different machines are not comparable.
 
+The schema-v2 "resources" map (peak RSS, hardware perf counter
+totals) is machine-dependent like timing: it is never compared
+exactly, only noise-gated under --check-resources (worse by more
+than --resource-rtol, default 1.0 = 2x), and absent fields (perf
+unavailable in the environment) are never regressions.
+
 New cases / new keys in CURRENT are reported but never fatal (the
 trajectory is expected to grow).  Improvements are never fatal.
 
@@ -24,6 +30,8 @@ Options:
   --timing-floor-ms=MS  ignore timing deltas below MS (default 50)
   --value-rtol=R        relative tolerance for values/metrics
                         (default 0: exact)
+  --check-resources     enable the resources (RSS/perf) noise gate
+  --resource-rtol=R     relative resources slack (default 1.0)
 """
 
 import json
@@ -40,8 +48,8 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(USAGE)
-    if doc.get("type") != "bench" or doc.get("version") != 1:
-        print(f"bench_compare: {path} is not a v1 bench trajectory",
+    if doc.get("type") != "bench" or doc.get("version") not in (1, 2):
+        print(f"bench_compare: {path} is not a v1/v2 bench trajectory",
               file=sys.stderr)
         sys.exit(USAGE)
     return doc
@@ -92,6 +100,23 @@ class Comparison:
                     f"{case}: {kind}[{key}] slowed {b:.3f} -> {c:.3f} "
                     f"(+{100.0 * (c - b) / max(b, 1e-300):.0f}%)")
 
+    def compare_resources(self, case, base, cur):
+        rtol = self.opts["resource_rtol"]
+        for key in sorted(base):
+            if key not in cur:
+                # Perf counters are environment-dependent (containers,
+                # perf_event_paranoid); absence is never a regression.
+                self.note(f"{case}: resources[{key}] absent in current")
+                continue
+            b, c = base[key], cur[key]
+            if c > b * (1.0 + rtol):
+                self.regress(
+                    f"{case}: resources[{key}] grew {b:.0f} -> {c:.0f} "
+                    f"(+{100.0 * (c - b) / max(b, 1e-300):.0f}% > "
+                    f"{100.0 * rtol:.0f}%)")
+        for key in sorted(set(cur) - set(base)):
+            self.note(f"{case}: new resources[{key}] = {cur[key]!r}")
+
     def compare_case(self, name, base, cur):
         if cur.get("failed"):
             self.regress(f"{name}: case failed in current run")
@@ -99,6 +124,9 @@ class Comparison:
                          self.opts["value_rtol"])
         self.compare_map(name, "metrics", base["metrics"],
                          cur["metrics"], self.opts["value_rtol"])
+        if self.opts["check_resources"]:
+            self.compare_resources(name, base.get("resources", {}),
+                                   cur.get("resources", {}))
         if self.opts["check_timing"]:
             self.compare_timing_map(
                 name, "timing_values", base["timing_values"],
@@ -115,11 +143,17 @@ def parse_args(argv):
         "timing_rtol": 0.6,
         "timing_floor_ms": 50.0,
         "value_rtol": 0.0,
+        "check_resources": False,
+        "resource_rtol": 1.0,
     }
     paths = []
     for arg in argv[1:]:
         if arg == "--check-timing":
             opts["check_timing"] = True
+        elif arg == "--check-resources":
+            opts["check_resources"] = True
+        elif arg.startswith("--resource-rtol="):
+            opts["resource_rtol"] = float(arg.split("=", 1)[1])
         elif arg.startswith("--timing-rtol="):
             opts["timing_rtol"] = float(arg.split("=", 1)[1])
         elif arg.startswith("--timing-floor-ms="):

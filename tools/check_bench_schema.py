@@ -3,10 +3,13 @@
 
 Usage: check_bench_schema.py FILE [FILE ...]
 
-Schema (version 1, written by bench/harness/report.cpp):
+Schema (versions 1 and 2, written by bench/harness/report.cpp; v2
+added the per-case "resources" map — peak RSS and hardware perf
+counter totals, machine-dependent and therefore noise-gated by
+bench_compare.py rather than compared exactly):
 
   {
-    "type": "bench", "version": 1, "suite": str,
+    "type": "bench", "version": 1 | 2, "suite": str,
     "manifest": {"type": "manifest", "run": str, "seed": int,
                  "git": str, ...string-valued extras...},
     "cases": [
@@ -17,7 +20,8 @@ Schema (version 1, written by bench/harness/report.cpp):
                    "outliers": int},
        "values": {str: num},          # deterministic at fixed tier
        "timing_values": {str: num},   # wall-clock, machine-dependent
-       "metrics": {str: num}},        # MetricsRegistry snapshot
+       "metrics": {str: num},         # MetricsRegistry snapshot
+       "resources": {str: num}},      # v2: RSS / perf counters
       ...
     ]
   }
@@ -48,7 +52,7 @@ def check_number_map(path, case_name, key, obj):
                  f"case {case_name}: {key}[{k!r}] not numeric: {v!r}")
 
 
-def check_case(path, case):
+def check_case(path, case, version):
     if not isinstance(case, dict):
         fail(path, "case is not an object")
     name = case.get("name")
@@ -75,6 +79,10 @@ def check_case(path, case):
         fail(path, f"case {name}: wall_ms.outliers out of range")
     for key in ("values", "timing_values", "metrics"):
         check_number_map(path, name, key, case.get(key))
+    if version >= 2:
+        check_number_map(path, name, "resources", case.get("resources"))
+    elif "resources" in case:
+        fail(path, f"case {name}: resources present in a v1 file")
     return name
 
 
@@ -88,8 +96,9 @@ def check_file(path):
         fail(path, "top level is not an object")
     if doc.get("type") != "bench":
         fail(path, f"type must be 'bench', got {doc.get('type')!r}")
-    if doc.get("version") != 1:
-        fail(path, f"unsupported version {doc.get('version')!r}")
+    version = doc.get("version")
+    if version not in (1, 2):
+        fail(path, f"unsupported version {version!r}")
     if not isinstance(doc.get("suite"), str) or not doc["suite"]:
         fail(path, "missing suite name")
 
@@ -108,7 +117,7 @@ def check_file(path):
     cases = doc.get("cases")
     if not isinstance(cases, list) or not cases:
         fail(path, "cases must be a non-empty array")
-    names = [check_case(path, c) for c in cases]
+    names = [check_case(path, c, version) for c in cases]
     if names != sorted(names):
         fail(path, "cases are not sorted by name")
     if len(set(names)) != len(names):

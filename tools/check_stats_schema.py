@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Validate a stats-socket scrape (stdlib only).
+
+Usage: check_stats_schema.py [--prometheus FILE] [--json FILE]
+
+--json FILE        the "json" response (schema version 1, written by
+                   obs/exposition.cpp renderStatsJson)
+--prometheus FILE  the "metrics" response; checked against the
+                   Prometheus text exposition format 0.0.4 (every
+                   sample line parses, every family has a preceding
+                   # TYPE, label syntax is well-formed)
+
+JSON schema (version 1):
+
+  {"version": 1, "isa": str, "samples": int,
+   "proc": {"rss_kb": int, "peak_rss_kb": int, "threads": int,
+            "cpu_seconds": num},           # -1 = unavailable
+   "counters": {str: int}, "gauges": {str: num},
+   "timings": {str: {"count": int, "total_ns": int}},
+   "perf": {str: {"scopes": int, "cycles": int, "instructions": int,
+                  "cache_misses": int, "branch_misses": int}},
+   "kernels": [{"name": str, "elems": int, "flops_per_elem": num,
+                "bytes_per_elem": num, "arith_intensity": num,
+                "time_ns": int, "achieved_gflops": num}, ...],
+   "peak_flops_per_cycle": num, "alerts": int, "trace_dropped": int}
+
+Exits non-zero on the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name):
+    """Family name a sample belongs to (strip histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prometheus(path):
+    typed = set()
+    samples = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4:
+                    fail(path, f"line {lineno}: malformed TYPE: {line}")
+                name, kind = parts[2], parts[3]
+                if not METRIC_RE.match(name):
+                    fail(path, f"line {lineno}: bad metric name {name!r}")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    fail(path, f"line {lineno}: bad TYPE kind {kind!r}")
+                typed.add(name)
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(path, f"line {lineno}: unparseable sample: {line}")
+            name = m.group("name")
+            family = base_family(name)
+            if family not in typed and name not in typed:
+                fail(path,
+                     f"line {lineno}: sample {name!r} has no # TYPE")
+            labels = m.group("labels")
+            if labels:
+                for pair in labels[1:-1].split(","):
+                    if not LABEL_RE.match(pair):
+                        fail(path,
+                             f"line {lineno}: bad label {pair!r}")
+            try:
+                float(m.group("value"))
+            except ValueError:
+                fail(path, f"line {lineno}: non-numeric value: {line}")
+            samples += 1
+    if samples == 0:
+        fail(path, "no samples")
+    print(f"{path}: OK ({samples} samples, {len(typed)} families)")
+
+
+def expect(path, cond, message):
+    if not cond:
+        fail(path, message)
+
+
+def check_int(path, obj, key, where):
+    expect(path, isinstance(obj.get(key), int) and
+           not isinstance(obj.get(key), bool),
+           f"{where}.{key} is not an int: {obj.get(key)!r}")
+
+
+def check_num(path, obj, key, where):
+    v = obj.get(key)
+    expect(path, isinstance(v, (int, float)) and
+           not isinstance(v, bool),
+           f"{where}.{key} is not a number: {v!r}")
+
+
+def check_num_map(path, obj, key):
+    m = obj.get(key)
+    expect(path, isinstance(m, dict), f"{key} is not an object")
+    for name, v in m.items():
+        expect(path, isinstance(name, str) and name,
+               f"{key}: empty key")
+        expect(path, isinstance(v, (int, float)) and
+               not isinstance(v, bool),
+               f"{key}[{name}]: not a number: {v!r}")
+
+
+def check_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as exc:
+            fail(path, f"invalid JSON: {exc}")
+    expect(path, doc.get("version") == 1,
+           f"unsupported version {doc.get('version')!r}")
+    expect(path, isinstance(doc.get("isa"), str), "isa is not a string")
+    check_int(path, doc, "samples", "$")
+    check_int(path, doc, "alerts", "$")
+    check_int(path, doc, "trace_dropped", "$")
+    check_num(path, doc, "peak_flops_per_cycle", "$")
+
+    proc = doc.get("proc")
+    expect(path, isinstance(proc, dict), "proc is not an object")
+    for key in ("rss_kb", "peak_rss_kb", "threads"):
+        check_int(path, proc, key, "proc")
+    check_num(path, proc, "cpu_seconds", "proc")
+
+    check_num_map(path, doc, "counters")
+    check_num_map(path, doc, "gauges")
+
+    timings = doc.get("timings")
+    expect(path, isinstance(timings, dict), "timings is not an object")
+    for name, t in timings.items():
+        expect(path, isinstance(t, dict), f"timings[{name}] not object")
+        check_int(path, t, "count", f"timings[{name}]")
+        check_int(path, t, "total_ns", f"timings[{name}]")
+
+    perf = doc.get("perf")
+    expect(path, isinstance(perf, dict), "perf is not an object")
+    for name, t in perf.items():
+        expect(path, isinstance(t, dict), f"perf[{name}] not object")
+        for key in ("scopes", "cycles", "instructions", "cache_misses",
+                    "branch_misses"):
+            check_int(path, t, key, f"perf[{name}]")
+
+    kernels = doc.get("kernels")
+    expect(path, isinstance(kernels, list), "kernels is not a list")
+    for i, k in enumerate(kernels):
+        expect(path, isinstance(k, dict), f"kernels[{i}] not object")
+        expect(path, isinstance(k.get("name"), str) and k["name"],
+               f"kernels[{i}].name missing")
+        check_int(path, k, "elems", f"kernels[{i}]")
+        check_int(path, k, "time_ns", f"kernels[{i}]")
+        for key in ("flops_per_elem", "bytes_per_elem",
+                    "arith_intensity", "achieved_gflops"):
+            check_num(path, k, key, f"kernels[{i}]")
+
+    print(f"{path}: OK ({len(doc['counters'])} counters, "
+          f"{len(doc['timings'])} timings, {len(kernels)} kernels, "
+          f"isa={doc['isa']})")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="validate stats-socket scrapes")
+    parser.add_argument("--prometheus", default="",
+                        help="Prometheus text response to validate")
+    parser.add_argument("--json", default="",
+                        help="JSON snapshot response to validate")
+    args = parser.parse_args(argv)
+    if not args.prometheus and not args.json:
+        parser.error("nothing to check: pass --prometheus and/or --json")
+    if args.prometheus:
+        check_prometheus(args.prometheus)
+    if args.json:
+        check_json(args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

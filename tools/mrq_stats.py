@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scrape the mrq live stats socket (stdlib only).
+
+Usage: mrq_stats.py [--sock PATH] [--json] [--out FILE]
+                    [--retry SECONDS]
+
+Connects to the unix-domain stats socket served by a process started
+with MRQ_STATS_SOCK=PATH (see obs/stats_server.hpp), sends one request
+line ("metrics" for Prometheus text exposition, "json" for the JSON
+snapshot) and prints the response body.  --retry keeps reconnecting
+until the socket accepts or the deadline passes, so a scrape can be
+launched alongside the process it watches before the socket exists.
+
+Exit status: 0 on a non-empty response, 1 otherwise.
+"""
+
+import argparse
+import os
+import socket
+import sys
+import time
+
+
+def scrape_once(path, request, timeout=2.0):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall(request.encode("ascii"))
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+        return b"".join(chunks)
+
+
+def scrape(path, request, retry_seconds):
+    deadline = time.monotonic() + retry_seconds
+    while True:
+        try:
+            body = scrape_once(path, request)
+            if body:
+                return body
+        except OSError as exc:
+            last = exc
+        else:
+            last = OSError("empty response")
+        if time.monotonic() >= deadline:
+            print(f"mrq_stats: {path}: {last}", file=sys.stderr)
+            return None
+        time.sleep(0.1)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="scrape the mrq live stats socket")
+    parser.add_argument("--sock",
+                        default=os.environ.get("MRQ_STATS_SOCK", ""),
+                        help="socket path (default: $MRQ_STATS_SOCK)")
+    parser.add_argument("--json", action="store_true",
+                        help="request the JSON snapshot instead of "
+                             "Prometheus text")
+    parser.add_argument("--out", default="",
+                        help="write the response here instead of stdout")
+    parser.add_argument("--retry", type=float, default=0.0, metavar="S",
+                        help="keep retrying for S seconds until the "
+                             "socket accepts (default: one attempt)")
+    args = parser.parse_args(argv)
+
+    if not args.sock:
+        parser.error("no socket: pass --sock or set MRQ_STATS_SOCK")
+
+    request = "json\n" if args.json else "metrics\n"
+    body = scrape(args.sock, request, max(args.retry, 0.0))
+    if body is None:
+        return 1
+    if args.out:
+        with open(args.out, "wb") as f:
+            f.write(body)
+    else:
+        sys.stdout.buffer.write(body)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
