@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "kernels/roofline.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/stats_server.hpp"
@@ -90,6 +91,38 @@ MRQ_BENCH(telemetry_overhead, "Obs layer",
     ctx.require(region_ns < 100.0 && elems_ns < 100.0 &&
                     scope_ns < 100.0,
                 "disabled telemetry sites cost ~0");
+
+    // -- Flight-recorder cost -----------------------------------------
+    // The black box is on by default, so its per-event cost IS the
+    // steady-state production tax.  Record sites fire at epoch/metric
+    // cadence (tens per second), so gate the derived tax at a
+    // hostile 10k events/s and require the raw record under 200ns.
+    const bool prev_flight = obs::setFlightEnabled(true);
+    const double flight_on_ms = bestOfMs(5, [] {
+        for (int i = 0; i < kSites; ++i)
+            obs::flightMark("bench.flight_site", i);
+    });
+    obs::setFlightEnabled(false);
+    const double flight_off_ms = bestOfMs(5, [] {
+        for (int i = 0; i < kSites; ++i)
+            obs::flightMark("bench.flight_site", i);
+    });
+    obs::setFlightEnabled(prev_flight);
+    const double flight_on_ns = flight_on_ms * scale;
+    const double flight_off_ns = flight_off_ms * scale;
+    const double flight_tax_pct =
+        flight_on_ns * 10000.0 / 1e9 * 100.0; // 10k events/s.
+    ctx.timingValue("flight_record_ns", flight_on_ns);
+    ctx.timingValue("flight_disabled_ns", flight_off_ns);
+    ctx.timingValue("flight_tax_10k_events_pct", flight_tax_pct);
+    ctx.printf("  flight recorder: record %.1fns, disabled %.1fns -> "
+               "%.4f%% tax at 10k events/s\n",
+               flight_on_ns, flight_off_ns, flight_tax_pct);
+    ctx.require(flight_on_ns < 200.0 && flight_off_ns < 100.0,
+                "flight record cheap, disabled site ~0");
+    ctx.require(flight_tax_pct < 2.0,
+                "flight recorder steady-state tax under 2% at 10k "
+                "events/s");
 
     // -- Enabled-plane tax --------------------------------------------
     // The sampler's whole per-period cost is one collectStatsSnapshot

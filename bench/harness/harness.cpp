@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
@@ -242,6 +243,7 @@ class Runner
         std::vector<double> samples;
         samples.reserve(static_cast<std::size_t>(record.reps));
         for (int r = 0; r < record.reps; ++r) {
+            obs::faultInjectionPoint("bench_rep", r);
             table.setEnabled(r == 0);
             record.values.clear();
             record.timingValues.clear();
@@ -354,6 +356,10 @@ runRegisteredCases(const RunnerOptions& opts)
         "threads",
         std::to_string(ThreadPool::instance().threadCount()));
     report.manifest.add("build", MRQ_BUILD_TYPE);
+    // Black box for bench runs too: a crashed case leaves a
+    // post-mortem naming the rep it died in.
+    if (obs::installCrashHandlersFromEnv())
+        obs::setPostmortemManifest(obs::manifestJson(report.manifest));
 
     TablePrinter table;
     bool any_failed = false;

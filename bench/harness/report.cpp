@@ -8,6 +8,8 @@
 #include <memory>
 #include <system_error>
 
+#include "obs/atomic_file.hpp"
+
 namespace mrq {
 namespace bench {
 
@@ -457,7 +459,8 @@ BenchReport::write(const std::string& path) const
             return false;
         }
     }
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    obs::AtomicFile af(path);
+    std::FILE* f = af.stream();
     if (f == nullptr) {
         std::fprintf(stderr, "BenchReport: cannot write %s\n",
                      path.c_str());
@@ -466,8 +469,7 @@ BenchReport::write(const std::string& path) const
     const std::string json = toJson();
     const bool write_ok =
         std::fwrite(json.data(), 1, json.size(), f) == json.size();
-    const bool close_ok = std::fclose(f) == 0;
-    if (!write_ok || !close_ok) {
+    if (!af.commit() || !write_ok) {
         std::fprintf(stderr, "BenchReport: write to %s failed\n",
                      path.c_str());
         return false;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/loss.hpp"
+#include "obs/crash_handler.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -71,6 +72,7 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
                                 const SoftLossFn& soft)
 {
     MRQ_TRACE_SPAN("trainer.iteration");
+    obs::heartbeat();
     IterStats stats;
     c_iterations.add(1);
     obs::QuantInspector& inspector = obs::QuantInspector::instance();
@@ -156,6 +158,7 @@ MultiResTrainer::trainIterationSingle(const Tensor& input,
                                       const SubModelConfig& cfg)
 {
     MRQ_TRACE_SPAN("trainer.iteration_single");
+    obs::heartbeat();
     c_single_iterations.add(1);
     obs::QuantInspector& inspector = obs::QuantInspector::instance();
     inspector.beginStep(batchIndex_);

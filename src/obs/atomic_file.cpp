@@ -1,0 +1,80 @@
+#include "obs/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define MRQ_HAVE_FSYNC 1
+#endif
+
+namespace mrq {
+namespace obs {
+
+AtomicFile::AtomicFile(std::string path, bool append)
+    : path_(std::move(path)), tmpPath_(path_ + ".tmp")
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    stream_ = std::fopen(tmpPath_.c_str(), "wb");
+    if (stream_ == nullptr)
+        return;
+    if (!append)
+        return;
+    // Append = old bytes + new bytes, still swapped in atomically.
+    if (std::FILE* old = std::fopen(path_.c_str(), "rb")) {
+        char buf[1 << 16];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, old)) > 0) {
+            if (std::fwrite(buf, 1, n, stream_) != n)
+                break;
+        }
+        std::fclose(old);
+    }
+}
+
+AtomicFile::~AtomicFile()
+{
+    if (committed_)
+        return;
+    if (stream_ != nullptr)
+        std::fclose(stream_);
+    std::error_code ec;
+    std::filesystem::remove(tmpPath_, ec);
+}
+
+bool
+AtomicFile::commit()
+{
+    if (stream_ == nullptr || committed_)
+        return false;
+    committed_ = true;
+    bool ok = std::fflush(stream_) == 0;
+#ifdef MRQ_HAVE_FSYNC
+    // Durability half of the contract: the rename must not land
+    // before the data it names.
+    if (ok)
+        ok = ::fsync(::fileno(stream_)) == 0;
+#endif
+    ok = (std::fclose(stream_) == 0) && ok;
+    stream_ = nullptr;
+    if (!ok) {
+        std::error_code ec;
+        std::filesystem::remove(tmpPath_, ec);
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmpPath_, path_, ec);
+    if (ec) {
+        std::filesystem::remove(tmpPath_, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace mrq

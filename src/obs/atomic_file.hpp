@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Crash-safe file writes for the JSONL/report sinks.
+ *
+ * Every offline sink (metrics, inspector, timeline, profile, bench
+ * report) used to fopen its destination and stream into it; a crash
+ * mid-flush left a truncated, unparseable file where the previous
+ * good one had been.  AtomicFile moves the whole write to
+ * `<path>.tmp` and only renames over the destination in commit(),
+ * after fflush + fsync — so at any instant the destination is either
+ * the old complete file or the new complete file, never a torn one.
+ *
+ * Append semantics ("several runs stack blocks in one file") are
+ * preserved by preloading the existing destination bytes into the tmp
+ * file before handing out the stream.
+ *
+ * Usage at a converted call site:
+ *
+ *     AtomicFile af(path, append);
+ *     std::FILE* f = af.stream();
+ *     if (f == nullptr) { ...report...; return false; }
+ *     ...existing fprintf body unchanged...
+ *     const bool clean = std::ferror(f) == 0;
+ *     return af.commit() && clean;
+ *
+ * Destruction without commit() discards the tmp file and leaves the
+ * destination untouched.
+ */
+
+#ifndef MRQ_OBS_ATOMIC_FILE_HPP
+#define MRQ_OBS_ATOMIC_FILE_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace mrq {
+namespace obs {
+
+class AtomicFile
+{
+  public:
+    /** Open `<path>.tmp` for writing (creating parent directories);
+     *  with @p append, first copy the current contents of @p path
+     *  into it. */
+    explicit AtomicFile(std::string path, bool append = false);
+
+    /** Discards the tmp file when commit() was never called. */
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile&) = delete;
+    AtomicFile& operator=(const AtomicFile&) = delete;
+
+    /** Stream to write through; nullptr when the tmp open failed. */
+    std::FILE*
+    stream() const
+    {
+        return stream_;
+    }
+
+    explicit operator bool() const { return stream_ != nullptr; }
+
+    /** fflush + fsync + close + rename onto the destination.  False
+     *  on any failure (the destination is then left as it was). */
+    bool commit();
+
+  private:
+    std::string path_;
+    std::string tmpPath_;
+    std::FILE* stream_ = nullptr;
+    bool committed_ = false;
+};
+
+} // namespace obs
+} // namespace mrq
+
+#endif // MRQ_OBS_ATOMIC_FILE_HPP

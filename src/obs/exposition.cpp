@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "kernels/roofline.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace_export.hpp"
 
 namespace mrq {
@@ -134,6 +135,7 @@ collectStatsSnapshot()
     s.perf = perfTotalsSnapshot();
     s.isa = kernels::activeIsa();
     s.traceDropped = static_cast<std::int64_t>(traceDroppedEvents());
+    s.threadNames = flightThreadNames();
     return s;
 }
 
@@ -209,6 +211,12 @@ renderPrometheus(const StatsSnapshot& s)
             s.traceDropped);
     appendf(out, "# TYPE mrq_stats_samples_total counter\n");
     appendf(out, "mrq_stats_samples_total %" PRId64 "\n", s.samples);
+    if (!s.threadNames.empty()) {
+        appendf(out, "# TYPE mrq_thread_info gauge\n");
+        for (const std::string& name : s.threadNames)
+            appendf(out, "mrq_thread_info{name=\"%s\"} 1\n",
+                    escaped(name).c_str());
+    }
 
     // Hardware counter side store.
     const struct
@@ -269,6 +277,11 @@ renderStatsJson(const StatsSnapshot& s)
     appendf(out, "\"version\":%d", kStatsSchemaVersion);
     appendf(out, ",\"isa\":\"%s\"", kernels::isaName(s.isa));
     appendf(out, ",\"samples\":%" PRId64, s.samples);
+    out += ",\"thread_names\":[";
+    for (std::size_t i = 0; i < s.threadNames.size(); ++i)
+        appendf(out, "%s\"%s\"", i ? "," : "",
+                escaped(s.threadNames[i]).c_str());
+    out += "]";
     appendf(out,
             ",\"proc\":{\"rss_kb\":%" PRId64 ",\"peak_rss_kb\":%" PRId64
             ",\"threads\":%" PRId64 ",\"cpu_seconds\":%.6f}",

@@ -52,6 +52,8 @@ struct StatsSnapshot
     kernels::Isa isa = kernels::Isa::Generic;
     std::int64_t traceDropped = 0; ///< Trace-ring drop-oldest count.
     std::int64_t samples = 0;      ///< Sampler ticks so far (0 = on-demand).
+    /** Names of live registered threads (obs/flight_recorder.hpp). */
+    std::vector<std::string> threadNames;
 };
 
 /** Collect a snapshot of every source (never writes the registry). */

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/atomic_file.hpp"
 #include "obs/env.hpp"
 #include "obs/watchdog.hpp"
 
@@ -349,7 +350,8 @@ QuantInspector::writeJsonl(const std::string& path,
                            const std::string& manifest_json, bool append)
 {
     const std::string body = renderJsonl();
-    std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+    AtomicFile af(path, append);
+    std::FILE* f = af.stream();
     if (f == nullptr)
         return false;
     bool ok = true;
@@ -360,8 +362,7 @@ QuantInspector::writeJsonl(const std::string& path,
     }
     if (ok && !body.empty())
         ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-    ok = std::fclose(f) == 0 && ok;
-    return ok;
+    return af.commit() && ok;
 }
 
 void

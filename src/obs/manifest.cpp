@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "kernels/isa.hpp"
+#include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
@@ -186,6 +187,11 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     if (QuantInspector::instance().enabled())
         QuantInspector::instance().reset();
     pushScope(this);
+    // Arm the black box before anything can crash: install the signal
+    // handlers (idempotent; MRQ_CRASH_HANDLER=0 opts out) and publish
+    // this run's manifest line for post-mortem dumps.
+    if (installCrashHandlersFromEnv())
+        setPostmortemManifest(manifestJson(manifest_));
     if (stats_live)
         StatsPlane::instance().startFromEnv();
 }

@@ -10,7 +10,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/atomic_file.hpp"
 #include "obs/env.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace mrq {
 namespace obs {
@@ -392,6 +394,10 @@ void
 MetricsRegistry::recordSeries(const std::string& name, std::int64_t step,
                               double value)
 {
+    // Metric checkpoint in the black box (before the registry lock:
+    // the flight path is lock-free and must stay off every mutex).
+    if (flightEnabled())
+        flightRecord(FlightKind::Metric, name.c_str(), step, -1, value);
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.mutex);
     im.series.push_back(SeriesRecord{name, step, value});
@@ -404,6 +410,12 @@ MetricsRegistry::recordAlert(const std::string& severity,
                              std::int64_t batch,
                              const std::string& detail)
 {
+    if (flightEnabled()) {
+        // "severity:rule" fits the fixed-width event name; context and
+        // detail live in the JSONL alert record this call also feeds.
+        const std::string label = severity + ":" + rule;
+        flightRecord(FlightKind::Alert, label.c_str(), batch);
+    }
     Impl& im = impl();
     std::lock_guard<std::mutex> lock(im.mutex);
     im.alerts.push_back(
@@ -510,12 +522,8 @@ MetricsRegistry::writeJsonl(const std::string& path,
 {
     const Snapshot snap = snapshot();
 
-    const std::filesystem::path p(path);
-    std::error_code ec;
-    if (p.has_parent_path())
-        std::filesystem::create_directories(p.parent_path(), ec);
-
-    std::FILE* f = std::fopen(path.c_str(), append ? "a" : "w");
+    AtomicFile af(path, append);
+    std::FILE* f = af.stream();
     if (f == nullptr) {
         std::fprintf(stderr, "mrq: metrics: cannot write %s\n",
                      path.c_str());
@@ -566,8 +574,7 @@ MetricsRegistry::writeJsonl(const std::string& path,
                      static_cast<long long>(a.batch),
                      jsonEscape(a.detail).c_str());
     const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
-    return ok;
+    return af.commit() && ok;
 }
 
 void

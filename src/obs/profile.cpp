@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <map>
 
+#include "obs/atomic_file.hpp"
 #include "obs/env.hpp"
 
 namespace mrq {
@@ -166,11 +167,8 @@ flushProfile(std::FILE* out)
         buildProfile(MetricsRegistry::instance().snapshot());
     writeProfileReport(out, entries);
     if (const char* path = envValue("MRQ_PROFILE_OUT", nullptr)) {
-        const std::filesystem::path p(path);
-        std::error_code ec;
-        if (p.has_parent_path())
-            std::filesystem::create_directories(p.parent_path(), ec);
-        std::FILE* f = std::fopen(path, "w");
+        AtomicFile af(path);
+        std::FILE* f = af.stream();
         if (f == nullptr) {
             std::fprintf(stderr, "mrq: profile: cannot write %s\n",
                          path);
@@ -178,7 +176,9 @@ flushProfile(std::FILE* out)
         }
         const std::string folded = foldedStacks(entries);
         std::fwrite(folded.data(), 1, folded.size(), f);
-        std::fclose(f);
+        if (!af.commit())
+            std::fprintf(stderr, "mrq: profile: cannot write %s\n",
+                         path);
     }
 }
 

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <thread>
 
+#include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
+#include "obs/flight_recorder.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <poll.h>
@@ -38,6 +41,18 @@ struct StatsPlane::Impl
     {
         StatsSnapshot s = collectStatsSnapshot();
         s.samples = samples.fetch_add(1, std::memory_order_relaxed) + 1;
+        // Keep a one-line digest in the crash handler's static buffer
+        // so a post-mortem carries the last live numbers.
+        char line[512];
+        std::snprintf(line, sizeof line,
+                      "{\"type\": \"stats\", \"sample\": %lld, "
+                      "\"rss_kb\": %lld, \"threads\": %lld, "
+                      "\"cpu_seconds\": %.3f}",
+                      static_cast<long long>(s.samples),
+                      static_cast<long long>(s.proc.rssKb),
+                      static_cast<long long>(s.proc.threads),
+                      s.proc.cpuSeconds);
+        setPostmortemStatsLine(line);
         std::lock_guard<std::mutex> lock(mutex);
         last = std::move(s);
     }
@@ -109,6 +124,10 @@ struct StatsPlane::Impl
     void
     loop()
     {
+        // The sampler must never steal Ctrl-C from the main thread,
+        // and dumps/tools should know it by name.
+        blockShutdownSignalsInThisThread();
+        setCurrentThreadName("mrq-stats");
         using clock = std::chrono::steady_clock;
         const auto period =
             std::chrono::milliseconds(everyMs > 0 ? everyMs : 1000);

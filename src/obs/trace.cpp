@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace_export.hpp"
 
 namespace mrq {
@@ -149,6 +150,10 @@ TraceSpan::~TraceSpan()
                                              end - startNs_);
     if (traceExportEnabled())
         traceExportSpan(entry_->id, startNs_, end, arg_);
+    // Black-box copy of the closed span: a=arg, b=path id, v=ns.
+    if (flightEnabled())
+        flightRecord(FlightKind::Span, entry_->name.c_str(), arg_,
+                     entry_->id, static_cast<double>(end - startNs_));
 }
 
 std::string

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/atomic_file.hpp"
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -297,11 +298,8 @@ writeTrace(const std::string& path)
                          return a.ns < b.ns;
                      });
 
-    const std::filesystem::path p(path);
-    std::error_code ec;
-    if (p.has_parent_path())
-        std::filesystem::create_directories(p.parent_path(), ec);
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    AtomicFile af(path);
+    std::FILE* f = af.stream();
     if (f == nullptr) {
         std::fprintf(stderr, "mrq: trace: cannot write %s\n",
                      path.c_str());
@@ -330,8 +328,7 @@ writeTrace(const std::string& path)
         std::fprintf(f, ",\n%s", e.json.c_str());
     std::fprintf(f, "\n]}\n");
     const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
-    return ok;
+    return af.commit() && ok;
 }
 
 void

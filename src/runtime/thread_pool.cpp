@@ -1,9 +1,12 @@
 #include "runtime/thread_pool.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.hpp"
+#include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -196,6 +199,12 @@ ThreadPool::run(std::size_t num_chunks,
 void
 ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
 {
+    // Shutdown signals stay with the main thread; the worker gets a
+    // name for dumps, the stats endpoint and external tools.
+    obs::blockShutdownSignalsInThisThread();
+    char name[16];
+    std::snprintf(name, sizeof name, "mrq-pool-%zu", index);
+    obs::setCurrentThreadName(name);
     for (;;) {
         const std::function<void(std::size_t)>* body = nullptr;
         std::size_t chunks = 0;

@@ -8,6 +8,7 @@
 #include "core/term_accounting.hpp"
 #include "data/batcher.hpp"
 #include "nn/loss.hpp"
+#include "obs/crash_handler.hpp"
 #include "obs/inspect.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -279,6 +280,8 @@ classifierPipeline(Sequential& model, const SynthImages& data,
 
     // Phase 1: full-precision pretraining.
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        obs::faultInjectionPoint("epoch",
+                                 static_cast<std::int64_t>(epoch));
         MRQ_TRACE_SPAN("pipeline.fp_epoch");
         obs::PerfScope perf("pipeline.fp_epoch");
         const auto t0 = Clock::now();
@@ -310,6 +313,8 @@ classifierPipeline(Sequential& model, const SynthImages& data,
     const bool post_training = !multires && single_cfg == nullptr;
     if (!post_training) {
         for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+            obs::faultInjectionPoint("epoch",
+                                     static_cast<std::int64_t>(epoch));
             MRQ_TRACE_SPAN("pipeline.tune_epoch");
             obs::PerfScope perf("pipeline.tune_epoch");
             const auto t0 = Clock::now();
@@ -398,6 +403,8 @@ classifierPipeline(Sequential& model, const SynthImages& data,
         }
 
         for (std::size_t i = 0; i < eval_set.size(); ++i) {
+            obs::faultInjectionPoint("rung",
+                                     static_cast<std::int64_t>(i));
             const SubModelConfig& cfg = eval_set[i];
             SubModelResult r;
             r.config = cfg;
@@ -520,6 +527,8 @@ lmPipeline(LstmLm& model, const SynthText& data,
 
     // Phase 1: full-precision pretraining.
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        obs::faultInjectionPoint("epoch",
+                                 static_cast<std::int64_t>(epoch));
         MRQ_TRACE_SPAN("pipeline.fp_epoch");
         obs::PerfScope perf("pipeline.fp_epoch");
         const auto t0 = Clock::now();
@@ -547,6 +556,8 @@ lmPipeline(LstmLm& model, const SynthText& data,
 
     // Phase 2: fine-tuning (multi-resolution or single-config).
     for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+        obs::faultInjectionPoint("epoch",
+                                 static_cast<std::int64_t>(epoch));
         MRQ_TRACE_SPAN("pipeline.tune_epoch");
             obs::PerfScope perf("pipeline.tune_epoch");
         const auto t0 = Clock::now();
@@ -610,6 +621,8 @@ lmPipeline(LstmLm& model, const SynthText& data,
         const SubModelLadder eval_set =
             single_cfg ? SubModelLadder{*single_cfg} : ladder;
         for (std::size_t i = 0; i < eval_set.size(); ++i) {
+            obs::faultInjectionPoint("rung",
+                                     static_cast<std::int64_t>(i));
             const SubModelConfig& cfg = eval_set[i];
             SubModelResult r;
             r.config = cfg;
@@ -727,6 +740,8 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     };
 
     for (std::size_t epoch = 0; epoch < opts.fpEpochs; ++epoch) {
+        obs::faultInjectionPoint("epoch",
+                                 static_cast<std::int64_t>(epoch));
         MRQ_TRACE_SPAN("pipeline.fp_epoch");
         obs::PerfScope perf("pipeline.fp_epoch");
         const auto t0 = Clock::now();
@@ -753,6 +768,8 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
     obs::logf("phase=eval rung=fp32 metric=%.4f", result.fp32Metric);
 
     for (std::size_t epoch = 0; epoch < opts.mrEpochs; ++epoch) {
+        obs::faultInjectionPoint("epoch",
+                                 static_cast<std::int64_t>(epoch));
         MRQ_TRACE_SPAN("pipeline.tune_epoch");
             obs::PerfScope perf("pipeline.tune_epoch");
         const auto t0 = Clock::now();
@@ -810,6 +827,8 @@ yoloPipeline(TinyYolo& model, const SynthDetect& data,
         const SubModelLadder eval_set =
             single_cfg ? SubModelLadder{*single_cfg} : ladder;
         for (std::size_t i = 0; i < eval_set.size(); ++i) {
+            obs::faultInjectionPoint("rung",
+                                     static_cast<std::int64_t>(i));
             const SubModelConfig& cfg = eval_set[i];
             SubModelResult r;
             r.config = cfg;

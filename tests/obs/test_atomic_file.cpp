@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/atomic_file.hpp"
+
+namespace {
+
+using mrq::obs::AtomicFile;
+
+namespace fs = std::filesystem;
+
+std::string
+readAll(const fs::path& p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class AtomicFileTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("mrq_atomic_file_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "_" + testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesAndRemovesTmp)
+{
+    const fs::path path = dir_ / "out.jsonl";
+    {
+        AtomicFile af(path.string());
+        ASSERT_TRUE(static_cast<bool>(af));
+        // Until commit, the destination must not exist.
+        std::fputs("hello\n", af.stream());
+        EXPECT_FALSE(fs::exists(path));
+        EXPECT_TRUE(fs::exists(dir_ / "out.jsonl.tmp"));
+        EXPECT_TRUE(af.commit());
+    }
+    EXPECT_EQ(readAll(path), "hello\n");
+    EXPECT_FALSE(fs::exists(dir_ / "out.jsonl.tmp"));
+}
+
+TEST_F(AtomicFileTest, NoCommitLeavesDestinationUntouched)
+{
+    const fs::path path = dir_ / "out.jsonl";
+    {
+        AtomicFile af(path.string());
+        std::fputs("good\n", af.stream());
+        ASSERT_TRUE(af.commit());
+    }
+    {
+        // Simulated crash mid-write: destructor without commit.
+        AtomicFile af(path.string());
+        std::fputs("torn", af.stream());
+    }
+    EXPECT_EQ(readAll(path), "good\n");
+    EXPECT_FALSE(fs::exists(dir_ / "out.jsonl.tmp"));
+}
+
+TEST_F(AtomicFileTest, AppendPreloadsExistingBytes)
+{
+    const fs::path path = dir_ / "out.jsonl";
+    {
+        AtomicFile af(path.string());
+        std::fputs("first\n", af.stream());
+        ASSERT_TRUE(af.commit());
+    }
+    {
+        AtomicFile af(path.string(), /*append=*/true);
+        std::fputs("second\n", af.stream());
+        ASSERT_TRUE(af.commit());
+    }
+    EXPECT_EQ(readAll(path), "first\nsecond\n");
+}
+
+TEST_F(AtomicFileTest, AppendToMissingFileStartsEmpty)
+{
+    const fs::path path = dir_ / "fresh.jsonl";
+    AtomicFile af(path.string(), /*append=*/true);
+    ASSERT_TRUE(static_cast<bool>(af));
+    std::fputs("only\n", af.stream());
+    ASSERT_TRUE(af.commit());
+    EXPECT_EQ(readAll(path), "only\n");
+}
+
+TEST_F(AtomicFileTest, CreatesParentDirectories)
+{
+    const fs::path path = dir_ / "a" / "b" / "out.jsonl";
+    AtomicFile af(path.string());
+    ASSERT_TRUE(static_cast<bool>(af));
+    std::fputs("deep\n", af.stream());
+    ASSERT_TRUE(af.commit());
+    EXPECT_EQ(readAll(path), "deep\n");
+}
+
+TEST_F(AtomicFileTest, DoubleCommitFails)
+{
+    const fs::path path = dir_ / "out.jsonl";
+    AtomicFile af(path.string());
+    std::fputs("x\n", af.stream());
+    EXPECT_TRUE(af.commit());
+    EXPECT_FALSE(af.commit());
+}
+
+} // namespace

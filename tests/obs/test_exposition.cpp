@@ -59,6 +59,7 @@ goldenSnapshot()
     s.isa = kernels::Isa::Generic;
     s.traceDropped = 5;
     s.samples = 7;
+    s.threadNames = {"main", "mrq-stats"};
     return s;
 }
 
@@ -88,6 +89,9 @@ TEST(Exposition, PrometheusGolden)
         "mrq_trace_dropped_events 5\n"
         "# TYPE mrq_stats_samples_total counter\n"
         "mrq_stats_samples_total 7\n"
+        "# TYPE mrq_thread_info gauge\n"
+        "mrq_thread_info{name=\"main\"} 1\n"
+        "mrq_thread_info{name=\"mrq-stats\"} 1\n"
         "# TYPE mrq_perf_cycles_total counter\n"
         "# TYPE mrq_perf_instructions_total counter\n"
         "# TYPE mrq_perf_cache_misses_total counter\n"
@@ -117,6 +121,7 @@ TEST(Exposition, JsonGolden)
     const std::string got = obs::renderStatsJson(goldenSnapshot());
     const std::string want =
         "{\"version\":1,\"isa\":\"generic\",\"samples\":7,"
+        "\"thread_names\":[\"main\",\"mrq-stats\"],"
         "\"proc\":{\"rss_kb\":-1,\"peak_rss_kb\":-1,\"threads\":-1,"
         "\"cpu_seconds\":-1.000000},"
         "\"counters\":{\"expo.count\":3,"

@@ -13,6 +13,7 @@ Usage: check_stats_schema.py [--prometheus FILE] [--json FILE]
 JSON schema (version 1):
 
   {"version": 1, "isa": str, "samples": int,
+   "thread_names": [str, ...],              # live registered threads
    "proc": {"rss_kb": int, "peak_rss_kb": int, "threads": int,
             "cpu_seconds": num},           # -1 = unavailable
    "counters": {str: int}, "gauges": {str: num},
@@ -138,6 +139,11 @@ def check_json(path):
            f"unsupported version {doc.get('version')!r}")
     expect(path, isinstance(doc.get("isa"), str), "isa is not a string")
     check_int(path, doc, "samples", "$")
+    names = doc.get("thread_names")
+    expect(path, isinstance(names, list), "thread_names is not a list")
+    for i, n in enumerate(names):
+        expect(path, isinstance(n, str) and n,
+               f"thread_names[{i}] not a non-empty string")
     check_int(path, doc, "alerts", "$")
     check_int(path, doc, "trace_dropped", "$")
     check_num(path, doc, "peak_flops_per_cycle", "$")
