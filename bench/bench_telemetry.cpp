@@ -21,6 +21,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/sampler.hpp"
 #include "obs/stats_server.hpp"
 #include "tensor/ops.hpp"
 
@@ -187,4 +188,56 @@ MRQ_BENCH(telemetry_overhead, "Obs layer",
 
     if (was_running)
         plane.startFromEnv();
+
+    // -- Sampling profiler --------------------------------------------
+    // Two costs matter: the per-transition accounting site the thread
+    // pool hits when sampling is off (must be ~0, like every other
+    // disabled site), and the SIGPROF handler itself, whose derived
+    // tax at the default rate bounds the sampling overhead a profiled
+    // run pays.
+    const bool prev_metrics2 = obs::setMetricsEnabled(false);
+    const double note_ms = bestOfMs(5, [] {
+        for (int i = 0; i < kSites; ++i)
+            obs::noteThreadState(obs::ThreadState::Busy);
+    });
+    obs::setMetricsEnabled(prev_metrics2);
+    const double note_ns = note_ms * scale;
+    ctx.timingValue("disabled_thread_state_ns", note_ns);
+    ctx.printf("  disabled thread-state site: %.1fns\n", note_ns);
+    ctx.require(note_ns < 100.0,
+                "disabled thread-state accounting costs ~0");
+
+    // Per-sample handler cost, measured synchronously: raise(SIGPROF)
+    // delivers to the calling thread before returning, so the loop
+    // times kernel delivery + the full capture path.  The derived tax
+    // (cost x rate) is what a sampled workload pays; wall-clock A/B
+    // deltas of the workload itself are reported but not gated (they
+    // sit inside scheduler noise).
+    const bool was_sampling = obs::samplerRunning();
+    const bool sampler_ok = was_sampling || obs::startSampler();
+    ctx.require(sampler_ok, "sampling profiler started");
+    if (sampler_ok) {
+        constexpr int kSignals = 20000;
+        const double sig_ms = bestOfMs(3, [] {
+            for (int i = 0; i < kSignals; ++i)
+                obs::debugSampleNow();
+        });
+        const double sample_ns = sig_ms * 1e6 / kSignals;
+        const double hz = static_cast<double>(obs::samplerHz());
+        const double sample_tax_pct = sample_ns * hz / 1e9 * 100.0;
+        ctx.timingValue("sample_capture_ns", sample_ns);
+        ctx.timingValue("sampler_profile_tax_pct", sample_tax_pct);
+        ctx.printf("  sample capture %.0fns -> %.4f%% tax at %ldHz\n",
+                   sample_ns, sample_tax_pct, obs::samplerHz());
+        ctx.require(sample_tax_pct < 2.0,
+                    "sampling overhead under 2% at the default rate");
+
+        const double prof_on_ms = bestOfMs(reps, workload);
+        ctx.timingValue("workload_profiled_ms", prof_on_ms);
+        ctx.printf("  workload under SIGPROF sampling: %.2fms "
+                   "(unsampled arm above: %.2fms)\n",
+                   prof_on_ms, base_ms);
+        if (!was_sampling)
+            obs::stopSampler();
+    }
 }

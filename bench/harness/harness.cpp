@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/proc_stats.hpp"
+#include "obs/sampler.hpp"
 #include "obs/stats_server.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/thread_pool.hpp"
@@ -25,15 +26,14 @@ namespace bench {
 namespace {
 
 /**
- * Per-case timeline path derived from MRQ_TRACE_OUT: "{run}" (when
- * present) or a suffix before the extension becomes the case slug, so
- * a suite run leaves one trace file per case instead of the last case
- * overwriting the rest.
+ * Per-case sink path: "{run}" (when present) or a suffix before the
+ * extension becomes the case slug, so a suite run leaves one file per
+ * case instead of the last case overwriting the rest.  Shared by the
+ * timeline (MRQ_TRACE_OUT) and sample-profile (MRQ_SAMPLE_OUT) sinks.
  */
 std::string
-caseTracePath(const std::string& case_name)
+casePathFor(std::string path, const std::string& case_name)
 {
-    std::string path = obs::traceExportPath();
     const std::string slug = slugify(case_name);
     const std::size_t brace = path.find("{run}");
     if (brace != std::string::npos)
@@ -44,6 +44,12 @@ caseTracePath(const std::string& case_name)
         (slash == std::string::npos || dot > slash))
         return path.substr(0, dot) + "." + slug + path.substr(dot);
     return path + "." + slug;
+}
+
+std::string
+caseTracePath(const std::string& case_name)
+{
+    return casePathFor(obs::traceExportPath(), case_name);
 }
 
 std::string
@@ -240,6 +246,13 @@ class Runner
         obs::resetPerfTotals();
         const char* kPerfScope = "bench.rep";
 
+        // Same per-case scoping for the sampling profiler: stacks
+        // accumulated before the timed reps (warmup, earlier cases)
+        // would pollute this case's attribution.
+        const bool sample_case = obs::samplerRunning();
+        if (sample_case)
+            obs::resetSamplerProfile();
+
         std::vector<double> samples;
         samples.reserve(static_cast<std::size_t>(record.reps));
         for (int r = 0; r < record.reps; ++r) {
@@ -271,6 +284,14 @@ class Runner
                 static_cast<double>(totals.cacheMisses);
             record.resources["branch_misses"] =
                 static_cast<double>(totals.branchMisses);
+        }
+        if (sample_case) {
+            record.resources["samples"] =
+                static_cast<double>(obs::samplerSampleCount());
+            const std::string sample_out = obs::sampleOutPath();
+            if (!sample_out.empty())
+                obs::writeSampleProfile(
+                    casePathFor(sample_out, def.name));
         }
         if (trace_case)
             obs::writeTrace(caseTracePath(def.name));
@@ -344,6 +365,9 @@ runRegisteredCases(const RunnerOptions& opts)
     }
     // Live telemetry plane (no-op unless MRQ_STATS_* is set).
     obs::StatsPlane::instance().startFromEnv();
+    // Sampling profiler (no-op unless MRQ_SAMPLE / MRQ_SAMPLE_OUT):
+    // armed once for the suite; runCase resets the aggregate per case.
+    obs::startSamplerFromEnv();
 
     BenchReport report;
     report.suite = opts.suite;
@@ -375,6 +399,9 @@ runRegisteredCases(const RunnerOptions& opts)
         any_failed = any_failed || record.failed;
         report.cases.push_back(std::move(record));
     }
+    // Disarm before teardown (per-case profiles are already written);
+    // a joinable drain thread must never reach static destruction.
+    obs::stopSampler();
 
     const std::string path = !opts.outPath.empty()
                                  ? opts.outPath

@@ -30,6 +30,11 @@ struct KernelMetricIds
 };
 KernelMetricIds g_ids[kKernelCount];
 
+/** Kernel family currently executing (serial dispatch contexts only;
+ *  -1 = none).  Read from the SIGPROF handler — keep it a bare
+ *  relaxed atomic. */
+std::atomic<int> g_active_kernel{-1};
+
 int
 counterIdFor(std::size_t idx)
 {
@@ -62,6 +67,12 @@ kernelCost(KernelId id)
     return kCosts[static_cast<std::size_t>(id)];
 }
 
+int
+activeKernelSampleTag()
+{
+    return g_active_kernel.load(std::memory_order_relaxed);
+}
+
 double
 peakFlopsPerCycle(Isa isa)
 {
@@ -86,6 +97,18 @@ recordKernelElems(KernelId id, std::int64_t elems)
 }
 
 namespace detail {
+
+int
+exchangeActiveKernelTag(int tag)
+{
+    return g_active_kernel.exchange(tag, std::memory_order_relaxed);
+}
+
+void
+setActiveKernelTag(int tag)
+{
+    g_active_kernel.store(tag, std::memory_order_relaxed);
+}
 
 void
 recordKernelRegion(KernelId id, std::int64_t elems, std::int64_t ns)

@@ -31,6 +31,7 @@
 
 #include "kernels/isa.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 
 namespace mrq {
 namespace kernels {
@@ -69,7 +70,18 @@ double peakFlopsPerCycle(Isa isa);
 namespace detail {
 void recordKernelRegion(KernelId id, std::int64_t elems,
                         std::int64_t ns);
+/** Swap the process-wide active-kernel tag (sampler attribution);
+ *  returns the previous tag. */
+int exchangeActiveKernelTag(int tag);
+void setActiveKernelTag(int tag);
 } // namespace detail
+
+/** Kernel family currently inside a KernelRegion (-1 = none).
+ *  Async-signal-safe: one relaxed atomic load — the SIGPROF sampler
+ *  reads it to tag samples with the running kernel.  Process-wide,
+ *  so concurrent *serial* dispatch contexts (unusual) attribute
+ *  statistically, not exactly; nested regions restore correctly. */
+int activeKernelSampleTag();
 
 /** Counter-only element accounting for hot per-group call sites
  *  (hw-sim term pairs); one sharded add, safe inside parallelFor. */
@@ -78,23 +90,33 @@ void recordKernelElems(KernelId id, std::int64_t elems);
 /**
  * RAII op-level accounting region: wrap the whole (possibly parallel)
  * op from a serial context.  Records the shape-derived element count
- * and the region wall time under "kernel.<slug>".  Disabled cost: one
- * relaxed load and a branch.
+ * and the region wall time under "kernel.<slug>"; while the sampler
+ * runs it also publishes the kernel id as the process-wide
+ * active-kernel tag so samples attribute to the family.  Disabled
+ * cost: two relaxed loads and a branch.
  */
 class KernelRegion
 {
   public:
     KernelRegion(KernelId id, std::int64_t elems)
     {
-        if (!obs::metricsEnabled())
+        const bool metrics = obs::metricsEnabled();
+        if (!metrics && !obs::samplerRunning())
             return;
         id_ = id;
+        tagged_ = true;
+        prevTag_ =
+            detail::exchangeActiveKernelTag(static_cast<int>(id));
+        if (!metrics)
+            return;
         elems_ = elems;
         startNs_ = obs::nowNs();
         live_ = true;
     }
     ~KernelRegion()
     {
+        if (tagged_)
+            detail::setActiveKernelTag(prevTag_);
         if (live_)
             detail::recordKernelRegion(id_, elems_,
                                        obs::nowNs() - startNs_);
@@ -106,7 +128,9 @@ class KernelRegion
     KernelId id_ = KernelId::GemmDot;
     std::int64_t elems_ = 0;
     std::int64_t startNs_ = 0;
+    int prevTag_ = -1;
     bool live_ = false;
+    bool tagged_ = false;
 };
 
 } // namespace kernels

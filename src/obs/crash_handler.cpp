@@ -441,6 +441,14 @@ class HangMonitor
     loop()
     {
         blockShutdownSignalsInThisThread();
+        // The watchdog is bookkeeping, not workload — keep the
+        // sampler's SIGPROF away so hang dumps never race a sample.
+        {
+            sigset_t set;
+            sigemptyset(&set);
+            sigaddset(&set, SIGPROF);
+            ::pthread_sigmask(SIG_BLOCK, &set, nullptr);
+        }
         setCurrentThreadName("mrq-watchdog");
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
@@ -644,6 +652,10 @@ installCrashHandlers(const CrashHandlerConfig& config)
         struct sigaction sa;
         std::memset(&sa, 0, sizeof sa);
         sigemptyset(&sa.sa_mask);
+        // The sampling profiler's SIGPROF must never interrupt a dump
+        // handler mid-write: the dump machinery is signal-safe but not
+        // reentrant against a sampler poking the same thread_locals.
+        sigaddset(&sa.sa_mask, SIGPROF);
         sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
         sa.sa_sigaction = fatalHandler;
         for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
@@ -763,7 +775,16 @@ faultInjectionPoint(const char* site, std::int64_t index)
 std::size_t
 writePostmortemNow(int fd, const char* reason)
 {
-    return writeDump(fd, reason, 0, nullptr, nullptr);
+    // Keep the sampler's SIGPROF out of the dump: the dump writer is
+    // signal-safe but shares sigsafe buffers with nothing else, and a
+    // sample interrupting it would land inside the dump frames.
+    sigset_t block, previous;
+    sigemptyset(&block);
+    sigaddset(&block, SIGPROF);
+    ::pthread_sigmask(SIG_BLOCK, &block, &previous);
+    const std::size_t n = writeDump(fd, reason, 0, nullptr, nullptr);
+    ::pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+    return n;
 }
 
 void

@@ -136,6 +136,10 @@ collectStatsSnapshot()
     s.isa = kernels::activeIsa();
     s.traceDropped = static_cast<std::int64_t>(traceDroppedEvents());
     s.threadNames = flightThreadNames();
+    s.threadTime = threadTimeBreakdown();
+    s.profilerRunning = samplerRunning();
+    s.profilerSamples = samplerSampleCount();
+    s.profilerDropped = samplerDroppedSamples();
     return s;
 }
 
@@ -216,6 +220,39 @@ renderPrometheus(const StatsSnapshot& s)
         for (const std::string& name : s.threadNames)
             appendf(out, "mrq_thread_info{name=\"%s\"} 1\n",
                     escaped(name).c_str());
+    }
+
+    // Sampling profiler: per-thread wall-clock decomposition plus
+    // capture totals.
+    appendf(out, "# TYPE mrq_sampler_running gauge\n");
+    appendf(out, "mrq_sampler_running %d\n", s.profilerRunning ? 1 : 0);
+    appendf(out, "# TYPE mrq_sampler_samples_total counter\n");
+    appendf(out, "mrq_sampler_samples_total %" PRId64 "\n",
+            s.profilerSamples);
+    appendf(out, "# TYPE mrq_sampler_dropped_total counter\n");
+    appendf(out, "mrq_sampler_dropped_total %" PRId64 "\n",
+            s.profilerDropped);
+    if (!s.threadTime.empty()) {
+        appendf(out,
+                "# TYPE mrq_thread_time_seconds_total counter\n");
+        for (const ThreadTime& t : s.threadTime) {
+            const std::string name = escaped(t.name);
+            appendf(out,
+                    "mrq_thread_time_seconds_total{thread=\"%s\","
+                    "state=\"busy\"} %.9f\n",
+                    name.c_str(),
+                    static_cast<double>(t.busyNs) * 1e-9);
+            appendf(out,
+                    "mrq_thread_time_seconds_total{thread=\"%s\","
+                    "state=\"queue_wait\"} %.9f\n",
+                    name.c_str(),
+                    static_cast<double>(t.queueWaitNs) * 1e-9);
+            appendf(out,
+                    "mrq_thread_time_seconds_total{thread=\"%s\","
+                    "state=\"idle\"} %.9f\n",
+                    name.c_str(),
+                    static_cast<double>(t.idleNs) * 1e-9);
+        }
     }
 
     // Hardware counter side store.
@@ -332,8 +369,23 @@ renderStatsJson(const StatsSnapshot& s)
                 r.cost->bytesPerElem, r.intensity(), r.timeNs,
                 r.achievedGflops());
     }
+    out += "],\"thread_time\":{";
+    for (std::size_t i = 0; i < s.threadTime.size(); ++i) {
+        const ThreadTime& t = s.threadTime[i];
+        appendf(out,
+                "%s\"%s\":{\"busy_ns\":%" PRId64
+                ",\"queue_wait_ns\":%" PRId64 ",\"idle_ns\":%" PRId64
+                "}",
+                i ? "," : "", escaped(t.name).c_str(), t.busyNs,
+                t.queueWaitNs, t.idleNs);
+    }
     appendf(out,
-            "],\"peak_flops_per_cycle\":%.1f,\"alerts\":%zu,"
+            "},\"sampler\":{\"running\":%s,\"samples\":%" PRId64
+            ",\"dropped\":%" PRId64 "}",
+            s.profilerRunning ? "true" : "false", s.profilerSamples,
+            s.profilerDropped);
+    appendf(out,
+            ",\"peak_flops_per_cycle\":%.1f,\"alerts\":%zu,"
             "\"trace_dropped\":%" PRId64 "}",
             kernels::peakFlopsPerCycle(s.isa), s.metrics.alerts.size(),
             s.traceDropped);

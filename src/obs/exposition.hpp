@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/proc_stats.hpp"
+#include "obs/sampler.hpp"
 
 namespace mrq {
 namespace obs {
@@ -54,6 +55,12 @@ struct StatsSnapshot
     std::int64_t samples = 0;      ///< Sampler ticks so far (0 = on-demand).
     /** Names of live registered threads (obs/flight_recorder.hpp). */
     std::vector<std::string> threadNames;
+    /** Per-thread wall-clock decomposition (obs/sampler.hpp); empty
+     *  until thread accounting has run. */
+    std::vector<ThreadTime> threadTime;
+    bool profilerRunning = false;        ///< SIGPROF timer armed.
+    std::int64_t profilerSamples = 0;    ///< Stack samples captured.
+    std::int64_t profilerDropped = 0;    ///< Samples lost (full ring).
 };
 
 /** Collect a snapshot of every source (never writes the registry). */

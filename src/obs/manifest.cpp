@@ -11,6 +11,7 @@
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/sampler.hpp"
 #include "obs/stats_server.hpp"
 #include "obs/trace_export.hpp"
 
@@ -194,6 +195,10 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
         setPostmortemManifest(manifestJson(manifest_));
     if (stats_live)
         StatsPlane::instance().startFromEnv();
+    // Sampling profiler (MRQ_SAMPLE / MRQ_SAMPLE_OUT): idempotent —
+    // already-running (e.g. armed by an outer scope or the bench
+    // harness) just keeps running.
+    startSamplerFromEnv();
 }
 
 void
@@ -221,6 +226,13 @@ RunScope::flush()
         // whole process.
         if (!path.empty() && !writeTrace(path))
             sinkLost("timeline", manifest_.run);
+    }
+    if (samplerEnabledFromEnv()) {
+        // Like the timeline: the aggregated profile is cumulative, so
+        // the last run's write holds the whole process unless the
+        // path splits per run via "{run}".
+        if (!flushSampleProfile(manifest_.run))
+            sinkLost("sample profile", manifest_.run);
     }
     QuantInspector& inspector = QuantInspector::instance();
     if (inspector.enabled()) {

@@ -11,6 +11,7 @@
 #include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/sampler.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <poll.h>
@@ -125,8 +126,10 @@ struct StatsPlane::Impl
     loop()
     {
         // The sampler must never steal Ctrl-C from the main thread,
-        // and dumps/tools should know it by name.
+        // and dumps/tools should know it by name.  SIGPROF stays out
+        // too: stats serving is bookkeeping, not workload.
         blockShutdownSignalsInThisThread();
+        blockSamplingInThisThread();
         setCurrentThreadName("mrq-stats");
         using clock = std::chrono::steady_clock;
         const auto period =

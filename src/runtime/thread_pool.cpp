@@ -8,6 +8,7 @@
 #include "obs/env.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 
@@ -146,6 +147,9 @@ ThreadPool::run(std::size_t num_chunks,
     }
 
     const bool obs_on = obs::metricsEnabled();
+    // The publish timestamp feeds both the queue-wait timing (metrics)
+    // and the workers' idle/queue-wait wall-clock split (sampler).
+    const bool stamp_publish = obs_on || obs::samplerRunning();
     // Workers inherit the caller's span path (as an interned id, valid
     // on any thread) so spans opened inside chunk bodies nest under
     // the span that launched the loop.
@@ -155,14 +159,18 @@ ThreadPool::run(std::size_t num_chunks,
         job_ = &body;
         jobChunks_ = num_chunks;
         jobTracePathId_ = trace_path_id;
-        jobPublishNs_ = obs_on ? obs::nowNs() : 0;
+        jobPublishNs_ = stamp_publish ? obs::nowNs() : 0;
         doneCount_ = 0;
         error_ = nullptr;
         ++jobSeq_;
     }
     jobCv_.notify_all();
 
-    // The caller participates as thread 0 of the round-robin.
+    // The caller participates as thread 0 of the round-robin.  It
+    // also (re-)registers as a permanently Busy thread with the
+    // sampler's accounting — dispatching threads have no park state
+    // the pool can observe.
+    obs::noteThreadState(obs::ThreadState::Busy);
     const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
     const int chunk_path = chunkEventPathId();
     t_inside_parallel = true;
@@ -205,6 +213,7 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
     char name[16];
     std::snprintf(name, sizeof name, "mrq-pool-%zu", index);
     obs::setCurrentThreadName(name);
+    obs::noteThreadState(obs::ThreadState::Idle);
     for (;;) {
         const std::function<void(std::size_t)>* body = nullptr;
         std::size_t chunks = 0;
@@ -225,6 +234,10 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
         const bool obs_on = obs::metricsEnabled();
         if (obs_on && publish_ns != 0)
             t_queue_wait.record(obs::nowNs() - publish_ns);
+        // Wall-clock decomposition: the wait that just ended splits
+        // into idle (before the job was published) and queue-wait
+        // (published but not yet picked up).
+        obs::noteThreadBusy(publish_ns);
         const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
         {
             obs::InheritedTracePath trace_guard(trace_path_id);
@@ -248,6 +261,7 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
         }
         if (obs_on)
             t_executor_busy.record(obs::nowNs() - busy0);
+        obs::noteThreadState(obs::ThreadState::Idle);
 
         {
             std::lock_guard<std::mutex> lock(mutex_);

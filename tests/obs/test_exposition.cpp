@@ -60,6 +60,16 @@ goldenSnapshot()
     s.traceDropped = 5;
     s.samples = 7;
     s.threadNames = {"main", "mrq-stats"};
+
+    obs::ThreadTime tt;
+    tt.name = "mrq-pool-0";
+    tt.busyNs = 1500000000;
+    tt.queueWaitNs = 250000000;
+    tt.idleNs = 3000000;
+    s.threadTime.push_back(tt);
+    s.profilerRunning = true;
+    s.profilerSamples = 9;
+    s.profilerDropped = 1;
     return s;
 }
 
@@ -92,6 +102,19 @@ TEST(Exposition, PrometheusGolden)
         "# TYPE mrq_thread_info gauge\n"
         "mrq_thread_info{name=\"main\"} 1\n"
         "mrq_thread_info{name=\"mrq-stats\"} 1\n"
+        "# TYPE mrq_sampler_running gauge\n"
+        "mrq_sampler_running 1\n"
+        "# TYPE mrq_sampler_samples_total counter\n"
+        "mrq_sampler_samples_total 9\n"
+        "# TYPE mrq_sampler_dropped_total counter\n"
+        "mrq_sampler_dropped_total 1\n"
+        "# TYPE mrq_thread_time_seconds_total counter\n"
+        "mrq_thread_time_seconds_total{thread=\"mrq-pool-0\","
+        "state=\"busy\"} 1.500000000\n"
+        "mrq_thread_time_seconds_total{thread=\"mrq-pool-0\","
+        "state=\"queue_wait\"} 0.250000000\n"
+        "mrq_thread_time_seconds_total{thread=\"mrq-pool-0\","
+        "state=\"idle\"} 0.003000000\n"
         "# TYPE mrq_perf_cycles_total counter\n"
         "# TYPE mrq_perf_instructions_total counter\n"
         "# TYPE mrq_perf_cache_misses_total counter\n"
@@ -136,6 +159,9 @@ TEST(Exposition, JsonGolden)
         "\"flops_per_elem\":2.000,\"bytes_per_elem\":8.000,"
         "\"arith_intensity\":0.250000,\"time_ns\":2000,"
         "\"achieved_gflops\":1.000000}],"
+        "\"thread_time\":{\"mrq-pool-0\":{\"busy_ns\":1500000000,"
+        "\"queue_wait_ns\":250000000,\"idle_ns\":3000000}},"
+        "\"sampler\":{\"running\":true,\"samples\":9,\"dropped\":1},"
         "\"peak_flops_per_cycle\":2.0,\"alerts\":1,"
         "\"trace_dropped\":5}";
     EXPECT_EQ(got, want);

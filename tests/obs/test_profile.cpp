@@ -194,6 +194,58 @@ TEST(Profile, FoldedStacksUseSemicolonsAndSelfTime)
     }
 }
 
+TEST(Profile, FoldedStacksMergeRepeatedSiblingNames)
+{
+    ProfileTestGuard guard;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    // The same leaf name under one parent is a single interned path:
+    // repeated recordings merge into one line.  Under a different
+    // parent it is a distinct stack.  A name repeated at adjacent
+    // depths (recursion-shaped) keeps every occurrence.
+    reg.recordTiming(reg.timingId("span:fold_p/fold_dup"), 700);
+    reg.recordTiming(reg.timingId("span:fold_p/fold_dup"), 300);
+    reg.recordTiming(reg.timingId("span:fold_q/fold_dup"), 500);
+    reg.recordTiming(reg.timingId("span:fold_rec/fold_rec"), 250);
+
+    const std::string folded =
+        obs::foldedStacks(obs::buildProfile(reg.snapshot()));
+    EXPECT_NE(folded.find("fold_p;fold_dup 1000\n"),
+              std::string::npos)
+        << folded;
+    EXPECT_NE(folded.find("fold_q;fold_dup 500\n"), std::string::npos)
+        << folded;
+    EXPECT_NE(folded.find("fold_rec;fold_rec 250\n"),
+              std::string::npos)
+        << folded;
+    // Synthesized parents have zero self time, so exactly the three
+    // leaf lines exist.
+    std::size_t lines = 0;
+    for (char c : folded)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 3u) << folded;
+}
+
+TEST(Profile, FoldedStacksDeepNesting)
+{
+    ProfileTestGuard guard;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    constexpr int kDepth = 12;
+    std::string path = "deep_0";
+    for (int i = 1; i < kDepth; ++i)
+        path += "/deep_" + std::to_string(i);
+    reg.recordTiming(reg.timingId("span:" + path), 4242);
+
+    const std::string folded =
+        obs::foldedStacks(obs::buildProfile(reg.snapshot()));
+    // One leaf line carrying the whole chain; every synthesized
+    // ancestor has zero self time and is omitted.
+    std::string expect = "deep_0";
+    for (int i = 1; i < kDepth; ++i)
+        expect += ";deep_" + std::to_string(i);
+    expect += " 4242\n";
+    EXPECT_EQ(folded, expect);
+}
+
 TEST(Profile, EmptySnapshotGivesEmptyProfile)
 {
     ProfileTestGuard guard;

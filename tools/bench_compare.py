@@ -24,6 +24,13 @@ unavailable in the environment) are never regressions.
 New cases / new keys in CURRENT are reported but never fatal (the
 trajectory is expected to grow).  Improvements are never fatal.
 
+When both runs also recorded sample profiles (MRQ_SAMPLE_OUT pointing
+into a directory, one <case-slug>.jsonl per case), pass
+--samples-base=DIR and --samples-cur=DIR: every tripped timing gate
+then runs tools/profile_diff.py over that case's two profiles and
+prints the top stack deltas, so the CI failure names the code that
+got slower, not just the case.
+
 Options:
   --check-timing        enable the wall-clock regression gate
   --timing-rtol=R       relative timing slack (default 0.6)
@@ -32,10 +39,16 @@ Options:
                         (default 0: exact)
   --check-resources     enable the resources (RSS/perf) noise gate
   --resource-rtol=R     relative resources slack (default 1.0)
+  --samples-base=DIR    per-case sample profiles of the baseline run
+  --samples-cur=DIR     per-case sample profiles of the current run
 """
 
 import json
+import os
+import re
 import sys
+
+import profile_diff
 
 FATAL = 1
 USAGE = 2
@@ -62,11 +75,42 @@ def rel_delta(base, cur):
     return abs(cur - base) / denom
 
 
+def slugify(label):
+    """Mirror of bench::slugify (harness.cpp): the per-case sample
+    profile of case X lives at <dir>/<slugify(X)>.jsonl."""
+    out = re.sub(r"[^0-9A-Za-z]+", "_", label).strip("_").lower()
+    return out or "value"
+
+
+def attribute_regression(case, samples_base, samples_cur):
+    """Run profile_diff over a regressed case's sample profiles and
+    return the report text, or None when either profile is absent."""
+    name = slugify(case) + ".jsonl"
+    base_path = os.path.join(samples_base, name)
+    cur_path = os.path.join(samples_cur, name)
+    if not (os.path.isfile(base_path) and os.path.isfile(cur_path)):
+        return None
+    try:
+        base = profile_diff.load_profile(base_path)
+        cur = profile_diff.load_profile(cur_path)
+    except profile_diff.ProfileError as err:
+        return "attribution unavailable for %s: %s" % (case, err)
+    rows = profile_diff.diff_profiles(base, cur)
+    return profile_diff.format_report(rows, base_path, cur_path,
+                                      top=10)
+
+
 class Comparison:
     def __init__(self, opts):
         self.opts = opts
         self.regressions = []
         self.notes = []
+        self.timing_regressed = []  # case names with tripped gates
+
+    def regress_timing(self, case, msg):
+        if case not in self.timing_regressed:
+            self.timing_regressed.append(case)
+        self.regress(msg)
 
     def regress(self, msg):
         self.regressions.append(msg)
@@ -96,7 +140,8 @@ class Comparison:
                 continue
             b, c = base[key], cur[key]
             if c > b * (1.0 + rtol) and c - b > floor:
-                self.regress(
+                self.regress_timing(
+                    case,
                     f"{case}: {kind}[{key}] slowed {b:.3f} -> {c:.3f} "
                     f"(+{100.0 * (c - b) / max(b, 1e-300):.0f}%)")
 
@@ -145,6 +190,8 @@ def parse_args(argv):
         "value_rtol": 0.0,
         "check_resources": False,
         "resource_rtol": 1.0,
+        "samples_base": "",
+        "samples_cur": "",
     }
     paths = []
     for arg in argv[1:]:
@@ -152,6 +199,10 @@ def parse_args(argv):
             opts["check_timing"] = True
         elif arg == "--check-resources":
             opts["check_resources"] = True
+        elif arg.startswith("--samples-base="):
+            opts["samples_base"] = arg.split("=", 1)[1]
+        elif arg.startswith("--samples-cur="):
+            opts["samples_cur"] = arg.split("=", 1)[1]
         elif arg.startswith("--resource-rtol="):
             opts["resource_rtol"] = float(arg.split("=", 1)[1])
         elif arg.startswith("--timing-rtol="):
@@ -196,6 +247,22 @@ def main(argv):
     if cmp.regressions:
         for msg in cmp.regressions:
             print(f"REGRESSION: {msg}", file=sys.stderr)
+        # A tripped timing gate comes with attribution when both runs
+        # recorded sample profiles.
+        if (cmp.timing_regressed and opts["samples_base"] and
+                opts["samples_cur"]):
+            for case in cmp.timing_regressed:
+                report = attribute_regression(case,
+                                              opts["samples_base"],
+                                              opts["samples_cur"])
+                if report is None:
+                    print(f"note: no sample profiles for {case}; "
+                          f"run with MRQ_SAMPLE_OUT for attribution",
+                          file=sys.stderr)
+                else:
+                    print(f"--- attribution for {case} ---",
+                          file=sys.stderr)
+                    print(report, file=sys.stderr)
         print(f"bench_compare: {len(cmp.regressions)} regression(s) "
               f"between {base_path} and {cur_path}", file=sys.stderr)
         return FATAL

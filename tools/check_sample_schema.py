@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate an MRQ sample-profile JSONL file (MRQ_SAMPLE_OUT).
+
+Expected document (schema version 1, one JSON object per line):
+
+  {"type": "sample_profile", "version": 1, "hz": H, "period_ns": P,
+   "isa": "...", "git": "...", "samples": N, "dropped": D}
+  {"type": "thread_time", "thread": "...", "busy_ns": B,
+   "queue_wait_ns": Q, "idle_ns": I}                      (0 or more)
+  {"type": "sample_stack", "thread": "...", "span": "...",
+   "kernel": "...", "count": C, "self_ns": S,
+   "frames": ["inner", ..., "outer"]}                     (0 or more)
+  {"type": "sample_profile_end", "stacks": K, "samples": N}
+
+Cross-checks: the header comes first, the end line last; the end
+line's stack count matches the number of sample_stack lines; the sum
+of per-stack counts equals the header's (and end line's) sample
+total; every self_ns equals count * period_ns.
+
+Usage:
+    check_sample_schema.py [--require-stacks] [--require-kernel] FILE
+
+--require-stacks fails an otherwise valid profile holding zero
+stacks; --require-kernel additionally demands at least one stack
+tagged with a kernel family (or with a frame naming a kernel symbol)
+— the smoke gate that sampling actually attributes to kernels.
+Exit codes: 0 valid, 1 invalid, 2 usage error.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+FAIL = 1
+USAGE = 2
+
+
+def fail(path, lineno, msg):
+    print("check_sample_schema: %s:%s: %s" %
+          (path, lineno if lineno else "-", msg), file=sys.stderr)
+    return FAIL
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def check_file(path, require_stacks=False, require_kernel=False):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as err:
+        return fail(path, 0, "cannot open: %s" % err)
+
+    header = None
+    end = None
+    stacks = []
+    thread_times = []
+    for lineno, raw in enumerate(lines, 1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            obj = json.loads(raw)
+        except ValueError as err:
+            return fail(path, lineno, "bad JSON: %s" % err)
+        if not isinstance(obj, dict):
+            return fail(path, lineno, "line is not a JSON object")
+        kind = obj.get("type")
+        if header is None:
+            if kind != "sample_profile":
+                return fail(path, lineno,
+                            "first line must be the sample_profile "
+                            "header, got type=%r" % kind)
+            for key in ("version", "hz", "period_ns", "samples",
+                        "dropped"):
+                if not _is_int(obj.get(key)):
+                    return fail(path, lineno,
+                                "header field %r missing or not an "
+                                "integer" % key)
+            if obj["version"] != SCHEMA_VERSION:
+                return fail(path, lineno,
+                            "schema version %r, expected %d" %
+                            (obj["version"], SCHEMA_VERSION))
+            if obj["hz"] < 1 or obj["period_ns"] < 1:
+                return fail(path, lineno,
+                            "hz/period_ns must be positive")
+            for key in ("isa", "git"):
+                if not isinstance(obj.get(key), str):
+                    return fail(path, lineno,
+                                "header field %r missing or not a "
+                                "string" % key)
+            header = obj
+            continue
+        if end is not None:
+            return fail(path, lineno,
+                        "line after sample_profile_end")
+        if kind == "thread_time":
+            if not isinstance(obj.get("thread"), str):
+                return fail(path, lineno, "thread_time without a "
+                            "thread name")
+            for key in ("busy_ns", "queue_wait_ns", "idle_ns"):
+                if not _is_int(obj.get(key)) or obj[key] < 0:
+                    return fail(path, lineno,
+                                "thread_time field %r missing, not an "
+                                "integer, or negative" % key)
+            thread_times.append(obj)
+        elif kind == "sample_stack":
+            for key in ("thread", "span", "kernel"):
+                if not isinstance(obj.get(key), str):
+                    return fail(path, lineno,
+                                "sample_stack field %r missing or not "
+                                "a string" % key)
+            for key in ("count", "self_ns"):
+                if not _is_int(obj.get(key)) or obj[key] < 0:
+                    return fail(path, lineno,
+                                "sample_stack field %r missing, not "
+                                "an integer, or negative" % key)
+            if obj["count"] < 1:
+                return fail(path, lineno, "sample_stack with count 0")
+            frames = obj.get("frames")
+            if not isinstance(frames, list) or any(
+                    not isinstance(f, str) for f in frames):
+                return fail(path, lineno,
+                            "sample_stack frames missing or not a "
+                            "list of strings")
+            if obj["self_ns"] != obj["count"] * header["period_ns"]:
+                return fail(path, lineno,
+                            "self_ns %d != count %d * period_ns %d" %
+                            (obj["self_ns"], obj["count"],
+                             header["period_ns"]))
+            stacks.append(obj)
+        elif kind == "sample_profile_end":
+            for key in ("stacks", "samples"):
+                if not _is_int(obj.get(key)):
+                    return fail(path, lineno,
+                                "end field %r missing or not an "
+                                "integer" % key)
+            end = obj
+        else:
+            return fail(path, lineno, "unknown line type %r" % kind)
+
+    if header is None:
+        return fail(path, 0, "empty file (no header)")
+    if end is None:
+        return fail(path, 0, "missing sample_profile_end line")
+    if end["stacks"] != len(stacks):
+        return fail(path, 0, "end line claims %d stacks, file has %d" %
+                    (end["stacks"], len(stacks)))
+    total = sum(s["count"] for s in stacks)
+    if end["samples"] != total:
+        return fail(path, 0, "end line claims %d samples, stacks sum "
+                    "to %d" % (end["samples"], total))
+    if header["samples"] != total:
+        return fail(path, 0, "header claims %d samples, stacks sum to "
+                    "%d" % (header["samples"], total))
+    if require_stacks and not stacks:
+        return fail(path, 0, "--require-stacks: profile has no stacks")
+    if require_kernel:
+        def names_kernel(stack):
+            if stack["kernel"]:
+                return True
+            return any("kernel" in f or "mrq" in f
+                       for f in stack["frames"])
+        if not any(names_kernel(s) for s in stacks):
+            return fail(path, 0, "--require-kernel: no stack is "
+                        "tagged with a kernel family or names a "
+                        "kernel frame")
+    print("check_sample_schema: %s: ok (%d stacks, %d samples, "
+          "%d dropped, %d threads)" %
+          (path, len(stacks), total, header["dropped"],
+           len(thread_times)))
+    return 0
+
+
+def main(argv):
+    require_stacks = False
+    require_kernel = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--require-stacks":
+            require_stacks = True
+        elif arg == "--require-kernel":
+            require_kernel = True
+        elif arg.startswith("--"):
+            print("check_sample_schema: unknown option %s" % arg,
+                  file=sys.stderr)
+            return USAGE
+        else:
+            paths.append(arg)
+    if not paths:
+        print("usage: check_sample_schema.py [--require-stacks] "
+              "[--require-kernel] FILE...", file=sys.stderr)
+        return USAGE
+    worst = 0
+    for path in paths:
+        worst = max(worst,
+                    check_file(path, require_stacks=require_stacks,
+                               require_kernel=require_kernel))
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -23,6 +23,9 @@ JSON schema (version 1):
    "kernels": [{"name": str, "elems": int, "flops_per_elem": num,
                 "bytes_per_elem": num, "arith_intensity": num,
                 "time_ns": int, "achieved_gflops": num}, ...],
+   "thread_time": {str: {"busy_ns": int, "queue_wait_ns": int,
+                         "idle_ns": int}},  # wall-clock decomposition
+   "sampler": {"running": bool, "samples": int, "dropped": int},
    "peak_flops_per_cycle": num, "alerts": int, "trace_dropped": int}
 
 Exits non-zero on the first violation.
@@ -184,9 +187,29 @@ def check_json(path):
                     "arith_intensity", "achieved_gflops"):
             check_num(path, k, key, f"kernels[{i}]")
 
+    thread_time = doc.get("thread_time")
+    expect(path, isinstance(thread_time, dict),
+           "thread_time is not an object")
+    for name, t in thread_time.items():
+        expect(path, isinstance(name, str) and name,
+               "thread_time: empty thread name")
+        expect(path, isinstance(t, dict),
+               f"thread_time[{name}] not object")
+        for key in ("busy_ns", "queue_wait_ns", "idle_ns"):
+            check_int(path, t, key, f"thread_time[{name}]")
+            expect(path, t.get(key) >= 0,
+                   f"thread_time[{name}].{key} is negative")
+
+    sampler = doc.get("sampler")
+    expect(path, isinstance(sampler, dict), "sampler is not an object")
+    expect(path, isinstance(sampler.get("running"), bool),
+           "sampler.running is not a bool")
+    check_int(path, sampler, "samples", "sampler")
+    check_int(path, sampler, "dropped", "sampler")
+
     print(f"{path}: OK ({len(doc['counters'])} counters, "
           f"{len(doc['timings'])} timings, {len(kernels)} kernels, "
-          f"isa={doc['isa']})")
+          f"{len(thread_time)} thread_time rows, isa={doc['isa']})")
 
 
 def main(argv):

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Ranked per-stack delta between two MRQ sample profiles.
+
+Reads two JSONL sample profiles (the ``MRQ_SAMPLE_OUT`` format written
+by ``obs::writeSampleProfile``, schema checked by
+``check_sample_schema.py``) and reports, ranked by absolute self-time
+delta with regressions first, which stacks account for the difference
+— so when a bench timing gate trips, the failure comes with
+attribution instead of a bare "case X got slower".
+
+Stacks are keyed by (span path, kernel family, frame list) and merged
+across threads: thread identity is an artifact of scheduling, the code
+location is what regressed.  Self-time deltas are in nanoseconds of
+sampled CPU time (sample count x sampling period), so two profiles
+taken at different rates still diff in comparable units.
+
+Usage:
+    profile_diff.py [--top=N] [--json] [--expect-zero] BASE CURRENT
+
+``--expect-zero`` exits 1 when any per-stack delta is nonzero (CI
+self-diff gate).  Exit codes: 0 ok, 1 deltas found under
+--expect-zero, 2 usage or parse error.
+"""
+
+import json
+import sys
+
+USAGE_EXIT = 2
+
+
+class ProfileError(Exception):
+    """A profile file is missing, truncated, or malformed."""
+
+
+def load_profile(path):
+    """Parse one sample profile into a dict:
+
+    {"header": {...}, "stacks": {key: self_ns}, "threads": {...}}
+    where key = (span, kernel, tuple(frames)), merged across threads.
+    """
+    header = None
+    stacks = {}
+    threads = {}
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as err:
+        raise ProfileError("cannot open %s: %s" % (path, err))
+    with handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as err:
+                raise ProfileError(
+                    "%s:%d: bad JSON: %s" % (path, lineno, err))
+            kind = obj.get("type")
+            if kind == "sample_profile":
+                header = obj
+            elif kind == "sample_stack":
+                key = (obj.get("span", ""), obj.get("kernel", ""),
+                       tuple(obj.get("frames", [])))
+                stacks[key] = stacks.get(key, 0) + int(
+                    obj.get("self_ns", 0))
+            elif kind == "thread_time":
+                threads[obj.get("thread", "")] = {
+                    "busy_ns": int(obj.get("busy_ns", 0)),
+                    "queue_wait_ns": int(obj.get("queue_wait_ns", 0)),
+                    "idle_ns": int(obj.get("idle_ns", 0)),
+                }
+    if header is None:
+        raise ProfileError("%s: no sample_profile header line" % path)
+    return {"header": header, "stacks": stacks, "threads": threads}
+
+
+def diff_profiles(base, cur):
+    """Per-stack self-time deltas, regressions (cur > base) first,
+    then by absolute delta.  Returns a list of dicts."""
+    keys = set(base["stacks"]) | set(cur["stacks"])
+    rows = []
+    for key in keys:
+        b = base["stacks"].get(key, 0)
+        c = cur["stacks"].get(key, 0)
+        if b == 0 and c == 0:
+            continue
+        span, kernel, frames = key
+        rows.append({
+            "span": span,
+            "kernel": kernel,
+            "frames": list(frames),
+            "base_ns": b,
+            "cur_ns": c,
+            "delta_ns": c - b,
+        })
+    rows.sort(key=lambda r: (r["delta_ns"] <= 0, -abs(r["delta_ns"]),
+                             r["span"], r["kernel"],
+                             tuple(r["frames"])))
+    return rows
+
+
+def _stack_label(row):
+    parts = []
+    if row["span"]:
+        parts.append(row["span"])
+    if row["kernel"]:
+        parts.append("[" + row["kernel"] + "]")
+    frames = row["frames"]
+    if frames:
+        # Innermost frame first in the label; full stack available in
+        # --json output.
+        parts.append(frames[0])
+    return " ".join(parts) if parts else "??"
+
+
+def format_report(rows, base_label, cur_label, top=20):
+    lines = []
+    lines.append("sample profile diff: %s -> %s" %
+                 (base_label, cur_label))
+    total = sum(r["delta_ns"] for r in rows)
+    lines.append("net sampled self-time delta: %+0.3f ms over %d "
+                 "distinct stacks" % (total / 1e6, len(rows)))
+    shown = rows[:top] if top > 0 else rows
+    if top > 0 and len(rows) > top:
+        lines.append("top %d by |delta| (of %d):" % (top, len(rows)))
+    for row in shown:
+        lines.append("  %+10.3f ms  (%7.3f -> %7.3f)  %s" %
+                     (row["delta_ns"] / 1e6, row["base_ns"] / 1e6,
+                      row["cur_ns"] / 1e6, _stack_label(row)))
+    if not rows:
+        lines.append("  profiles are identical (zero deltas)")
+    return "\n".join(lines)
+
+
+def main(argv):
+    top = 20
+    as_json = False
+    expect_zero = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--top="):
+            try:
+                top = int(arg.split("=", 1)[1])
+            except ValueError:
+                print("profile_diff: bad --top value", file=sys.stderr)
+                return USAGE_EXIT
+        elif arg == "--json":
+            as_json = True
+        elif arg == "--expect-zero":
+            expect_zero = True
+        elif arg.startswith("--"):
+            print("profile_diff: unknown option %s" % arg,
+                  file=sys.stderr)
+            return USAGE_EXIT
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: profile_diff.py [--top=N] [--json] "
+              "[--expect-zero] BASE CURRENT", file=sys.stderr)
+        return USAGE_EXIT
+    try:
+        base = load_profile(paths[0])
+        cur = load_profile(paths[1])
+    except ProfileError as err:
+        print("profile_diff: %s" % err, file=sys.stderr)
+        return USAGE_EXIT
+    rows = diff_profiles(base, cur)
+    if as_json:
+        print(json.dumps({"base": paths[0], "current": paths[1],
+                          "deltas": rows}, indent=2, sort_keys=True))
+    else:
+        print(format_report(rows, paths[0], paths[1], top=top))
+    if expect_zero and any(r["delta_ns"] != 0 for r in rows):
+        print("profile_diff: nonzero deltas with --expect-zero",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
