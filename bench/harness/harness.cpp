@@ -8,6 +8,7 @@
 
 #include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/proc_stats.hpp"
@@ -253,6 +254,13 @@ class Runner
         if (sample_case)
             obs::resetSamplerProfile();
 
+        // And for the heap profiler: drop warmup allocations and
+        // rebase the peak so the per-case resources cover exactly the
+        // timed reps.
+        const bool heap_case = obs::heapProfilerRunning();
+        if (heap_case)
+            obs::resetHeapProfile();
+
         std::vector<double> samples;
         samples.reserve(static_cast<std::size_t>(record.reps));
         for (int r = 0; r < record.reps; ++r) {
@@ -292,6 +300,19 @@ class Runner
             if (!sample_out.empty())
                 obs::writeSampleProfile(
                     casePathFor(sample_out, def.name));
+        }
+        if (heap_case) {
+            const obs::HeapStats heap = obs::heapStatsSnapshot();
+            record.resources["alloc_bytes"] =
+                static_cast<double>(heap.allocBytes);
+            record.resources["alloc_count"] =
+                static_cast<double>(heap.allocCount);
+            record.resources["peak_heap"] =
+                static_cast<double>(heap.peakBytes);
+            const std::string heap_out = obs::heapOutPath();
+            if (!heap_out.empty())
+                obs::writeHeapProfile(
+                    casePathFor(heap_out, def.name));
         }
         if (trace_case)
             obs::writeTrace(caseTracePath(def.name));
@@ -368,6 +389,9 @@ runRegisteredCases(const RunnerOptions& opts)
     // Sampling profiler (no-op unless MRQ_SAMPLE / MRQ_SAMPLE_OUT):
     // armed once for the suite; runCase resets the aggregate per case.
     obs::startSamplerFromEnv();
+    // Heap profiler (MRQ_HEAPPROF): same suite-level arming; runCase
+    // resets the aggregate per case and fills the alloc_* resources.
+    obs::startHeapProfilerFromEnv();
 
     BenchReport report;
     report.suite = opts.suite;
@@ -402,6 +426,7 @@ runRegisteredCases(const RunnerOptions& opts)
     // Disarm before teardown (per-case profiles are already written);
     // a joinable drain thread must never reach static destruction.
     obs::stopSampler();
+    obs::stopHeapProfiler();
 
     const std::string path = !opts.outPath.empty()
                                  ? opts.outPath

@@ -5,9 +5,10 @@
  * parser for round-trip tests and in-process comparisons, plus the
  * shared TablePrinter every bench routes its stdout through.
  *
- * Schema (version 2; version-1 files — no "resources" — still parse):
+ * Schema (version 3; version-1/2 files still parse — v2 added the
+ * "resources" map, v3 added the heap-accounting keys inside it):
  *
- *   {"type": "bench", "version": 2, "suite": str,
+ *   {"type": "bench", "version": 3, "suite": str,
  *    "manifest": {"type": "manifest", "run": str, "seed": int,
  *                 "git": str, ...string extras...},
  *    "cases": [
@@ -26,10 +27,11 @@
  * everything in "values" and "metrics" is bit-identical (this is what
  * tools/bench_compare.py and the quick-tier CI gate rely on).
  * "resources" holds per-case process facts (peak RSS, hardware
- * counter totals when MRQ_PERF counted) that are machine-dependent by
- * nature, so the tools treat them like timings: noise-gated, never
- * exact.  Cases and the keys inside each map are sorted by name so
- * diffs are stable.
+ * counter totals when MRQ_PERF counted, and — when the heap
+ * interposition is linked — alloc_bytes/alloc_count/peak_heap over
+ * the timed reps) that are machine-dependent by nature, so the tools
+ * treat them like timings: noise-gated, never exact.  Cases and the
+ * keys inside each map are sorted by name so diffs are stable.
  */
 
 #ifndef MRQ_BENCH_HARNESS_REPORT_HPP
@@ -51,8 +53,9 @@ namespace bench {
 
 /** Bump when the JSON layout changes; bench_compare refuses a
  *  version it does not know.  v2 added the per-case "resources" map;
- *  v1 files still parse (resources empty). */
-inline constexpr int kBenchSchemaVersion = 2;
+ *  v3 added heap-accounting resource keys (alloc_bytes, alloc_count,
+ *  peak_heap).  Older files still parse (absent keys stay absent). */
+inline constexpr int kBenchSchemaVersion = 3;
 inline constexpr int kBenchSchemaMinVersion = 1;
 
 /** One metric value captured from a registry snapshot: counters and

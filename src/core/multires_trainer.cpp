@@ -4,6 +4,7 @@
 
 #include "nn/loss.hpp"
 #include "obs/crash_handler.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -134,8 +135,16 @@ MultiResTrainer::trainIteration(const Tensor& input, const HardLossFn& hard,
         }
     }
 
-    // One update over the summed gradients (Step 9).
-    opt_.step();
+    // One update over the summed gradients (Step 9).  Steady-state
+    // (after the first batch warmed every lazily-grown buffer) the
+    // update is in-place over existing parameter/gradient storage and
+    // must stay allocation-free — the batch-0 exemption covers
+    // first-touch growth (optimizer state, counter registration).
+    {
+        obs::AllocGuard step_guard("trainer.opt_step",
+                                   batchIndex_ > 0);
+        opt_.step();
+    }
 
     // Batch-boundary health checks.  Losses are bit-identical across
     // MRQ_THREADS (pool determinism contract) and the batch index is
@@ -170,7 +179,12 @@ MultiResTrainer::trainIterationSingle(const Tensor& input,
     model_.backward(dout);
     if (obs::inspectSampling())
         recordGradNorms(model_, cfg.name());
-    opt_.step();
+    // Same steady-state no-alloc contract as trainIteration().
+    {
+        obs::AllocGuard step_guard("trainer.opt_step",
+                                   batchIndex_ > 0);
+        opt_.step();
+    }
     const std::int64_t batch = batchIndex_++;
     watchdog_.checkLoss("trainer.single", batch, loss);
     inspector.feedWatchdog(watchdog_, batch);

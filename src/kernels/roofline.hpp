@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "kernels/isa.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 
@@ -90,10 +91,11 @@ void recordKernelElems(KernelId id, std::int64_t elems);
 /**
  * RAII op-level accounting region: wrap the whole (possibly parallel)
  * op from a serial context.  Records the shape-derived element count
- * and the region wall time under "kernel.<slug>"; while the sampler
- * runs it also publishes the kernel id as the process-wide
- * active-kernel tag so samples attribute to the family.  Disabled
- * cost: two relaxed loads and a branch.
+ * and the region wall time under "kernel.<slug>"; while the SIGPROF
+ * sampler or the heap profiler runs it also publishes the kernel id
+ * as the process-wide active-kernel tag so CPU samples and sampled
+ * allocations both attribute to the family.  Disabled cost: three
+ * relaxed loads and a branch.
  */
 class KernelRegion
 {
@@ -101,7 +103,8 @@ class KernelRegion
     KernelRegion(KernelId id, std::int64_t elems)
     {
         const bool metrics = obs::metricsEnabled();
-        if (!metrics && !obs::samplerRunning())
+        if (!metrics && !obs::samplerRunning() &&
+            !obs::heapProfilerRunning())
             return;
         id_ = id;
         tagged_ = true;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nn/module.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -113,11 +114,16 @@ class WeightQuantizer
         const SubModelConfig& cfg = ctx_->config;
         for (const CacheEntry& e : cache_) {
             if (e.config == cfg) {
+                cache_hits.add(1);
+                // Serving a cached projection is the steady-state hot
+                // path and must not allocate.  The counter bump stays
+                // outside the guard: its very first call may lazily
+                // register with the metrics registry.
+                obs::AllocGuard hit_guard("nn.proj_cache.hit");
                 // Replay the stored statistics so accounting matches a
                 // fresh projection.
                 if (ctx_->collectStats)
                     addStats(e.stats);
-                cache_hits.add(1);
                 return e.projected;
             }
         }

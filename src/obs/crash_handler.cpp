@@ -14,6 +14,7 @@
 #include "kernels/isa.hpp"
 #include "obs/env.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/manifest.hpp"
 #include "obs/sigsafe.hpp"
 #include "obs/stats_server.hpp"
@@ -276,6 +277,32 @@ writeDump(int fd, const char* reason, int sig, const void* addr,
 {
     std::size_t lines =
         writeDumpPrefix(fd, reason, sig, addr, exception_type);
+    if (heapInterpositionActive()) {
+        // Heap digest: relaxed atomic loads only (handler-safe), so a
+        // crash mid-allocation still reports coherent-enough totals.
+        const detail::HeapDumpCounters h = detail::heapDumpCounters();
+        char hline[384];
+        sigsafe::Buf out{hline, sizeof hline};
+        out.put("{\"type\": \"heap\", \"current_bytes\": ");
+        out.putInt(h.currentBytes);
+        out.put(", \"peak_bytes\": ");
+        out.putInt(h.peakBytes);
+        out.put(", \"alloc_count\": ");
+        out.putInt(h.allocCount);
+        out.put(", \"alloc_bytes\": ");
+        out.putInt(h.allocBytes);
+        out.put(", \"free_count\": ");
+        out.putInt(h.freeCount);
+        out.put(", \"free_bytes\": ");
+        out.putInt(h.freeBytes);
+        out.put(", \"samples\": ");
+        out.putInt(h.samples);
+        out.put(", \"guard_violations\": ");
+        out.putInt(h.guardViolations);
+        out.put("}\n");
+        if (sigsafe::writeAll(fd, out))
+            ++lines;
+    }
     const std::size_t frames = writeBacktrace(fd);
     lines += frames;
     const std::size_t events = flightDrain(fd);

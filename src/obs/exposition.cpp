@@ -140,6 +140,10 @@ collectStatsSnapshot()
     s.profilerRunning = samplerRunning();
     s.profilerSamples = samplerSampleCount();
     s.profilerDropped = samplerDroppedSamples();
+    s.heapInterposed = heapInterpositionActive();
+    s.heapProfilerRunning = heapProfilerRunning();
+    s.heap = heapStatsSnapshot();
+    s.heapChurn = heapThreadChurn();
     return s;
 }
 
@@ -252,6 +256,55 @@ renderPrometheus(const StatsSnapshot& s)
                     "state=\"idle\"} %.9f\n",
                     name.c_str(),
                     static_cast<double>(t.idleNs) * 1e-9);
+        }
+    }
+
+    // Heap accounting (replacement operator new/delete).
+    appendf(out, "# TYPE mrq_heap_interposed gauge\n");
+    appendf(out, "mrq_heap_interposed %d\n", s.heapInterposed ? 1 : 0);
+    appendf(out, "# TYPE mrq_heap_profiler_running gauge\n");
+    appendf(out, "mrq_heap_profiler_running %d\n",
+            s.heapProfilerRunning ? 1 : 0);
+    appendf(out, "# TYPE mrq_heap_current_bytes gauge\n");
+    appendf(out, "mrq_heap_current_bytes %" PRId64 "\n",
+            s.heap.currentBytes);
+    appendf(out, "# TYPE mrq_heap_peak_bytes gauge\n");
+    appendf(out, "mrq_heap_peak_bytes %" PRId64 "\n", s.heap.peakBytes);
+    appendf(out, "# TYPE mrq_heap_alloc_total counter\n");
+    appendf(out, "mrq_heap_alloc_total %" PRId64 "\n",
+            s.heap.allocCount);
+    appendf(out, "# TYPE mrq_heap_alloc_bytes_total counter\n");
+    appendf(out, "mrq_heap_alloc_bytes_total %" PRId64 "\n",
+            s.heap.allocBytes);
+    appendf(out, "# TYPE mrq_heap_free_total counter\n");
+    appendf(out, "mrq_heap_free_total %" PRId64 "\n", s.heap.freeCount);
+    appendf(out, "# TYPE mrq_heap_samples_total counter\n");
+    appendf(out, "mrq_heap_samples_total %" PRId64 "\n", s.heap.samples);
+    appendf(out, "# TYPE mrq_heap_guard_violations_total counter\n");
+    appendf(out, "mrq_heap_guard_violations_total %" PRId64 "\n",
+            s.heap.guardViolations);
+    if (s.heap.allocCount > 0) {
+        appendf(out, "# TYPE mrq_heap_alloc_size_class_total counter\n");
+        for (std::size_t k = 0; k < kHeapSizeClasses; ++k)
+            if (s.heap.sizeClass[k] > 0)
+                appendf(out,
+                        "mrq_heap_alloc_size_class_total{le_log2=\"%zu\"}"
+                        " %" PRId64 "\n",
+                        k, s.heap.sizeClass[k]);
+    }
+    if (!s.heapChurn.empty()) {
+        appendf(out, "# TYPE mrq_heap_thread_alloc_bytes_total counter\n");
+        appendf(out, "# TYPE mrq_heap_thread_alloc_total counter\n");
+        for (const HeapThreadChurn& t : s.heapChurn) {
+            const std::string name = escaped(t.name);
+            appendf(out,
+                    "mrq_heap_thread_alloc_bytes_total{thread=\"%s\"} "
+                    "%" PRId64 "\n",
+                    name.c_str(), t.allocBytes);
+            appendf(out,
+                    "mrq_heap_thread_alloc_total{thread=\"%s\"} %" PRId64
+                    "\n",
+                    name.c_str(), t.allocCount);
         }
     }
 
@@ -384,6 +437,32 @@ renderStatsJson(const StatsSnapshot& s)
             ",\"dropped\":%" PRId64 "}",
             s.profilerRunning ? "true" : "false", s.profilerSamples,
             s.profilerDropped);
+    appendf(out,
+            ",\"heap\":{\"interposed\":%s,\"running\":%s,"
+            "\"current_bytes\":%" PRId64 ",\"peak_bytes\":%" PRId64
+            ",\"alloc_count\":%" PRId64 ",\"alloc_bytes\":%" PRId64
+            ",\"free_count\":%" PRId64 ",\"free_bytes\":%" PRId64
+            ",\"samples\":%" PRId64 ",\"sampled_bytes\":%" PRId64
+            ",\"guard_violations\":%" PRId64,
+            s.heapInterposed ? "true" : "false",
+            s.heapProfilerRunning ? "true" : "false",
+            s.heap.currentBytes, s.heap.peakBytes, s.heap.allocCount,
+            s.heap.allocBytes, s.heap.freeCount, s.heap.freeBytes,
+            s.heap.samples, s.heap.sampledBytes,
+            s.heap.guardViolations);
+    out += ",\"size_class\":[";
+    for (std::size_t k = 0; k < kHeapSizeClasses; ++k)
+        appendf(out, "%s%" PRId64, k ? "," : "", s.heap.sizeClass[k]);
+    out += "],\"threads\":{";
+    for (std::size_t i = 0; i < s.heapChurn.size(); ++i) {
+        const HeapThreadChurn& t = s.heapChurn[i];
+        appendf(out,
+                "%s\"%s\":{\"alloc_bytes\":%" PRId64
+                ",\"alloc_count\":%" PRId64 "}",
+                i ? "," : "", escaped(t.name).c_str(), t.allocBytes,
+                t.allocCount);
+    }
+    out += "}}";
     appendf(out,
             ",\"peak_flops_per_cycle\":%.1f,\"alerts\":%zu,"
             "\"trace_dropped\":%" PRId64 "}",

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "kernels/isa.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
 #include "obs/proc_stats.hpp"
@@ -41,8 +42,10 @@
 namespace mrq {
 namespace obs {
 
-/** Schema version of the JSON snapshot (tools/check_stats_schema.py). */
-constexpr int kStatsSchemaVersion = 1;
+/** Schema version of the JSON snapshot (tools/check_stats_schema.py).
+ *  v2 added the "heap" object (heap-profiler totals + per-thread
+ *  churn); consumers of v1 fields are unaffected. */
+constexpr int kStatsSchemaVersion = 2;
 
 /** One coherent view of every live telemetry source. */
 struct StatsSnapshot
@@ -61,6 +64,13 @@ struct StatsSnapshot
     bool profilerRunning = false;        ///< SIGPROF timer armed.
     std::int64_t profilerSamples = 0;    ///< Stack samples captured.
     std::int64_t profilerDropped = 0;    ///< Samples lost (full ring).
+    /** Heap accounting (obs/heap_profiler.hpp).  The counter totals
+     *  are live whenever the interposition is linked and any consumer
+     *  armed them; all-zero otherwise. */
+    bool heapInterposed = false;     ///< Replacement operators linked.
+    bool heapProfilerRunning = false; ///< Byte-interval sampler armed.
+    HeapStats heap;
+    std::vector<HeapThreadChurn> heapChurn;
 };
 
 /** Collect a snapshot of every source (never writes the registry). */

@@ -8,6 +8,7 @@
 #include "kernels/isa.hpp"
 #include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/inspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
@@ -199,6 +200,8 @@ RunScope::RunScope(RunManifest manifest, bool verbose)
     // already-running (e.g. armed by an outer scope or the bench
     // harness) just keeps running.
     startSamplerFromEnv();
+    // Heap profiler (MRQ_HEAPPROF / MRQ_HEAPPROF_OUT): same contract.
+    startHeapProfilerFromEnv();
 }
 
 void
@@ -233,6 +236,12 @@ RunScope::flush()
         // path splits per run via "{run}".
         if (!flushSampleProfile(manifest_.run))
             sinkLost("sample profile", manifest_.run);
+    }
+    if (heapProfilerEnabledFromEnv()) {
+        // Cumulative like the sample profile; "{run}" in the path
+        // splits per run.
+        if (!flushHeapProfile(manifest_.run))
+            sinkLost("heap profile", manifest_.run);
     }
     QuantInspector& inspector = QuantInspector::instance();
     if (inspector.enabled()) {

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Replacement global operator new/delete set feeding the heap
+ * profiler (obs/heap_profiler.hpp).
+ *
+ * Because libmrq is a static archive and every C++ object file
+ * references operator new, the linker pulls this TU into any binary
+ * linking mrq ahead of libstdc++'s definitions — no LD_PRELOAD, no
+ * link-order tricks.  A static initializer flips
+ * detail::g_heap_interposed so runtime consumers (tests, the bench
+ * harness resources map) know heap accounting is real.
+ *
+ * src/CMakeLists.txt drops this TU under -fsanitize builds: ASan and
+ * TSan ship their own operator new and the two must never collide;
+ * the flag then stays false and consumers skip gracefully.
+ *
+ * Semantics follow the standard replacement contract: the throwing
+ * forms loop through std::get_new_handler() before throwing
+ * std::bad_alloc; the nothrow forms return nullptr; all frees funnel
+ * into std::free (glibc's free handles posix_memalign blocks).  The
+ * hooks run outside the failure paths and cost one relaxed load + a
+ * branch while nothing is armed.
+ */
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/heap_profiler.hpp"
+
+namespace {
+
+struct InterposedMarker
+{
+    InterposedMarker()
+    {
+        mrq::obs::detail::g_heap_interposed.store(
+            true, std::memory_order_relaxed);
+    }
+} g_interposed_marker;
+
+void*
+allocRetry(std::size_t size) noexcept
+{
+    if (size == 0)
+        size = 1;
+    for (;;) {
+        void* p = std::malloc(size);
+        if (p != nullptr)
+            return p;
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr)
+            return nullptr;
+        handler();
+    }
+}
+
+void*
+allocAlignedRetry(std::size_t size, std::size_t align) noexcept
+{
+    if (size == 0)
+        size = 1;
+    if (align < sizeof(void*))
+        align = sizeof(void*);
+    for (;;) {
+        void* p = nullptr;
+        if (posix_memalign(&p, align, size) == 0)
+            return p;
+        std::new_handler handler = std::get_new_handler();
+        if (handler == nullptr)
+            return nullptr;
+        handler();
+    }
+}
+
+} // namespace
+
+void*
+operator new(std::size_t size)
+{
+    void* p = allocRetry(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new[](std::size_t size)
+{
+    void* p = allocRetry(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    void* p = allocRetry(size);
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new[](std::size_t size, const std::nothrow_t&) noexcept
+{
+    void* p = allocRetry(size);
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align)
+{
+    void* p =
+        allocAlignedRetry(size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void* p =
+        allocAlignedRetry(size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t&) noexcept
+{
+    void* p =
+        allocAlignedRetry(size, static_cast<std::size_t>(align));
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t&) noexcept
+{
+    void* p =
+        allocAlignedRetry(size, static_cast<std::size_t>(align));
+    mrq::obs::detail::heapOnAlloc(p, size);
+    return p;
+}
+
+void
+operator delete(void* p) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    mrq::obs::detail::heapOnFree(p);
+    std::free(p);
+}

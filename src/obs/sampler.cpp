@@ -875,6 +875,12 @@ resetThreadTime()
     }
 }
 
+std::string
+symbolizePc(std::uintptr_t pc)
+{
+    return symbolize(pc);
+}
+
 // ---- Signal interplay / test hooks --------------------------------
 
 void

@@ -196,6 +196,12 @@ std::vector<ThreadTime> threadTimeBreakdown();
  *  this too). */
 void resetThreadTime();
 
+/** Demangled symbol name for @p pc via dladdr ("0x..." when the PC
+ *  has no dynamic symbol), served from the sampler's PC -> symbol
+ *  cache.  Emission context only (allocates, locks); shared by the
+ *  heap profiler (obs/heap_profiler.hpp). */
+std::string symbolizePc(std::uintptr_t pc);
+
 // ---- Signal interplay / test hooks --------------------------------
 
 /** Block SIGPROF in the calling thread so it is never sampled (drain

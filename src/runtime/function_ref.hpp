@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Non-owning callable reference for synchronous dispatch.
+ *
+ * std::function is the wrong vehicle for the thread pool's hot path:
+ * its small-buffer optimization holds only ~16 bytes on libstdc++,
+ * so every capture-heavy parallelFor body heap-allocates at dispatch
+ * — which both costs time in the steady-state training loop and
+ * makes "this path must not allocate" (obs::AllocGuard) unprovable
+ * for any code that fans out through the pool.
+ *
+ * FunctionRef is two raw pointers (erased object + invoker thunk),
+ * trivially copyable, and never allocates.  It does NOT own the
+ * callable: the referenced object must outlive every call.  That
+ * contract holds trivially for the pool, whose run() blocks until
+ * all chunks complete, so the caller's lambda frame is live for the
+ * whole dispatch.  Do not store a FunctionRef beyond the call that
+ * received it.
+ */
+
+#ifndef MRQ_RUNTIME_FUNCTION_REF_HPP
+#define MRQ_RUNTIME_FUNCTION_REF_HPP
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mrq {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    /** Null reference; calling it is undefined (check with bool). */
+    constexpr FunctionRef() = default;
+
+    /** Bind to any callable; @p f must outlive every invocation. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>,
+                                  FunctionRef> &&
+                  std::is_invocable_r_v<R, F&, Args...>>>
+    FunctionRef(F&& f) // NOLINT: implicit by design (lambda at call site)
+        : obj_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(
+                  obj))(std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return call_ != nullptr; }
+
+  private:
+    void* obj_ = nullptr;
+    R (*call_)(void*, Args...) = nullptr;
+};
+
+} // namespace mrq
+
+#endif // MRQ_RUNTIME_FUNCTION_REF_HPP

@@ -7,6 +7,7 @@
 #include "obs/crash_handler.hpp"
 #include "obs/env.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -118,7 +119,7 @@ ThreadPool::resize(std::size_t threads)
 
 void
 ThreadPool::runInline(std::size_t num_chunks,
-                      const std::function<void(std::size_t)>& body)
+                      FunctionRef<void(std::size_t)> body)
 {
     const int chunk_path = chunkEventPathId();
     for (std::size_t c = 0; c < num_chunks; ++c) {
@@ -132,7 +133,7 @@ ThreadPool::runInline(std::size_t num_chunks,
 
 void
 ThreadPool::run(std::size_t num_chunks,
-                const std::function<void(std::size_t)>& body)
+                FunctionRef<void(std::size_t)> body)
 {
     if (num_chunks == 0)
         return;
@@ -156,9 +157,11 @@ ThreadPool::run(std::size_t num_chunks,
     const int trace_path_id = obs::currentTracePathId();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        job_ = &body;
+        job_ = body;
         jobChunks_ = num_chunks;
         jobTracePathId_ = trace_path_id;
+        jobGuardDepth_ = obs::currentAllocGuardDepth();
+        jobGuardSite_ = obs::currentAllocGuardSite();
         jobPublishNs_ = stamp_publish ? obs::nowNs() : 0;
         doneCount_ = 0;
         error_ = nullptr;
@@ -193,9 +196,11 @@ ThreadPool::run(std::size_t num_chunks,
 
     std::unique_lock<std::mutex> lock(mutex_);
     doneCv_.wait(lock, [&] { return doneCount_ == threads_ - 1; });
-    job_ = nullptr;
+    job_ = FunctionRef<void(std::size_t)>();
     jobChunks_ = 0;
     jobTracePathId_ = 0;
+    jobGuardDepth_ = 0;
+    jobGuardSite_ = nullptr;
     if (error_) {
         std::exception_ptr err = error_;
         error_ = nullptr;
@@ -215,9 +220,11 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
     obs::setCurrentThreadName(name);
     obs::noteThreadState(obs::ThreadState::Idle);
     for (;;) {
-        const std::function<void(std::size_t)>* body = nullptr;
+        FunctionRef<void(std::size_t)> body;
         std::size_t chunks = 0;
         int trace_path_id = 0;
+        int guard_depth = 0;
+        const char* guard_site = nullptr;
         std::int64_t publish_ns = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -228,6 +235,8 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
             body = job_;
             chunks = jobChunks_;
             trace_path_id = jobTracePathId_;
+            guard_depth = jobGuardDepth_;
+            guard_site = jobGuardSite_;
             publish_ns = jobPublishNs_;
         }
 
@@ -241,13 +250,15 @@ ThreadPool::workerLoop(std::size_t index, std::uint64_t seen)
         const std::int64_t busy0 = obs_on ? obs::nowNs() : 0;
         {
             obs::InheritedTracePath trace_guard(trace_path_id);
+            obs::InheritedAllocGuard alloc_guard(guard_depth,
+                                                 guard_site);
             const int chunk_path = chunkEventPathId();
             t_inside_parallel = true;
             for (std::size_t c = index; c < chunks; c += threads_) {
                 const std::int64_t c0 =
                     chunk_path != 0 ? obs::nowNs() : 0;
                 try {
-                    (*body)(c);
+                    body(c);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(mutex_);
                     if (!error_)

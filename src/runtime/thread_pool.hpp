@@ -26,15 +26,18 @@
 #define MRQ_RUNTIME_THREAD_POOL_HPP
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "runtime/function_ref.hpp"
 
 namespace mrq {
 
@@ -66,9 +69,12 @@ class ThreadPool
      * Exceptions thrown by chunk bodies are rethrown on the caller
      * (first one wins).  Runs inline when the pool has one thread,
      * there is one chunk, or the caller is itself a pool worker.
+     * @p body is a non-owning reference (dispatch never allocates);
+     * run() returns only after every chunk completed, so binding a
+     * caller-frame lambda is always safe.
      */
     void run(std::size_t num_chunks,
-             const std::function<void(std::size_t)>& body);
+             FunctionRef<void(std::size_t)> body);
 
   private:
     ThreadPool();
@@ -77,7 +83,7 @@ class ThreadPool
     void stopWorkers();
     void workerLoop(std::size_t index, std::uint64_t seen);
     void runInline(std::size_t num_chunks,
-                   const std::function<void(std::size_t)>& body);
+                   FunctionRef<void(std::size_t)> body);
 
     std::size_t threads_ = 1;
     std::vector<std::thread> workers_;
@@ -85,11 +91,15 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable jobCv_;
     std::condition_variable doneCv_;
-    const std::function<void(std::size_t)>* job_ = nullptr;
+    FunctionRef<void(std::size_t)> job_;
     std::size_t jobChunks_ = 0;
     /** Caller's interned span-path id at dispatch (workers inherit
      *  it); 0 when tracing is off or no span is open. */
     int jobTracePathId_ = 0;
+    /** Caller's no-alloc guard depth + innermost site at dispatch;
+     *  workers enforce (not report) it for the job's chunks. */
+    int jobGuardDepth_ = 0;
+    const char* jobGuardSite_ = nullptr;
     /** steady_clock ns at job publish (queue-wait accounting). */
     std::int64_t jobPublishNs_ = 0;
     std::uint64_t jobSeq_ = 0;
@@ -127,11 +137,13 @@ parallelGrain(std::size_t work_per_index)
  * Parallel loop over [0, n) in chunks of @p grain indices: calls
  * body(begin, end) once per chunk.  The body must write only state
  * disjoint between chunks; under that contract results are
- * bit-identical at any thread count.
+ * bit-identical at any thread count.  The body is passed by
+ * non-owning reference — dispatching a capture-heavy lambda does not
+ * heap-allocate, so loops under an obs::AllocGuard stay clean.
  */
 inline void
 parallelFor(std::size_t n, std::size_t grain,
-            const std::function<void(std::size_t, std::size_t)>& body)
+            FunctionRef<void(std::size_t, std::size_t)> body)
 {
     if (n == 0)
         return;
@@ -166,6 +178,21 @@ parallelReduce(std::size_t n, std::size_t grain, T identity, MapFn map,
     const std::size_t chunks = parallelChunks(n, g);
     if (chunks == 1)
         return combine(std::move(identity), map(std::size_t{0}, n));
+    // Small reductions (every steady-state training-loop site: grad
+    // norms, clip scans) keep their partials on the stack so the
+    // whole fan-out is allocation-free under an obs::AllocGuard; only
+    // outsized chunk counts fall back to the heap.
+    constexpr std::size_t kInlinePartials = 32;
+    if (chunks <= kInlinePartials) {
+        std::array<std::optional<T>, kInlinePartials> partials;
+        ThreadPool::instance().run(chunks, [&](std::size_t c) {
+            partials[c].emplace(map(c * g, std::min(n, (c + 1) * g)));
+        });
+        T acc = std::move(identity);
+        for (std::size_t c = 0; c < chunks; ++c)
+            acc = combine(std::move(acc), std::move(*partials[c]));
+        return acc;
+    }
     std::vector<T> partials(chunks, identity);
     ThreadPool::instance().run(chunks, [&](std::size_t c) {
         partials[c] = map(c * g, std::min(n, (c + 1) * g));

@@ -166,6 +166,72 @@ TEST(BenchReportTest, JsonRoundTripPreservesEverything)
     EXPECT_EQ(parsed.toJson(), json);
 }
 
+TEST(BenchReportTest, ResourcesRoundTripCarriesHeapKeys)
+{
+    BenchReport report = makeSampleReport();
+    CaseRecord& rec = report.cases[0];
+    rec.resources["alloc_bytes"] = 1048576.0;
+    rec.resources["alloc_count"] = 42.0;
+    rec.resources["peak_heap"] = 2097152.0;
+    rec.resources["peak_rss_kb"] = 9000.0;
+
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"alloc_bytes\""), std::string::npos);
+
+    BenchReport parsed;
+    std::string error;
+    ASSERT_TRUE(parseBenchReport(json, &parsed, &error)) << error;
+    ASSERT_EQ(parsed.cases.size(), 1u);
+    const auto& res = parsed.cases[0].resources;
+    EXPECT_DOUBLE_EQ(res.at("alloc_bytes"), 1048576.0);
+    EXPECT_DOUBLE_EQ(res.at("alloc_count"), 42.0);
+    EXPECT_DOUBLE_EQ(res.at("peak_heap"), 2097152.0);
+    EXPECT_DOUBLE_EQ(res.at("peak_rss_kb"), 9000.0);
+    EXPECT_EQ(parsed.toJson(), json);
+}
+
+TEST(BenchReportTest, ParserToleratesOlderVersionsAndAbsentFields)
+{
+    // A v2 document (no heap keys) and a v1 document (no resources
+    // at all) both parse: committed baselines survive schema bumps,
+    // and absent keys surface as an empty map, never an error.
+    const char* v2 =
+        "{\"type\": \"bench\", \"version\": 2, \"suite\": \"unit\",\n"
+        " \"manifest\": {\"type\": \"manifest\", \"run\": \"r\", "
+        "\"seed\": 0, \"git\": \"d\"},\n"
+        " \"cases\": [{\"name\": \"c\", \"reps\": 1, \"warmup\": 0,\n"
+        "   \"failed\": false,\n"
+        "   \"wall_ms\": {\"count\": 1, \"median\": 1.0, \"mad\": 0.0,"
+        " \"min\": 1.0, \"max\": 1.0, \"mean\": 1.0, \"outliers\": 0},"
+        "\n"
+        "   \"values\": {}, \"timing_values\": {}, \"metrics\": {},\n"
+        "   \"resources\": {\"peak_rss_kb\": 512}}]}\n";
+    BenchReport parsed;
+    std::string error;
+    ASSERT_TRUE(parseBenchReport(v2, &parsed, &error)) << error;
+    ASSERT_EQ(parsed.cases.size(), 1u);
+    EXPECT_DOUBLE_EQ(parsed.cases[0].resources.at("peak_rss_kb"),
+                     512.0);
+    EXPECT_EQ(parsed.cases[0].resources.count("alloc_bytes"), 0u);
+
+    const char* v1 =
+        "{\"type\": \"bench\", \"version\": 1, \"suite\": \"unit\",\n"
+        " \"manifest\": {\"type\": \"manifest\", \"run\": \"r\", "
+        "\"seed\": 0, \"git\": \"d\"},\n"
+        " \"cases\": [{\"name\": \"c\", \"reps\": 1, \"warmup\": 0,\n"
+        "   \"failed\": false,\n"
+        "   \"wall_ms\": {\"count\": 1, \"median\": 1.0, \"mad\": 0.0,"
+        " \"min\": 1.0, \"max\": 1.0, \"mean\": 1.0, \"outliers\": 0},"
+        "\n"
+        "   \"values\": {}, \"timing_values\": {}, \"metrics\": {}}]}"
+        "\n";
+    BenchReport old;
+    ASSERT_TRUE(parseBenchReport(v1, &old, &error)) << error;
+    ASSERT_EQ(old.cases.size(), 1u);
+    EXPECT_TRUE(old.cases[0].resources.empty());
+}
+
 TEST(BenchReportTest, ParserRejectsMalformedInput)
 {
     BenchReport out;
@@ -357,6 +423,78 @@ TEST(BenchCompare, ExitCodesOnIdenticalAndPerturbedRuns)
                            worse + quiet)
                               .c_str()),
               0);
+}
+
+TEST(BenchCompare, CheckResourcesGatesHeapGrowthButNotAbsence)
+{
+    if (std::system("python3 --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "python3 not available";
+    const std::string tool =
+        std::string(MRQ_SOURCE_DIR) + "/tools/bench_compare.py";
+
+    const std::string base = tempPath("bench_cmp_res_base.json");
+    const std::string grown = tempPath("bench_cmp_res_grown.json");
+    const std::string absent = tempPath("bench_cmp_res_absent.json");
+
+    BenchReport report = makeSampleReport();
+    report.cases[0].resources["alloc_bytes"] = 1000.0;
+    ASSERT_TRUE(report.write(base));
+    // 3x growth trips the default 2x noise gate...
+    report.cases[0].resources["alloc_bytes"] = 3000.0;
+    ASSERT_TRUE(report.write(grown));
+    // ...but a run without heap accounting (sanitizer build, profiler
+    // off) only notes the absent key.
+    report.cases[0].resources.clear();
+    ASSERT_TRUE(report.write(absent));
+
+    const std::string quiet = " > /dev/null 2>&1";
+    const std::string flags = " --check-resources ";
+    EXPECT_EQ(std::system(("python3 " + tool + flags + base + " " +
+                           base + quiet)
+                              .c_str()),
+              0);
+    EXPECT_NE(std::system(("python3 " + tool + flags + base + " " +
+                           grown + quiet)
+                              .c_str()),
+              0);
+    EXPECT_EQ(std::system(("python3 " + tool + flags + base + " " +
+                           absent + quiet)
+                              .c_str()),
+              0);
+}
+
+TEST(BenchCompare, TruncatedProfileDowngradesToDiagnostic)
+{
+    // profile_diff.py and heap_diff.py must exit 2 with a diagnostic
+    // (not a traceback) on empty or truncated inputs; bench_compare
+    // treats that as "attribution unavailable", not a gate failure.
+    if (std::system("python3 --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "python3 not available";
+    const std::string dir = std::string(::testing::TempDir());
+    const std::string empty = dir + "bench_cmp_empty.jsonl";
+    const std::string truncated = dir + "bench_cmp_truncated.jsonl";
+    { std::ofstream out(empty); }
+    {
+        std::ofstream out(truncated);
+        out << "{\"type\": \"alloc_stack\", \"span\": \"\", "
+               "\"kernel\": \"\", \"bytes\": 1, \"count\": 1, "
+               "\"frames\": []}\n";
+    }
+    for (const char* tool : {"profile_diff.py", "heap_diff.py"}) {
+        const std::string path =
+            std::string(MRQ_SOURCE_DIR) + "/tools/" + tool;
+        for (const std::string& bad : {empty, truncated}) {
+            const int rc = std::system(("python3 " + path + " " + bad +
+                                        " " + bad +
+                                        " > /dev/null 2>&1")
+                                           .c_str());
+            ASSERT_TRUE(WIFEXITED(rc)) << tool;
+            EXPECT_EQ(WEXITSTATUS(rc), 2)
+                << tool << " on " << bad
+                << ": want the documented usage/parse exit, not a "
+                   "traceback (1)";
+        }
+    }
 }
 
 } // namespace

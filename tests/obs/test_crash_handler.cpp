@@ -7,10 +7,13 @@
  * and the dump the child left behind is validated against
  * tools/check_postmortem_schema.py.
  *
- * The global counting operator new underpins the
- * HandlerPathAllocatesNoHeap test: writePostmortemNow() must not
- * touch the heap, per the async-signal-safety contract documented in
- * obs/crash_handler.hpp.
+ * The interposed operator new (obs/new_delete.cpp, pulled from the
+ * archive) underpins the HandlerPathAllocatesNoHeap test:
+ * writePostmortemNow() must not touch the heap, per the
+ * async-signal-safety contract documented in obs/crash_handler.hpp.
+ * This TU must NOT define its own counting operator new — a directly
+ * linked definition would satisfy the linker before the archive
+ * member and silently disable heap interposition binary-wide.
  */
 
 #include <gtest/gtest.h>
@@ -29,6 +32,7 @@
 
 #include "obs/crash_handler.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/heap_profiler.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 
@@ -40,82 +44,6 @@ namespace {
 
 using namespace mrq;
 namespace fs = std::filesystem;
-
-// ---- Counting allocator -------------------------------------------
-
-std::atomic<long long> g_news{0};
-
-} // namespace
-
-void*
-operator new(std::size_t n)
-{
-    g_news.fetch_add(1, std::memory_order_relaxed);
-    if (void* p = std::malloc(n ? n : 1))
-        return p;
-    throw std::bad_alloc();
-}
-
-void*
-operator new[](std::size_t n)
-{
-    return ::operator new(n);
-}
-
-// The nothrow forms must be replaced alongside the throwing ones:
-// libstdc++'s get_temporary_buffer allocates through new(nothrow),
-// and leaving it to the default allocator while delete goes through
-// free() is an alloc/dealloc mismatch under ASan.
-void*
-operator new(std::size_t n, const std::nothrow_t&) noexcept
-{
-    g_news.fetch_add(1, std::memory_order_relaxed);
-    return std::malloc(n ? n : 1);
-}
-
-void*
-operator new[](std::size_t n, const std::nothrow_t& tag) noexcept
-{
-    return ::operator new(n, tag);
-}
-
-void
-operator delete(void* p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void* p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void* p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void* p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void* p, const std::nothrow_t&) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void* p, const std::nothrow_t&) noexcept
-{
-    std::free(p);
-}
-
-namespace {
 
 bool
 pythonAvailable()
@@ -354,18 +282,25 @@ TEST_F(CrashHandlerTest, Usr1OnDemandDumpInProcess)
 
 TEST_F(CrashHandlerTest, HandlerPathAllocatesNoHeap)
 {
+    if (!obs::heapInterpositionActive())
+        GTEST_SKIP() << "replacement operators not linked";
     obs::CrashHandlerConfig cfg;
     ASSERT_TRUE(obs::installCrashHandlers(cfg));
     const bool prev = obs::setFlightEnabled(true);
     obs::flightMark("unit.noheap", 1);
     const int fd = ::open("/dev/null", O_WRONLY);
     ASSERT_GE(fd, 0);
+    // Arm the heap counters at the maximum sampling interval: every
+    // operator-new call increments allocCount, (almost) none get the
+    // expensive sampled-stack treatment.
+    ASSERT_TRUE(obs::startHeapProfiler(1LL << 30));
     // Warm every lazy path once (first backtrace in this stack shape,
     // first dladdr over these objects), then measure.
     (void)obs::writePostmortemNow(fd, "usr1");
-    const long long before = g_news.load(std::memory_order_relaxed);
+    const long long before = obs::heapStatsSnapshot().allocCount;
     const std::size_t lines = obs::writePostmortemNow(fd, "usr1");
-    const long long after = g_news.load(std::memory_order_relaxed);
+    const long long after = obs::heapStatsSnapshot().allocCount;
+    obs::stopHeapProfiler();
     ::close(fd);
     obs::setFlightEnabled(prev);
     EXPECT_GT(lines, 2u);

@@ -70,6 +70,24 @@ goldenSnapshot()
     s.profilerRunning = true;
     s.profilerSamples = 9;
     s.profilerDropped = 1;
+
+    s.heapInterposed = true;
+    s.heapProfilerRunning = true;
+    s.heap.currentBytes = 4096;
+    s.heap.peakBytes = 8192;
+    s.heap.allocCount = 10;
+    s.heap.allocBytes = 16384;
+    s.heap.freeCount = 4;
+    s.heap.freeBytes = 8192;
+    s.heap.samples = 2;
+    s.heap.sampledBytes = 1048576;
+    s.heap.guardViolations = 1;
+    s.heap.sizeClass[6] = 10;
+    obs::HeapThreadChurn hc;
+    hc.name = "main";
+    hc.allocBytes = 16384;
+    hc.allocCount = 10;
+    s.heapChurn.push_back(hc);
     return s;
 }
 
@@ -115,6 +133,30 @@ TEST(Exposition, PrometheusGolden)
         "state=\"queue_wait\"} 0.250000000\n"
         "mrq_thread_time_seconds_total{thread=\"mrq-pool-0\","
         "state=\"idle\"} 0.003000000\n"
+        "# TYPE mrq_heap_interposed gauge\n"
+        "mrq_heap_interposed 1\n"
+        "# TYPE mrq_heap_profiler_running gauge\n"
+        "mrq_heap_profiler_running 1\n"
+        "# TYPE mrq_heap_current_bytes gauge\n"
+        "mrq_heap_current_bytes 4096\n"
+        "# TYPE mrq_heap_peak_bytes gauge\n"
+        "mrq_heap_peak_bytes 8192\n"
+        "# TYPE mrq_heap_alloc_total counter\n"
+        "mrq_heap_alloc_total 10\n"
+        "# TYPE mrq_heap_alloc_bytes_total counter\n"
+        "mrq_heap_alloc_bytes_total 16384\n"
+        "# TYPE mrq_heap_free_total counter\n"
+        "mrq_heap_free_total 4\n"
+        "# TYPE mrq_heap_samples_total counter\n"
+        "mrq_heap_samples_total 2\n"
+        "# TYPE mrq_heap_guard_violations_total counter\n"
+        "mrq_heap_guard_violations_total 1\n"
+        "# TYPE mrq_heap_alloc_size_class_total counter\n"
+        "mrq_heap_alloc_size_class_total{le_log2=\"6\"} 10\n"
+        "# TYPE mrq_heap_thread_alloc_bytes_total counter\n"
+        "# TYPE mrq_heap_thread_alloc_total counter\n"
+        "mrq_heap_thread_alloc_bytes_total{thread=\"main\"} 16384\n"
+        "mrq_heap_thread_alloc_total{thread=\"main\"} 10\n"
         "# TYPE mrq_perf_cycles_total counter\n"
         "# TYPE mrq_perf_instructions_total counter\n"
         "# TYPE mrq_perf_cache_misses_total counter\n"
@@ -143,7 +185,7 @@ TEST(Exposition, JsonGolden)
 {
     const std::string got = obs::renderStatsJson(goldenSnapshot());
     const std::string want =
-        "{\"version\":1,\"isa\":\"generic\",\"samples\":7,"
+        "{\"version\":2,\"isa\":\"generic\",\"samples\":7,"
         "\"thread_names\":[\"main\",\"mrq-stats\"],"
         "\"proc\":{\"rss_kb\":-1,\"peak_rss_kb\":-1,\"threads\":-1,"
         "\"cpu_seconds\":-1.000000},"
@@ -162,6 +204,15 @@ TEST(Exposition, JsonGolden)
         "\"thread_time\":{\"mrq-pool-0\":{\"busy_ns\":1500000000,"
         "\"queue_wait_ns\":250000000,\"idle_ns\":3000000}},"
         "\"sampler\":{\"running\":true,\"samples\":9,\"dropped\":1},"
+        "\"heap\":{\"interposed\":true,\"running\":true,"
+        "\"current_bytes\":4096,\"peak_bytes\":8192,"
+        "\"alloc_count\":10,\"alloc_bytes\":16384,\"free_count\":4,"
+        "\"free_bytes\":8192,\"samples\":2,\"sampled_bytes\":1048576,"
+        "\"guard_violations\":1,"
+        "\"size_class\":[0,0,0,0,0,0,10,0,0,0,0,0,0,0,0,0,0,0,0,0,0,"
+        "0,0,0,0,0,0,0,0,0,0,0],"
+        "\"threads\":{\"main\":{\"alloc_bytes\":16384,"
+        "\"alloc_count\":10}}},"
         "\"peak_flops_per_cycle\":2.0,\"alerts\":1,"
         "\"trace_dropped\":5}";
     EXPECT_EQ(got, want);

@@ -174,7 +174,7 @@ TEST(StatsServer, SocketRoundTripBothFormats)
     ASSERT_FALSE(json.empty());
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
-    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"version\":2"), std::string::npos);
     EXPECT_NE(json.find("\"test.stats.sock\":9"), std::string::npos);
 
     plane.stop();

@@ -15,11 +15,13 @@ Exits non-zero when CURRENT regresses from BASELINE:
     Timing checks are OFF unless --check-timing is given, because
     trajectory files from different machines are not comparable.
 
-The schema-v2 "resources" map (peak RSS, hardware perf counter
-totals) is machine-dependent like timing: it is never compared
+The "resources" map (schema v2: peak RSS, hardware perf counter
+totals; schema v3 adds alloc_bytes/alloc_count/peak_heap from the
+heap profiler) is machine-dependent like timing: it is never compared
 exactly, only noise-gated under --check-resources (worse by more
-than --resource-rtol, default 1.0 = 2x), and absent fields (perf
-unavailable in the environment) are never regressions.
+than --resource-rtol, default 1.0 = 2x), and absent fields (perf or
+heap interposition unavailable in the environment) are never
+regressions.
 
 New cases / new keys in CURRENT are reported but never fatal (the
 trajectory is expected to grow).  Improvements are never fatal.
@@ -29,7 +31,14 @@ into a directory, one <case-slug>.jsonl per case), pass
 --samples-base=DIR and --samples-cur=DIR: every tripped timing gate
 then runs tools/profile_diff.py over that case's two profiles and
 prints the top stack deltas, so the CI failure names the code that
-got slower, not just the case.
+got slower, not just the case.  A profile that is missing or
+unparsable (empty, truncated) downgrades to an "attribution
+unavailable" note — never a gate failure of its own.
+
+The same attribution exists for memory: with --heap-base=DIR and
+--heap-cur=DIR (per-case heap profiles from MRQ_HEAPPROF_OUT), every
+tripped resources gate on a heap key runs tools/heap_diff.py and
+prints the top per-stack allocation deltas.
 
 Options:
   --check-timing        enable the wall-clock regression gate
@@ -37,10 +46,13 @@ Options:
   --timing-floor-ms=MS  ignore timing deltas below MS (default 50)
   --value-rtol=R        relative tolerance for values/metrics
                         (default 0: exact)
-  --check-resources     enable the resources (RSS/perf) noise gate
+  --check-resources     enable the resources (RSS/perf/heap) noise
+                        gate
   --resource-rtol=R     relative resources slack (default 1.0)
   --samples-base=DIR    per-case sample profiles of the baseline run
   --samples-cur=DIR     per-case sample profiles of the current run
+  --heap-base=DIR       per-case heap profiles of the baseline run
+  --heap-cur=DIR        per-case heap profiles of the current run
 """
 
 import json
@@ -48,10 +60,16 @@ import os
 import re
 import sys
 
+import heap_diff
 import profile_diff
 
 FATAL = 1
 USAGE = 2
+
+#: Resource keys the heap profiler fills; a tripped gate on one of
+#: these is attributable via heap_diff when per-case heap profiles
+#: were recorded.
+HEAP_RESOURCE_KEYS = ("alloc_bytes", "alloc_count", "peak_heap")
 
 
 def load(path):
@@ -61,9 +79,9 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(USAGE)
-    if doc.get("type") != "bench" or doc.get("version") not in (1, 2):
-        print(f"bench_compare: {path} is not a v1/v2 bench trajectory",
-              file=sys.stderr)
+    if doc.get("type") != "bench" or doc.get("version") not in (1, 2, 3):
+        print(f"bench_compare: {path} is not a v1/v2/v3 bench "
+              "trajectory", file=sys.stderr)
         sys.exit(USAGE)
     return doc
 
@@ -84,7 +102,10 @@ def slugify(label):
 
 def attribute_regression(case, samples_base, samples_cur):
     """Run profile_diff over a regressed case's sample profiles and
-    return the report text, or None when either profile is absent."""
+    return the report text, or None when either profile is absent.
+    A profile that exists but does not parse (empty, truncated,
+    mistyped fields) downgrades to an 'attribution unavailable'
+    message, never an exception."""
     name = slugify(case) + ".jsonl"
     base_path = os.path.join(samples_base, name)
     cur_path = os.path.join(samples_cur, name)
@@ -100,16 +121,39 @@ def attribute_regression(case, samples_base, samples_cur):
                                       top=10)
 
 
+def attribute_heap_regression(case, heap_base, heap_cur):
+    """heap_diff counterpart of attribute_regression for tripped
+    resources gates on heap keys."""
+    name = slugify(case) + ".jsonl"
+    base_path = os.path.join(heap_base, name)
+    cur_path = os.path.join(heap_cur, name)
+    if not (os.path.isfile(base_path) and os.path.isfile(cur_path)):
+        return None
+    try:
+        base = heap_diff.load_heap_profile(base_path)
+        cur = heap_diff.load_heap_profile(cur_path)
+    except heap_diff.HeapProfileError as err:
+        return "heap attribution unavailable for %s: %s" % (case, err)
+    rows = heap_diff.diff_heap_profiles(base, cur)
+    return heap_diff.format_report(rows, base_path, cur_path, top=10)
+
+
 class Comparison:
     def __init__(self, opts):
         self.opts = opts
         self.regressions = []
         self.notes = []
         self.timing_regressed = []  # case names with tripped gates
+        self.heap_regressed = []    # cases with tripped heap keys
 
     def regress_timing(self, case, msg):
         if case not in self.timing_regressed:
             self.timing_regressed.append(case)
+        self.regress(msg)
+
+    def regress_heap(self, case, msg):
+        if case not in self.heap_regressed:
+            self.heap_regressed.append(case)
         self.regress(msg)
 
     def regress(self, msg):
@@ -155,10 +199,14 @@ class Comparison:
                 continue
             b, c = base[key], cur[key]
             if c > b * (1.0 + rtol):
-                self.regress(
+                msg = (
                     f"{case}: resources[{key}] grew {b:.0f} -> {c:.0f} "
                     f"(+{100.0 * (c - b) / max(b, 1e-300):.0f}% > "
                     f"{100.0 * rtol:.0f}%)")
+                if key in HEAP_RESOURCE_KEYS:
+                    self.regress_heap(case, msg)
+                else:
+                    self.regress(msg)
         for key in sorted(set(cur) - set(base)):
             self.note(f"{case}: new resources[{key}] = {cur[key]!r}")
 
@@ -192,6 +240,8 @@ def parse_args(argv):
         "resource_rtol": 1.0,
         "samples_base": "",
         "samples_cur": "",
+        "heap_base": "",
+        "heap_cur": "",
     }
     paths = []
     for arg in argv[1:]:
@@ -203,6 +253,10 @@ def parse_args(argv):
             opts["samples_base"] = arg.split("=", 1)[1]
         elif arg.startswith("--samples-cur="):
             opts["samples_cur"] = arg.split("=", 1)[1]
+        elif arg.startswith("--heap-base="):
+            opts["heap_base"] = arg.split("=", 1)[1]
+        elif arg.startswith("--heap-cur="):
+            opts["heap_cur"] = arg.split("=", 1)[1]
         elif arg.startswith("--resource-rtol="):
             opts["resource_rtol"] = float(arg.split("=", 1)[1])
         elif arg.startswith("--timing-rtol="):
@@ -261,6 +315,22 @@ def main(argv):
                           file=sys.stderr)
                 else:
                     print(f"--- attribution for {case} ---",
+                          file=sys.stderr)
+                    print(report, file=sys.stderr)
+        # Tripped heap-resource gates name the allocating stacks when
+        # both runs recorded heap profiles.
+        if (cmp.heap_regressed and opts["heap_base"] and
+                opts["heap_cur"]):
+            for case in cmp.heap_regressed:
+                report = attribute_heap_regression(case,
+                                                   opts["heap_base"],
+                                                   opts["heap_cur"])
+                if report is None:
+                    print(f"note: no heap profiles for {case}; "
+                          f"run with MRQ_HEAPPROF_OUT for attribution",
+                          file=sys.stderr)
+                else:
+                    print(f"--- heap attribution for {case} ---",
                           file=sys.stderr)
                     print(report, file=sys.stderr)
         print(f"bench_compare: {len(cmp.regressions)} regression(s) "

@@ -3,13 +3,15 @@
 
 Usage: check_bench_schema.py FILE [FILE ...]
 
-Schema (versions 1 and 2, written by bench/harness/report.cpp; v2
+Schema (versions 1 through 3, written by bench/harness/report.cpp; v2
 added the per-case "resources" map — peak RSS and hardware perf
 counter totals, machine-dependent and therefore noise-gated by
-bench_compare.py rather than compared exactly):
+bench_compare.py rather than compared exactly; v3 added the heap keys
+alloc_bytes / alloc_count / peak_heap to that same map, present only
+when the run had MRQ_HEAPPROF on — absence is never an error):
 
   {
-    "type": "bench", "version": 1 | 2, "suite": str,
+    "type": "bench", "version": 1 | 2 | 3, "suite": str,
     "manifest": {"type": "manifest", "run": str, "seed": int,
                  "git": str, ...string-valued extras...},
     "cases": [
@@ -21,7 +23,7 @@ bench_compare.py rather than compared exactly):
        "values": {str: num},          # deterministic at fixed tier
        "timing_values": {str: num},   # wall-clock, machine-dependent
        "metrics": {str: num},         # MetricsRegistry snapshot
-       "resources": {str: num}},      # v2: RSS / perf counters
+       "resources": {str: num}},      # v2+: RSS / perf / v3 heap
       ...
     ]
   }
@@ -97,7 +99,7 @@ def check_file(path):
     if doc.get("type") != "bench":
         fail(path, f"type must be 'bench', got {doc.get('type')!r}")
     version = doc.get("version")
-    if version not in (1, 2):
+    if version not in (1, 2, 3):
         fail(path, f"unsupported version {version!r}")
     if not isinstance(doc.get("suite"), str) or not doc["suite"]:
         fail(path, "missing suite name")

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate an MRQ heap-profile JSONL file (MRQ_HEAPPROF_OUT).
+
+Expected document (schema version 1, one JSON object per line):
+
+  {"type": "heap_profile", "version": 1, "interval_bytes": I,
+   "isa": "...", "git": "...", "samples": N, "sampled_bytes": SB,
+   "current_bytes": C, "peak_bytes": P, "alloc_count": AC,
+   "alloc_bytes": AB, "free_count": FC, "free_bytes": FB,
+   "guard_violations": G}
+  {"type": "heap_thread", "thread": "...", "alloc_bytes": B,
+   "alloc_count": C}                                      (0 or more)
+  {"type": "alloc_stack", "span": "...", "kernel": "...",
+   "bytes": B, "count": C,
+   "frames": ["inner", ..., "outer"]}                     (0 or more)
+  {"type": "heap_profile_end", "stacks": K, "sampled_bytes": SB}
+
+Cross-checks: the header comes first, the end line last; the end
+line's stack count matches the number of alloc_stack lines; the end
+line's sampled_bytes equals the header's; the sum of per-stack
+sampled bytes never exceeds that total (the stack map and the
+counters are snapshotted at separate instants, so on a live profile
+the counter may run slightly ahead); peak_bytes >= current_bytes.
+
+Usage:
+    check_heap_schema.py [--require-stacks] [--require-span] FILE...
+
+--require-stacks fails an otherwise valid profile holding zero
+stacks; --require-span additionally demands at least one stack tagged
+with a non-empty span path or kernel family — the smoke gate that
+sampled allocations actually carry attribution.
+Exit codes: 0 valid, 1 invalid, 2 usage error.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+FAIL = 1
+USAGE = 2
+
+HEADER_INTS = ("version", "interval_bytes", "samples", "sampled_bytes",
+               "current_bytes", "peak_bytes", "alloc_count",
+               "alloc_bytes", "free_count", "free_bytes",
+               "guard_violations")
+
+
+def fail(path, lineno, msg):
+    print("check_heap_schema: %s:%s: %s" %
+          (path, lineno if lineno else "-", msg), file=sys.stderr)
+    return FAIL
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def check_file(path, require_stacks=False, require_span=False):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as err:
+        return fail(path, 0, "cannot open: %s" % err)
+
+    header = None
+    end = None
+    stacks = []
+    threads = []
+    for lineno, raw in enumerate(lines, 1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            obj = json.loads(raw)
+        except ValueError as err:
+            return fail(path, lineno, "bad JSON: %s" % err)
+        if not isinstance(obj, dict):
+            return fail(path, lineno, "line is not a JSON object")
+        kind = obj.get("type")
+        if header is None:
+            if kind != "heap_profile":
+                return fail(path, lineno,
+                            "first line must be the heap_profile "
+                            "header, got type=%r" % kind)
+            for key in HEADER_INTS:
+                if not _is_int(obj.get(key)) or obj[key] < 0:
+                    return fail(path, lineno,
+                                "header field %r missing, not an "
+                                "integer, or negative" % key)
+            if obj["version"] != SCHEMA_VERSION:
+                return fail(path, lineno,
+                            "schema version %r, expected %d" %
+                            (obj["version"], SCHEMA_VERSION))
+            if obj["interval_bytes"] < 1:
+                return fail(path, lineno,
+                            "interval_bytes must be positive")
+            if obj["peak_bytes"] < obj["current_bytes"]:
+                return fail(path, lineno,
+                            "peak_bytes %d < current_bytes %d" %
+                            (obj["peak_bytes"], obj["current_bytes"]))
+            for key in ("isa", "git"):
+                if not isinstance(obj.get(key), str):
+                    return fail(path, lineno,
+                                "header field %r missing or not a "
+                                "string" % key)
+            header = obj
+            continue
+        if end is not None:
+            return fail(path, lineno, "line after heap_profile_end")
+        if kind == "heap_thread":
+            if not isinstance(obj.get("thread"), str):
+                return fail(path, lineno,
+                            "heap_thread without a thread name")
+            for key in ("alloc_bytes", "alloc_count"):
+                if not _is_int(obj.get(key)) or obj[key] < 0:
+                    return fail(path, lineno,
+                                "heap_thread field %r missing, not an "
+                                "integer, or negative" % key)
+            threads.append(obj)
+        elif kind == "alloc_stack":
+            for key in ("span", "kernel"):
+                if not isinstance(obj.get(key), str):
+                    return fail(path, lineno,
+                                "alloc_stack field %r missing or not "
+                                "a string" % key)
+            for key in ("bytes", "count"):
+                if not _is_int(obj.get(key)) or obj[key] < 0:
+                    return fail(path, lineno,
+                                "alloc_stack field %r missing, not an "
+                                "integer, or negative" % key)
+            if obj["count"] < 1:
+                return fail(path, lineno, "alloc_stack with count 0")
+            frames = obj.get("frames")
+            if not isinstance(frames, list) or any(
+                    not isinstance(f, str) for f in frames):
+                return fail(path, lineno,
+                            "alloc_stack frames missing or not a "
+                            "list of strings")
+            stacks.append(obj)
+        elif kind == "heap_profile_end":
+            for key in ("stacks", "sampled_bytes"):
+                if not _is_int(obj.get(key)):
+                    return fail(path, lineno,
+                                "end field %r missing or not an "
+                                "integer" % key)
+            end = obj
+        else:
+            return fail(path, lineno, "unknown line type %r" % kind)
+
+    if header is None:
+        return fail(path, 0, "empty file (no header)")
+    if end is None:
+        return fail(path, 0, "missing heap_profile_end line")
+    if end["stacks"] != len(stacks):
+        return fail(path, 0, "end line claims %d stacks, file has %d" %
+                    (end["stacks"], len(stacks)))
+    total = sum(s["bytes"] for s in stacks)
+    if end["sampled_bytes"] != header["sampled_bytes"]:
+        return fail(path, 0, "end line claims %d sampled bytes, "
+                    "header claims %d" %
+                    (end["sampled_bytes"], header["sampled_bytes"]))
+    if total > header["sampled_bytes"]:
+        return fail(path, 0, "stacks sum to %d sampled bytes, more "
+                    "than the header total %d" %
+                    (total, header["sampled_bytes"]))
+    if require_stacks and not stacks:
+        return fail(path, 0, "--require-stacks: profile has no stacks")
+    if require_span and not any(s["span"] or s["kernel"]
+                                for s in stacks):
+        return fail(path, 0, "--require-span: no stack is tagged with "
+                    "a span path or kernel family")
+    print("check_heap_schema: %s: ok (%d stacks, %d sampled bytes, "
+          "%d samples, %d threads)" %
+          (path, len(stacks), total, header["samples"], len(threads)))
+    return 0
+
+
+def main(argv):
+    require_stacks = False
+    require_span = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--require-stacks":
+            require_stacks = True
+        elif arg == "--require-span":
+            require_span = True
+        elif arg.startswith("--"):
+            print("check_heap_schema: unknown option %s" % arg,
+                  file=sys.stderr)
+            return USAGE
+        else:
+            paths.append(arg)
+    if not paths:
+        print("usage: check_heap_schema.py [--require-stacks] "
+              "[--require-span] FILE...", file=sys.stderr)
+        return USAGE
+    worst = 0
+    for path in paths:
+        worst = max(worst,
+                    check_file(path, require_stacks=require_stacks,
+                               require_span=require_span))
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

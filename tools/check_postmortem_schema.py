@@ -21,6 +21,12 @@ write(2) — every line is one complete object):
             "terminate" may carry "exception_type".
   then      optional {"type": "manifest", ...} (the run manifest),
             optional {"type": "stats", ...} (last sampler digest),
+            optional {"type": "heap", "current_bytes": int,
+             "peak_bytes": int, "alloc_count": int,
+             "alloc_bytes": int, "free_count": int,
+             "free_bytes": int, "samples": int,
+             "guard_violations": int} (heap digest, present when
+             the replacement operators are linked),
             {"type": "frame", "index": int, "pc": "0x...",
              "symbol": str, "object": str} lines (innermost first),
             {"type": "flight", "slot": int, "thread": str,
@@ -143,6 +149,11 @@ def main(argv):
             check_str(path, lineno, obj, "run")
         elif t == "stats":
             check_int(path, lineno, obj, "sample")
+        elif t == "heap":
+            for key in ("current_bytes", "peak_bytes", "alloc_count",
+                        "alloc_bytes", "free_count", "free_bytes",
+                        "samples", "guard_violations"):
+                check_int(path, lineno, obj, key)
         elif t == "frame":
             check_int(path, lineno, obj, "index")
             check_hex(path, lineno, obj, "pc")

@@ -3,16 +3,17 @@
 
 Usage: check_stats_schema.py [--prometheus FILE] [--json FILE]
 
---json FILE        the "json" response (schema version 1, written by
-                   obs/exposition.cpp renderStatsJson)
+--json FILE        the "json" response (schema versions 1 and 2,
+                   written by obs/exposition.cpp renderStatsJson; v2
+                   added the "heap" object)
 --prometheus FILE  the "metrics" response; checked against the
                    Prometheus text exposition format 0.0.4 (every
                    sample line parses, every family has a preceding
                    # TYPE, label syntax is well-formed)
 
-JSON schema (version 1):
+JSON schema (versions 1 and 2):
 
-  {"version": 1, "isa": str, "samples": int,
+  {"version": 1 | 2, "isa": str, "samples": int,
    "thread_names": [str, ...],              # live registered threads
    "proc": {"rss_kb": int, "peak_rss_kb": int, "threads": int,
             "cpu_seconds": num},           # -1 = unavailable
@@ -26,6 +27,15 @@ JSON schema (version 1):
    "thread_time": {str: {"busy_ns": int, "queue_wait_ns": int,
                          "idle_ns": int}},  # wall-clock decomposition
    "sampler": {"running": bool, "samples": int, "dropped": int},
+   "heap": {"interposed": bool, "running": bool,      # v2 only
+            "current_bytes": int, "peak_bytes": int,
+            "alloc_count": int, "alloc_bytes": int,
+            "free_count": int, "free_bytes": int,
+            "samples": int, "sampled_bytes": int,
+            "guard_violations": int,
+            "size_class": [int x 32],    # log2 allocation histogram
+            "threads": {str: {"alloc_bytes": int,
+                              "alloc_count": int}}},
    "peak_flops_per_cycle": num, "alerts": int, "trace_dropped": int}
 
 Exits non-zero on the first violation.
@@ -138,8 +148,9 @@ def check_json(path):
             doc = json.load(f)
         except json.JSONDecodeError as exc:
             fail(path, f"invalid JSON: {exc}")
-    expect(path, doc.get("version") == 1,
-           f"unsupported version {doc.get('version')!r}")
+    version = doc.get("version")
+    expect(path, version in (1, 2),
+           f"unsupported version {version!r}")
     expect(path, isinstance(doc.get("isa"), str), "isa is not a string")
     check_int(path, doc, "samples", "$")
     names = doc.get("thread_names")
@@ -206,6 +217,38 @@ def check_json(path):
            "sampler.running is not a bool")
     check_int(path, sampler, "samples", "sampler")
     check_int(path, sampler, "dropped", "sampler")
+
+    if version >= 2:
+        heap = doc.get("heap")
+        expect(path, isinstance(heap, dict), "heap is not an object")
+        for key in ("interposed", "running"):
+            expect(path, isinstance(heap.get(key), bool),
+                   f"heap.{key} is not a bool")
+        for key in ("current_bytes", "peak_bytes", "alloc_count",
+                    "alloc_bytes", "free_count", "free_bytes",
+                    "samples", "sampled_bytes", "guard_violations"):
+            check_int(path, heap, key, "heap")
+            expect(path, heap.get(key) >= 0,
+                   f"heap.{key} is negative")
+        classes = heap.get("size_class")
+        expect(path, isinstance(classes, list) and len(classes) == 32,
+               "heap.size_class is not a 32-entry list")
+        for i, v in enumerate(classes):
+            expect(path, isinstance(v, int) and not isinstance(v, bool)
+                   and v >= 0,
+                   f"heap.size_class[{i}] not a non-negative int")
+        hthreads = heap.get("threads")
+        expect(path, isinstance(hthreads, dict),
+               "heap.threads is not an object")
+        for name, t in hthreads.items():
+            expect(path, isinstance(name, str) and name,
+                   "heap.threads: empty thread name")
+            expect(path, isinstance(t, dict),
+                   f"heap.threads[{name}] not object")
+            for key in ("alloc_bytes", "alloc_count"):
+                check_int(path, t, key, f"heap.threads[{name}]")
+    elif "heap" in doc:
+        fail(path, "heap object present in a v1 snapshot")
 
     print(f"{path}: OK ({len(doc['counters'])} counters, "
           f"{len(doc['timings'])} timings, {len(kernels)} kernels, "

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Ranked per-stack allocation delta between two MRQ heap profiles.
+
+Reads two JSONL heap profiles (the ``MRQ_HEAPPROF_OUT`` format written
+by ``obs::writeHeapProfile``, schema checked by
+``check_heap_schema.py``) and reports, ranked by absolute sampled-byte
+delta with growth first, which allocation stacks account for the
+difference — so when a bench resources gate trips on alloc_bytes or
+peak_heap, the failure names the allocating code, not just the case.
+
+Stacks are keyed by (span path, kernel family, frame list); sampled
+bytes are comparable between runs at the same MRQ_HEAPPROF_INTERVAL
+(every allocated byte is charged to exactly one sample).  Per-thread
+churn rows are diffed as a secondary table.
+
+Usage:
+    heap_diff.py [--top=N] [--json] [--expect-zero] BASE CURRENT
+
+``--expect-zero`` exits 1 when any per-stack delta is nonzero (CI
+self-diff gate).  Exit codes: 0 ok, 1 deltas found under
+--expect-zero, 2 usage or parse error.
+"""
+
+import json
+import sys
+
+USAGE_EXIT = 2
+
+
+class HeapProfileError(Exception):
+    """A heap profile file is missing, truncated, or malformed."""
+
+
+def load_heap_profile(path):
+    """Parse one heap profile into a dict:
+
+    {"header": {...}, "stacks": {key: {"bytes": b, "count": c}},
+     "threads": {name: {"alloc_bytes": b, "alloc_count": c}}}
+    where key = (span, kernel, tuple(frames)).
+    """
+    header = None
+    stacks = {}
+    threads = {}
+    saw_content = False
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as err:
+        raise HeapProfileError("cannot open %s: %s" % (path, err))
+    with handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            saw_content = True
+            try:
+                obj = json.loads(line)
+            except ValueError as err:
+                raise HeapProfileError(
+                    "%s:%d: bad JSON: %s" % (path, lineno, err))
+            if not isinstance(obj, dict):
+                raise HeapProfileError(
+                    "%s:%d: expected a JSON object" % (path, lineno))
+            kind = obj.get("type")
+            try:
+                if kind == "heap_profile":
+                    header = obj
+                elif kind == "alloc_stack":
+                    key = (str(obj.get("span", "")),
+                           str(obj.get("kernel", "")),
+                           tuple(str(f)
+                                 for f in obj.get("frames", [])))
+                    slot = stacks.setdefault(
+                        key, {"bytes": 0, "count": 0})
+                    slot["bytes"] += int(obj.get("bytes", 0))
+                    slot["count"] += int(obj.get("count", 0))
+                elif kind == "heap_thread":
+                    threads[str(obj.get("thread", ""))] = {
+                        "alloc_bytes": int(obj.get("alloc_bytes", 0)),
+                        "alloc_count": int(obj.get("alloc_count", 0)),
+                    }
+            except (TypeError, ValueError) as err:
+                raise HeapProfileError(
+                    "%s:%d: bad %s record: %s" %
+                    (path, lineno, kind, err))
+    if not saw_content:
+        raise HeapProfileError("%s: empty profile (no lines)" % path)
+    if header is None:
+        raise HeapProfileError(
+            "%s: no heap_profile header line (truncated?)" % path)
+    return {"header": header, "stacks": stacks, "threads": threads}
+
+
+def diff_heap_profiles(base, cur):
+    """Per-stack sampled-byte deltas, growth (cur > base) first, then
+    by absolute delta.  Returns a list of dicts."""
+    keys = set(base["stacks"]) | set(cur["stacks"])
+    rows = []
+    for key in keys:
+        b = base["stacks"].get(key, {"bytes": 0, "count": 0})
+        c = cur["stacks"].get(key, {"bytes": 0, "count": 0})
+        if b["bytes"] == 0 and c["bytes"] == 0:
+            continue
+        span, kernel, frames = key
+        rows.append({
+            "span": span,
+            "kernel": kernel,
+            "frames": list(frames),
+            "base_bytes": b["bytes"],
+            "cur_bytes": c["bytes"],
+            "base_count": b["count"],
+            "cur_count": c["count"],
+            "delta_bytes": c["bytes"] - b["bytes"],
+        })
+    rows.sort(key=lambda r: (r["delta_bytes"] <= 0,
+                             -abs(r["delta_bytes"]), r["span"],
+                             r["kernel"], tuple(r["frames"])))
+    return rows
+
+
+def _stack_label(row):
+    parts = []
+    if row["span"]:
+        parts.append(row["span"])
+    if row["kernel"]:
+        parts.append("[" + row["kernel"] + "]")
+    frames = row["frames"]
+    if frames:
+        # Innermost frame first in the label; full stack available in
+        # --json output.
+        parts.append(frames[0])
+    return " ".join(parts) if parts else "??"
+
+
+def format_report(rows, base_label, cur_label, top=20):
+    lines = []
+    lines.append("heap profile diff: %s -> %s" %
+                 (base_label, cur_label))
+    total = sum(r["delta_bytes"] for r in rows)
+    lines.append("net sampled allocation delta: %+0.3f MiB over %d "
+                 "distinct stacks" %
+                 (total / (1024.0 * 1024.0), len(rows)))
+    shown = rows[:top] if top > 0 else rows
+    if top > 0 and len(rows) > top:
+        lines.append("top %d by |delta| (of %d):" % (top, len(rows)))
+    for row in shown:
+        lines.append(
+            "  %+12.3f KiB  (%10.3f -> %10.3f)  %s" %
+            (row["delta_bytes"] / 1024.0, row["base_bytes"] / 1024.0,
+             row["cur_bytes"] / 1024.0, _stack_label(row)))
+    if not rows:
+        lines.append("  profiles are identical (zero deltas)")
+    return "\n".join(lines)
+
+
+def main(argv):
+    top = 20
+    as_json = False
+    expect_zero = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--top="):
+            try:
+                top = int(arg.split("=", 1)[1])
+            except ValueError:
+                print("heap_diff: bad --top value", file=sys.stderr)
+                return USAGE_EXIT
+        elif arg == "--json":
+            as_json = True
+        elif arg == "--expect-zero":
+            expect_zero = True
+        elif arg.startswith("--"):
+            print("heap_diff: unknown option %s" % arg,
+                  file=sys.stderr)
+            return USAGE_EXIT
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: heap_diff.py [--top=N] [--json] "
+              "[--expect-zero] BASE CURRENT", file=sys.stderr)
+        return USAGE_EXIT
+    try:
+        base = load_heap_profile(paths[0])
+        cur = load_heap_profile(paths[1])
+    except HeapProfileError as err:
+        print("heap_diff: %s" % err, file=sys.stderr)
+        return USAGE_EXIT
+    rows = diff_heap_profiles(base, cur)
+    if as_json:
+        print(json.dumps({"base": paths[0], "current": paths[1],
+                          "deltas": rows}, indent=2, sort_keys=True))
+    else:
+        print(format_report(rows, paths[0], paths[1], top=top))
+    if expect_zero and any(r["delta_bytes"] != 0 for r in rows):
+        print("heap_diff: nonzero deltas with --expect-zero",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,6 +41,7 @@ def load_profile(path):
     header = None
     stacks = {}
     threads = {}
+    saw_content = False
     try:
         handle = open(path, "r", encoding="utf-8")
     except OSError as err:
@@ -50,27 +51,45 @@ def load_profile(path):
             line = line.strip()
             if not line:
                 continue
+            saw_content = True
             try:
                 obj = json.loads(line)
             except ValueError as err:
                 raise ProfileError(
                     "%s:%d: bad JSON: %s" % (path, lineno, err))
+            if not isinstance(obj, dict):
+                raise ProfileError(
+                    "%s:%d: expected a JSON object" % (path, lineno))
             kind = obj.get("type")
-            if kind == "sample_profile":
-                header = obj
-            elif kind == "sample_stack":
-                key = (obj.get("span", ""), obj.get("kernel", ""),
-                       tuple(obj.get("frames", [])))
-                stacks[key] = stacks.get(key, 0) + int(
-                    obj.get("self_ns", 0))
-            elif kind == "thread_time":
-                threads[obj.get("thread", "")] = {
-                    "busy_ns": int(obj.get("busy_ns", 0)),
-                    "queue_wait_ns": int(obj.get("queue_wait_ns", 0)),
-                    "idle_ns": int(obj.get("idle_ns", 0)),
-                }
+            # A record with a mistyped field (a sampler crash mid-write
+            # or a truncated copy) must surface as a diagnostic, not a
+            # traceback: coerce under one guard.
+            try:
+                if kind == "sample_profile":
+                    header = obj
+                elif kind == "sample_stack":
+                    key = (str(obj.get("span", "")),
+                           str(obj.get("kernel", "")),
+                           tuple(str(f)
+                                 for f in obj.get("frames", [])))
+                    stacks[key] = stacks.get(key, 0) + int(
+                        obj.get("self_ns", 0))
+                elif kind == "thread_time":
+                    threads[str(obj.get("thread", ""))] = {
+                        "busy_ns": int(obj.get("busy_ns", 0)),
+                        "queue_wait_ns": int(
+                            obj.get("queue_wait_ns", 0)),
+                        "idle_ns": int(obj.get("idle_ns", 0)),
+                    }
+            except (TypeError, ValueError) as err:
+                raise ProfileError(
+                    "%s:%d: bad %s record: %s" %
+                    (path, lineno, kind, err))
+    if not saw_content:
+        raise ProfileError("%s: empty profile (no lines)" % path)
     if header is None:
-        raise ProfileError("%s: no sample_profile header line" % path)
+        raise ProfileError(
+            "%s: no sample_profile header line (truncated?)" % path)
     return {"header": header, "stacks": stacks, "threads": threads}
 
 
